@@ -1,0 +1,182 @@
+// Ablations of KV-Direct's design choices beyond the paper's own figures
+// (DESIGN.md §5): each knob is isolated with everything else held fixed.
+//
+//   A. slab sync batching      — DMA operations per allocation versus the
+//                                sync batch size (paper claims < 0.07)
+//   B. flag-bit compression    — wire bytes per op with/without the copy
+//                                flags, across workload regularity
+//   C. reservation station     — throughput versus in-flight capacity
+//                                (the paper's 256 sizing)
+//   D. secondary hash width    — false-positive extra reads for 9 bits
+//                                (the paper's 1/512 claim)
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+
+namespace kvd {
+namespace {
+
+// --- A: slab sync batch sweep ---
+void SlabBatchAblation() {
+  std::printf("\n=== Ablation A — slab pool sync batching (paper: <0.07 DMA/op) ===\n");
+  TablePrinter table({"sync_batch", "dma_per_op_fill", "dma_per_op_churn"});
+  for (uint32_t batch : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    SlabConfig config;
+    config.region_size = 8 * kMiB;
+    config.nic_stack_capacity = std::max(256u, batch * 2);
+    config.sync_batch = batch;
+    config.low_watermark = 8;
+    config.high_watermark = config.nic_stack_capacity - batch;
+    SlabAllocator allocator(config);
+    // Phase 1 — pure fill: every slab ultimately crosses the host->NIC sync,
+    // so DMA/op ~ 1/batch. This is the regime the <0.07 claim targets.
+    std::vector<uint64_t> held;
+    for (int i = 0; i < 60000; i++) {
+      Result<uint64_t> r = allocator.Allocate(48);
+      if (!r.ok()) {
+        break;
+      }
+      held.push_back(*r);
+    }
+    const SyncStats fill = allocator.sync_stats();
+    const double fill_dma = fill.AmortizedDmaPerOp();
+    // Phase 2 — stable-size churn: frees feed later allocations through the
+    // NIC stack, so the host is barely touched (paper §5.1.2).
+    for (int i = 0; i < 60000; i++) {
+      allocator.Free(held.back(), 48);
+      held.pop_back();
+      Result<uint64_t> r = allocator.Allocate(48);
+      if (r.ok()) {
+        held.push_back(*r);
+      }
+    }
+    const SyncStats total = allocator.sync_stats();
+    const uint64_t churn_ops =
+        total.allocations + total.frees - fill.allocations - fill.frees;
+    const double churn_dma =
+        static_cast<double>(total.sync_dma_reads + total.sync_dma_writes -
+                            fill.sync_dma_reads - fill.sync_dma_writes) /
+        static_cast<double>(churn_ops);
+    table.AddRow({TablePrinter::Int(batch), TablePrinter::Num(fill_dma, 4),
+                  TablePrinter::Num(churn_dma, 4)});
+  }
+  table.Print();
+  std::printf("fill-phase DMA/op ~ 1/batch: batches >= 16 beat the paper's\n"
+              "0.07/op bound; stable churn needs almost no host traffic\n");
+}
+
+// --- B: flag-bit compression ---
+void CompressionAblation() {
+  std::printf("\n=== Ablation B — flag-bit compression (paper §4 decoder) ===\n");
+  TablePrinter table({"workload", "bytes/op_plain", "bytes/op_compressed", "saving_%"});
+  struct Scenario {
+    const char* name;
+    bool same_sizes;
+    bool same_values;
+  };
+  for (const Scenario& s : {Scenario{"uniform sizes+values (graph push)", true, true},
+                            Scenario{"uniform sizes, distinct values", true, false},
+                            Scenario{"mixed sizes and values", false, false}}) {
+    Rng rng(77);
+    auto make_op = [&](int i) {
+      KvOperation op;
+      op.opcode = Opcode::kPut;
+      op.key.assign(8, static_cast<uint8_t>(i));
+      const size_t len = s.same_sizes ? 16 : 8 + rng.NextBelow(24);
+      op.value.assign(len, s.same_values ? 42 : static_cast<uint8_t>(rng.Next()));
+      return op;
+    };
+    size_t plain = 0;
+    size_t compressed = 0;
+    constexpr int kOps = 2000;
+    {
+      PacketBuilder builder(1 << 20, false);
+      for (int i = 0; i < kOps; i++) {
+        builder.Add(make_op(i));
+      }
+      plain = builder.payload_size();
+    }
+    {
+      Rng reset(77);
+      rng = reset;
+      PacketBuilder builder(1 << 20, true);
+      for (int i = 0; i < kOps; i++) {
+        builder.Add(make_op(i));
+      }
+      compressed = builder.payload_size();
+    }
+    table.AddRow({s.name, TablePrinter::Num(static_cast<double>(plain) / kOps, 1),
+                  TablePrinter::Num(static_cast<double>(compressed) / kOps, 1),
+                  TablePrinter::Num(100.0 * (1 - static_cast<double>(compressed) /
+                                                     static_cast<double>(plain)),
+                                    1)});
+  }
+  table.Print();
+}
+
+// --- C: reservation station capacity ---
+void StationCapacityAblation() {
+  std::printf("\n=== Ablation C — in-flight capacity (paper: 256 to saturate) ===\n");
+  TablePrinter table({"max_inflight", "uniform_GET_Mops"});
+  for (uint32_t capacity : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    ServerConfig config;
+    config.kvs_memory_bytes = 16 * kMiB;
+    config.nic_dram.capacity_bytes = 2 * kMiB;
+    config.inline_threshold_bytes = 16;
+    config.processor.ooo.max_inflight = capacity;
+    KvDirectServer server(config);
+    WorkloadConfig wl;
+    wl.num_keys = 100000;
+    YcsbWorkload workload(wl);
+    bench::Preload(server, workload, wl.num_keys);
+    bench::DriveOptions options;
+    options.total_ops = 30000;
+    options.pipeline_depth = 1024;
+    table.AddRow({TablePrinter::Int(capacity),
+                  TablePrinter::Num(bench::Drive(server, workload, options).mops, 1)});
+  }
+  table.Print();
+  std::printf("throughput saturates once in-flight ops cover the PCIe\n"
+              "latency-bandwidth product (~64 for reads), with headroom for\n"
+              "dependent chains — the paper sizes it at 256\n");
+}
+
+// --- D: secondary hash false positives ---
+void SecondaryHashAblation() {
+  std::printf("\n=== Ablation D — 9-bit secondary hash (paper: 1/512 false hits) ===\n");
+  ServerConfig config;
+  config.kvs_memory_bytes = 16 * kMiB;
+  config.inline_threshold_bytes = 10;  // force non-inline: pointers + 9-bit tags
+  config.hash_index_ratio = 0.1;
+  KvDirectServer server(config);
+  WorkloadConfig wl;
+  wl.num_keys = 60000;
+  wl.value_bytes = 24;  // 32 B KVs, never inline
+  YcsbWorkload workload(wl);
+  bench::Preload(server, workload, wl.num_keys);
+  // Random GETs; count slab reads whose key comparison failed.
+  for (int i = 0; i < 200000; i++) {
+    KvOperation op;
+    op.opcode = Opcode::kGet;
+    op.key = workload.KeyFor(i % wl.num_keys);
+    (void)server.Execute(op);
+  }
+  const auto& stats = server.index().stats();
+  const double rate = static_cast<double>(stats.secondary_false_hits) / 200000;
+  std::printf("false-positive slab reads: %llu in 200000 GETs (%.5f per op;\n"
+              "expected ~ occupied-slots-per-bucket / 512)\n",
+              static_cast<unsigned long long>(stats.secondary_false_hits), rate);
+}
+
+}  // namespace
+}  // namespace kvd
+
+int main() {
+  kvd::SlabBatchAblation();
+  kvd::CompressionAblation();
+  kvd::StationCapacityAblation();
+  kvd::SecondaryHashAblation();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 13: effectiveness of the out-of-order execution engine.
+//   (a) atomics throughput versus number of keys: KV-Direct with and without
+//       out-of-order execution, against one-/two-sided RDMA baselines
+//   (b) long-tail (Zipf 0.99) workload throughput versus PUT ratio, with and
+//       without out-of-order execution
+//
+// Paper anchors: single-key atomics 0.94 Mops stalled -> 180 Mops with the
+// engine (191x, the clock bound); without the engine long-tail throughput
+// collapses as the PUT ratio grows because hot-key conflicts stall the
+// pipeline.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/analytic_models.h"
+#include "src/common/table_printer.h"
+
+namespace kvd {
+namespace {
+
+ServerConfig BenchServerConfig(bool enable_ooo) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 16 * kMiB;
+  config.nic_dram.capacity_bytes = 2 * kMiB;
+  config.processor.ooo.enable_out_of_order = enable_ooo;
+  config.inline_threshold_bytes = 16;  // the 8 B key + 8 B counter KVs inline
+  return config;
+}
+
+double AtomicsMops(bool enable_ooo, uint64_t num_keys, uint64_t total_ops) {
+  KvDirectServer server(BenchServerConfig(enable_ooo));
+  WorkloadConfig wl;
+  wl.num_keys = num_keys;
+  YcsbWorkload workload(wl);
+  bench::Preload(server, workload, num_keys);
+
+  Simulator& sim = server.simulator();
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  Rng rng(5);
+  std::function<void()> submit_one = [&] {
+    if (submitted >= total_ops) {
+      return;
+    }
+    submitted++;
+    KvOperation op;
+    op.opcode = Opcode::kUpdateScalar;
+    op.key = workload.KeyFor(rng.NextBelow(num_keys));
+    op.param = 1;
+    op.function_id = kFnAddU64;
+    server.Submit(std::move(op), [&](KvResultMessage) {
+      completed++;
+      submit_one();
+    });
+  };
+  const SimTime start = sim.Now();
+  for (int i = 0; i < 512; i++) {
+    submit_one();
+  }
+  while (completed < total_ops && sim.Step()) {
+  }
+  const double elapsed_s = static_cast<double>(sim.Now() - start) / kSecond;
+  return static_cast<double>(completed) / elapsed_s / 1e6;
+}
+
+void Fig13aAtomics() {
+  std::printf("\n=== Figure 13a — atomics throughput vs number of keys ===\n");
+  RdmaKvsModel rdma;
+  TablePrinter table({"keys", "with_OoO_Mops", "without_OoO_Mops",
+                      "one_sided_RDMA", "two_sided_RDMA"});
+  for (uint64_t keys : {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull}) {
+    // Fewer ops for the stalled runs: each op costs a full PCIe round trip.
+    const double with_ooo = AtomicsMops(true, keys, 40000);
+    const double without_ooo = AtomicsMops(false, keys, 4000);
+    table.AddRow({TablePrinter::Int(keys), TablePrinter::Num(with_ooo, 1),
+                  TablePrinter::Num(without_ooo, 2),
+                  TablePrinter::Num(rdma.OneSidedAtomicsMops(keys), 2),
+                  TablePrinter::Num(rdma.TwoSidedAtomicsMops(keys), 2)});
+  }
+  table.Print();
+  std::printf(
+      "paper: 0.94 Mops single-key stalled vs 180 Mops with OoO (191x);\n"
+      "RDMA baselines scale linearly with keys but stay far below KV-Direct\n");
+}
+
+double LongTailMops(bool enable_ooo, double put_ratio) {
+  KvDirectServer server(BenchServerConfig(enable_ooo));
+  WorkloadConfig wl;
+  wl.num_keys = 50000;
+  wl.value_bytes = 8;
+  wl.get_ratio = 1.0 - put_ratio;
+  wl.distribution = KeyDistribution::kLongTail;
+  YcsbWorkload workload(wl);
+  bench::Preload(server, workload, wl.num_keys);
+  bench::DriveOptions options;
+  options.total_ops = enable_ooo ? 40000 : 8000;
+  return bench::Drive(server, workload, options).mops;
+}
+
+void Fig13bLongTail() {
+  std::printf("\n=== Figure 13b — long-tail throughput vs PUT ratio ===\n");
+  TablePrinter table({"put_ratio_%", "with_OoO_Mops", "without_OoO_Mops"});
+  for (double put_ratio : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    table.AddRow({TablePrinter::Num(put_ratio * 100, 0),
+                  TablePrinter::Num(LongTailMops(true, put_ratio), 1),
+                  TablePrinter::Num(LongTailMops(false, put_ratio), 1)});
+  }
+  table.Print();
+  std::printf(
+      "paper: with OoO throughput stays high at all PUT ratios; without it,\n"
+      "stalls on popular keys degrade throughput as PUTs grow\n");
+}
+
+}  // namespace
+}  // namespace kvd
+
+int main() {
+  kvd::Fig13aAtomics();
+  kvd::Fig13bLongTail();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 3: comparison with published KVS systems — throughput, power
+// efficiency, and latency — plus the paper's headline multi-NIC scaling
+// (10 programmable NICs -> 1.22 Gops in one server).
+//
+// Our substrate is a simulator, so the KV-Direct rows use *our measured*
+// simulated throughput combined with the paper's published power figures;
+// the comparison systems are the paper's cited numbers (analytic_models.h).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/analytic_models.h"
+#include "src/baseline/cpu_kvs.h"
+#include "src/common/table_printer.h"
+
+namespace kvd {
+namespace {
+
+double MeasureKvDirectMops(bool long_tail) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 32 * kMiB;
+  config.nic_dram.capacity_bytes = 4 * kMiB;
+  config.AutoTune(10, long_tail);
+  KvDirectServer server(config);
+  WorkloadConfig wl;
+  wl.value_bytes = 2;
+  wl.get_ratio = 0.95;
+  wl.distribution = long_tail ? KeyDistribution::kLongTail : KeyDistribution::kUniform;
+  wl.num_keys = config.kvs_memory_bytes / 2 / 10;
+  YcsbWorkload workload(wl);
+  bench::Preload(server, workload, wl.num_keys);
+  bench::DriveOptions options;
+  options.total_ops = 50000;
+  options.use_network = true;
+  return bench::Drive(server, workload, options).mops;
+}
+
+// The paper's multi-NIC experiment: 10 NICs in one server, each with its own
+// PCIe endpoints and memory partition, scale near-linearly. Each instance is
+// an independent simulated server here.
+double MeasureTenNicMops() {
+  double total = 0;
+  for (int nic = 0; nic < 10; nic++) {
+    ServerConfig config;
+    config.kvs_memory_bytes = 16 * kMiB;
+    config.nic_dram.capacity_bytes = 2 * kMiB;
+    config.AutoTune(10, /*long_tail=*/true);
+    KvDirectServer server(config);
+    WorkloadConfig wl;
+    wl.value_bytes = 2;
+    wl.get_ratio = 0.95;
+    wl.distribution = KeyDistribution::kLongTail;
+    wl.num_keys = config.kvs_memory_bytes / 2 / 10;
+    wl.seed = 42 + nic;
+    YcsbWorkload workload(wl);
+    bench::Preload(server, workload, wl.num_keys);
+    bench::DriveOptions options;
+    options.total_ops = 20000;
+    options.use_network = true;
+    total += bench::Drive(server, workload, options).mops;
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace kvd
+
+int main() {
+  using kvd::TablePrinter;
+  std::printf("\n=== Table 3 — comparison with published KVS systems ===\n");
+
+  const double uniform_mops = kvd::MeasureKvDirectMops(false);
+  const double longtail_mops = kvd::MeasureKvDirectMops(true);
+  // Paper power: 121.6 W full system at peak; 34 W incremental (NIC + PCIe +
+  // memory + daemon) since the CPU stays available for other work.
+  constexpr double kFullPowerW = 121.6;
+  constexpr double kIncrementalPowerW = 34;
+
+  // A real wall-clock datapoint for the CPU-KVS class on this host (one
+  // worker per hardware thread), alongside the paper's published rows.
+  const unsigned host_threads = std::max(1u, std::thread::hardware_concurrency());
+  const double cpu_kvs_mops = kvd::MeasureCpuKvsMops(host_threads, 1 << 20, 2000000);
+
+  TablePrinter table({"system", "tput_Mops", "power_W", "kops_per_W", "tail_us"});
+  for (const kvd::PublishedSystem& system : kvd::kPublishedSystems) {
+    table.AddRow({system.name, TablePrinter::Num(system.throughput_mops, 1),
+                  TablePrinter::Num(system.power_watts, 0),
+                  TablePrinter::Num(system.KopsPerWatt(), 0),
+                  TablePrinter::Num(system.tail_latency_us, 1)});
+  }
+  table.AddRow({"sharded CPU map (this host)", TablePrinter::Num(cpu_kvs_mops, 1),
+                "-", "-", "-"});
+  table.AddRow({"KV-Direct (ours, uniform)", TablePrinter::Num(uniform_mops, 1),
+                TablePrinter::Num(kFullPowerW, 1),
+                TablePrinter::Num(uniform_mops * 1e3 / kFullPowerW, 0), "~5"});
+  table.AddRow({"KV-Direct (ours, long-tail)", TablePrinter::Num(longtail_mops, 1),
+                TablePrinter::Num(kFullPowerW, 1),
+                TablePrinter::Num(longtail_mops * 1e3 / kFullPowerW, 0), "~5"});
+  table.AddRow({"KV-Direct (incremental power)", TablePrinter::Num(longtail_mops, 1),
+                TablePrinter::Num(kIncrementalPowerW, 1),
+                TablePrinter::Num(longtail_mops * 1e3 / kIncrementalPowerW, 0),
+                "~5"});
+  table.Print();
+
+  std::printf("\n--- multi-NIC scaling (paper: 10 NICs -> 1.22 Gops) ---\n");
+  const double ten_nic = kvd::MeasureTenNicMops();
+  std::printf("10 simulated NICs, aggregate: %.0f Mops (%.2fx one NIC)\n", ten_nic,
+              ten_nic / longtail_mops);
+  std::printf(
+      "paper: 1220 Mops with 10 NICs, near-linear scaling; KV-Direct is the\n"
+      "first general-purpose KVS over 1 Mops/W on commodity servers\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table 4: impact of a peak-load KV-Direct NIC on other host workloads.
+//
+// KV-Direct bypasses the CPU entirely; its only host-side footprint is
+// (a) PCIe DMA traffic into one NUMA node's memory controllers and (b) the
+// nearly idle slab daemon. The paper reports minimal impact on co-running
+// applications. This bench reproduces the finding with a bandwidth-contention
+// model: each co-running workload class is characterized by its memory
+// bandwidth demand, and the memory controllers serve KV-Direct's DMA plus the
+// application from the same pool.
+//
+//   slowdown = demand_total > capacity ? demand_total / capacity : 1
+//
+// with capacity = per-node memory bandwidth (8 channels DDR3-1600 across two
+// nodes, ~51.2 GB/s per node) and KV-Direct drawing its measured PCIe
+// throughput (~13 GB/s peak, far less for small-KV workloads).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+
+namespace kvd {
+namespace {
+
+struct HostWorkload {
+  const char* name;
+  double bandwidth_gbps;  // memory bandwidth demand of the application alone
+};
+
+// Representative co-running applications (SPEC-like classes).
+constexpr HostWorkload kWorkloads[] = {
+    {"cache-resident compute (e.g. gcc)", 2.0},
+    {"mixed OLTP", 12.0},
+    {"analytics scan", 25.0},
+    {"STREAM triad (bandwidth-bound)", 45.0},
+};
+
+constexpr double kNodeBandwidthGBps = 51.2;  // 4 channels DDR3-1600 x 2 ranks
+
+// Measures the PCIe (host memory) traffic KV-Direct generates at peak.
+double MeasureKvDirectHostTrafficGBps() {
+  ServerConfig config;
+  config.kvs_memory_bytes = 32 * kMiB;
+  config.nic_dram.capacity_bytes = 4 * kMiB;
+  config.AutoTune(10, /*long_tail=*/false);
+  KvDirectServer server(config);
+  WorkloadConfig wl;
+  wl.value_bytes = 2;
+  wl.get_ratio = 0.5;  // write-heavy: worst case for DMA traffic
+  wl.num_keys = config.kvs_memory_bytes / 2 / 10;
+  YcsbWorkload workload(wl);
+  bench::Preload(server, workload, wl.num_keys);
+
+  const uint64_t bytes_before = [&] {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < server.dma().num_links(); i++) {
+      total += server.dma().link(i).upstream_bytes() +
+               server.dma().link(i).downstream_bytes();
+    }
+    return total;
+  }();
+  const SimTime start = server.simulator().Now();
+  bench::DriveOptions options;
+  options.total_ops = 40000;
+  bench::Drive(server, workload, options);
+  uint64_t bytes_after = 0;
+  for (uint32_t i = 0; i < server.dma().num_links(); i++) {
+    bytes_after += server.dma().link(i).upstream_bytes() +
+                   server.dma().link(i).downstream_bytes();
+  }
+  const double elapsed_s =
+      static_cast<double>(server.simulator().Now() - start) / kSecond;
+  return static_cast<double>(bytes_after - bytes_before) / elapsed_s / 1e9;
+}
+
+}  // namespace
+}  // namespace kvd
+
+int main() {
+  using kvd::TablePrinter;
+  std::printf("\n=== Table 4 — impact on host CPU workloads at peak KV load ===\n");
+  const double dma_gbps = kvd::MeasureKvDirectHostTrafficGBps();
+  std::printf("measured KV-Direct host-memory DMA traffic: %.1f GB/s\n", dma_gbps);
+
+  TablePrinter table({"co-running workload", "standalone_GBps", "with_kvdirect",
+                      "degradation_%"});
+  for (const auto& workload : kvd::kWorkloads) {
+    const double demand = workload.bandwidth_gbps + dma_gbps;
+    const double slowdown =
+        demand > kvd::kNodeBandwidthGBps ? demand / kvd::kNodeBandwidthGBps : 1.0;
+    const double effective = workload.bandwidth_gbps / slowdown;
+    table.AddRow({workload.name, TablePrinter::Num(workload.bandwidth_gbps, 1),
+                  TablePrinter::Num(effective, 1),
+                  TablePrinter::Num((1 - effective / workload.bandwidth_gbps) * 100,
+                                    1)});
+  }
+  table.Print();
+  std::printf(
+      "paper: minimal impact on other workloads at single-NIC peak load — the\n"
+      "CPU is almost idle and only bandwidth-saturated applications notice\n");
+  return 0;
+}

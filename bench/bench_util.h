@@ -1,0 +1,130 @@
+// Shared helpers for the figure/table regeneration benchmarks.
+//
+// Every bench binary prints the same rows/series as the corresponding figure
+// or table in the paper's evaluation (§5); EXPERIMENTS.md records
+// paper-versus-measured values. All simulations are deterministic.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/core/kv_direct.h"
+#include "src/net/wire_format.h"
+#include "src/workload/ycsb.h"
+
+namespace kvd {
+namespace bench {
+
+// Preloads `count` keys from the workload into the store (untimed). Returns
+// the number actually inserted (stops early on OOM).
+inline uint64_t Preload(KvDirectServer& server, const YcsbWorkload& workload,
+                        uint64_t count) {
+  for (uint64_t id = 0; id < count; id++) {
+    const KvOperation op = workload.LoadOpFor(id);
+    if (!server.Load(op.key, op.value).ok()) {
+      return id;
+    }
+  }
+  return count;
+}
+
+struct DriveOptions {
+  uint64_t total_ops = 50000;
+  uint32_t pipeline_depth = 512;  // ops kept outstanding (closed loop)
+  bool use_network = false;       // wrap ops in packets over the 40 GbE model
+  uint32_t ops_per_packet = 40;   // network mode: client-side batch size
+  uint32_t packet_payload = 4096;
+};
+
+struct DriveResult {
+  double mops = 0;          // sustained throughput in simulated time
+  double elapsed_us = 0;
+  LatencyHistogram latency_ns;  // per-operation (submit -> result)
+};
+
+// Closed-loop throughput measurement: keeps `pipeline_depth` operations (or
+// the equivalent number of packets) outstanding until `total_ops` retire.
+inline DriveResult Drive(KvDirectServer& server, YcsbWorkload& workload,
+                         const DriveOptions& options) {
+  Simulator& sim = server.simulator();
+  DriveResult result;
+  const SimTime start = sim.Now();
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+
+  if (!options.use_network) {
+    std::function<void()> submit_one = [&] {
+      if (submitted >= options.total_ops) {
+        return;
+      }
+      submitted++;
+      const SimTime issued = sim.Now();
+      server.Submit(workload.NextOp(), [&, issued](KvResultMessage) {
+        completed++;
+        result.latency_ns.Add((sim.Now() - issued) / kNanosecond);
+        submit_one();
+      });
+    };
+    for (uint32_t i = 0; i < options.pipeline_depth; i++) {
+      submit_one();
+    }
+    while (completed < options.total_ops && sim.Step()) {
+    }
+  } else {
+    NetworkModel& network = server.network();
+    const uint32_t packets_outstanding_target =
+        std::max<uint32_t>(1, options.pipeline_depth / options.ops_per_packet);
+    std::function<void()> send_packet = [&] {
+      if (submitted >= options.total_ops) {
+        return;
+      }
+      PacketBuilder builder(options.packet_payload);
+      uint32_t in_packet = 0;
+      while (in_packet < options.ops_per_packet && submitted < options.total_ops) {
+        const KvOperation op = workload.NextOp();
+        if (!builder.Add(op)) {
+          break;
+        }
+        in_packet++;
+        submitted++;
+      }
+      const SimTime issued = sim.Now();
+      std::vector<uint8_t> payload = builder.Finish();
+      const auto payload_size = static_cast<uint32_t>(payload.size());
+      network.SendToServer(payload_size, [&, issued, in_packet,
+                                          payload = std::move(payload)]() mutable {
+        server.DeliverPacket(std::move(payload), [&, issued, in_packet](
+                                                     std::vector<uint8_t> response) {
+          const auto response_size = static_cast<uint32_t>(response.size());
+          network.SendToClient(response_size, [&, issued, in_packet] {
+            completed += in_packet;
+            result.latency_ns.Add((sim.Now() - issued) / kNanosecond);
+            send_packet();
+          });
+        });
+      });
+    };
+    for (uint32_t i = 0; i < packets_outstanding_target; i++) {
+      send_packet();
+    }
+    while (completed < options.total_ops && sim.Step()) {
+    }
+  }
+
+  result.elapsed_us = static_cast<double>(sim.Now() - start) / kMicrosecond;
+  result.mops = static_cast<double>(completed) / result.elapsed_us;
+  return result;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("\n=== %s — %s ===\n", figure, description);
+}
+
+}  // namespace bench
+}  // namespace kvd
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,155 @@
+// Parameter server on KV-Direct (paper §2.1: "model parameters in machine
+// learning", §3.2: vector update with user-defined λ as active messages).
+//
+// A linear model's weights are sharded into vector values ("shard:<i>", each
+// a vector of f32). Workers train logistic regression with SGD:
+//   - pull:  GET the shards they need
+//   - push:  update_vector2vector(shard, Δ, kFnAddF32) — the gradient is
+//            applied element-wise *inside the NIC*, so concurrent workers
+//            never lose updates and no parameter locks exist
+//
+// Build & run:  ./build/examples/parameter_server
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/kv_direct.h"
+
+namespace {
+
+constexpr uint32_t kFeatures = 64;
+constexpr uint32_t kShards = 4;
+constexpr uint32_t kFeaturesPerShard = kFeatures / kShards;
+constexpr uint32_t kSamples = 400;
+constexpr int kEpochs = 8;
+constexpr float kLearningRate = 0.3f;
+
+std::vector<uint8_t> ShardKey(uint32_t shard) {
+  std::string s = "shard:" + std::to_string(shard);
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::vector<float> DecodeF32(const std::vector<uint8_t>& bytes) {
+  std::vector<float> out(bytes.size() / 4);
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+std::vector<uint8_t> EncodeF32(const std::vector<float>& values) {
+  std::vector<uint8_t> out(values.size() * 4);
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+int main() {
+  kvd::ServerConfig config;
+  config.kvs_memory_bytes = 16 * kvd::kMiB;
+  config.nic_dram.capacity_bytes = 2 * kvd::kMiB;
+  config.hash_index_ratio = 0.2;
+  kvd::KvDirectServer server(config);
+  kvd::Client client(server);
+
+  // Ground-truth model the synthetic data follows: w*_i alternates sign.
+  kvd::Rng rng(11);
+  std::vector<float> truth(kFeatures);
+  for (uint32_t f = 0; f < kFeatures; f++) {
+    truth[f] = (f % 2 == 0 ? 1.0f : -1.0f) * 0.5f;
+  }
+  // Sparse samples: 8 active features each.
+  struct Sample {
+    std::vector<uint32_t> features;
+    float label;
+  };
+  std::vector<Sample> samples(kSamples);
+  for (Sample& sample : samples) {
+    float dot = 0;
+    for (int k = 0; k < 8; k++) {
+      const auto f = static_cast<uint32_t>(rng.NextBelow(kFeatures));
+      sample.features.push_back(f);
+      dot += truth[f];
+    }
+    sample.label = rng.NextDouble() < Sigmoid(dot) ? 1.0f : 0.0f;
+  }
+
+  // Initialize shards to zero weights.
+  for (uint32_t shard = 0; shard < kShards; shard++) {
+    KVD_CHECK(client.Put(ShardKey(shard),
+                         EncodeF32(std::vector<float>(kFeaturesPerShard, 0)))
+                  .ok());
+  }
+
+  auto log_loss = [&](const std::vector<float>& weights) {
+    double loss = 0;
+    for (const Sample& sample : samples) {
+      float dot = 0;
+      for (uint32_t f : sample.features) {
+        dot += weights[f];
+      }
+      const float p = Sigmoid(dot);
+      loss -= sample.label * std::log(p + 1e-7f) +
+              (1 - sample.label) * std::log(1 - p + 1e-7f);
+    }
+    return loss / kSamples;
+  };
+
+  std::printf("training logistic regression: %u features, %u shards, %u samples\n",
+              kFeatures, kShards, kSamples);
+  for (int epoch = 0; epoch < kEpochs; epoch++) {
+    // Pull the full model (shard by shard).
+    std::vector<float> weights;
+    for (uint32_t shard = 0; shard < kShards; shard++) {
+      auto bytes = client.Get(ShardKey(shard));
+      KVD_CHECK(bytes.ok());
+      const auto part = DecodeF32(*bytes);
+      weights.insert(weights.end(), part.begin(), part.end());
+    }
+    std::printf("epoch %d: log-loss %.4f\n", epoch, log_loss(weights));
+
+    // Accumulate one epoch of gradients locally, then push per-shard deltas
+    // as elementwise NIC-side additions (kFnAddF32).
+    std::vector<float> delta(kFeatures, 0);
+    for (const Sample& sample : samples) {
+      float dot = 0;
+      for (uint32_t f : sample.features) {
+        dot += weights[f];
+      }
+      const float gradient = sample.label - Sigmoid(dot);
+      for (uint32_t f : sample.features) {
+        delta[f] += kLearningRate * gradient / kSamples * 8;
+      }
+    }
+    for (uint32_t shard = 0; shard < kShards; shard++) {
+      const std::vector<float> shard_delta(
+          delta.begin() + shard * kFeaturesPerShard,
+          delta.begin() + (shard + 1) * kFeaturesPerShard);
+      KVD_CHECK(client
+                    .UpdateVectorWithVector(ShardKey(shard),
+                                            EncodeF32(shard_delta),
+                                            kvd::kFnAddF32, /*element_width=*/4)
+                    .ok());
+    }
+  }
+
+  // Final check: loss improved substantially over the zero model.
+  std::vector<float> final_weights;
+  for (uint32_t shard = 0; shard < kShards; shard++) {
+    auto bytes = client.Get(ShardKey(shard));
+    KVD_CHECK(bytes.ok());
+    const auto part = DecodeF32(*bytes);
+    final_weights.insert(final_weights.end(), part.begin(), part.end());
+  }
+  const double final_loss = log_loss(final_weights);
+  std::printf("final log-loss %.4f (zero-model baseline %.4f)\n", final_loss,
+              std::log(2.0));
+  std::printf("simulated time: %.2f ms\n",
+              static_cast<double>(server.simulator().Now()) / kvd::kMillisecond);
+  KVD_CHECK(final_loss < std::log(2.0));
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "src/alloc/allocation_bitmap.h"
+
+namespace kvd {
+
+AllocationBitmap::AllocationBitmap(uint64_t region_size, uint32_t granule_bytes)
+    : granule_bytes_(granule_bytes), num_granules_(region_size / granule_bytes) {
+  KVD_CHECK(granule_bytes > 0);
+  bits_.assign((num_granules_ + 63) / 64, 0);
+}
+
+void AllocationBitmap::MarkAllocated(uint64_t offset, uint32_t bytes) {
+  const uint64_t first = GranuleIndex(offset);
+  const uint64_t count = bytes / granule_bytes_;
+  for (uint64_t g = first; g < first + count; g++) {
+    KVD_DCHECK(g < num_granules_);
+    const uint64_t mask = uint64_t{1} << (g % 64);
+    KVD_CHECK_MSG((bits_[g / 64] & mask) == 0, "double allocation");
+    bits_[g / 64] |= mask;
+  }
+  allocated_granules_ += count;
+}
+
+void AllocationBitmap::MarkFree(uint64_t offset, uint32_t bytes) {
+  const uint64_t first = GranuleIndex(offset);
+  const uint64_t count = bytes / granule_bytes_;
+  for (uint64_t g = first; g < first + count; g++) {
+    KVD_DCHECK(g < num_granules_);
+    const uint64_t mask = uint64_t{1} << (g % 64);
+    KVD_CHECK_MSG((bits_[g / 64] & mask) != 0, "double free");
+    bits_[g / 64] &= ~mask;
+  }
+  allocated_granules_ -= count;
+}
+
+bool AllocationBitmap::IsAllocated(uint64_t offset, uint32_t bytes) const {
+  const uint64_t first = GranuleIndex(offset);
+  const uint64_t count = bytes / granule_bytes_;
+  for (uint64_t g = first; g < first + count; g++) {
+    if ((bits_[g / 64] & (uint64_t{1} << (g % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AllocationBitmap::IsFree(uint64_t offset, uint32_t bytes) const {
+  const uint64_t first = GranuleIndex(offset);
+  const uint64_t count = bytes / granule_bytes_;
+  for (uint64_t g = first; g < first + count; g++) {
+    if ((bits_[g / 64] & (uint64_t{1} << (g % 64))) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kvd

@@ -1,0 +1,47 @@
+// Global allocation bitmap (paper §3.3.2).
+//
+// One bit per minimum-granularity (32 B) granule of the dynamic region,
+// set while the granule is allocated. The host daemon consults it when
+// merging freed slabs back into larger ones, and tests use it to prove the
+// allocator never double-allocates or leaks.
+#ifndef SRC_ALLOC_ALLOCATION_BITMAP_H_
+#define SRC_ALLOC_ALLOCATION_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+class AllocationBitmap {
+ public:
+  AllocationBitmap(uint64_t region_size, uint32_t granule_bytes);
+
+  void MarkAllocated(uint64_t offset, uint32_t bytes);
+  void MarkFree(uint64_t offset, uint32_t bytes);
+
+  // True if every granule of [offset, offset+bytes) is allocated.
+  bool IsAllocated(uint64_t offset, uint32_t bytes) const;
+  // True if every granule of [offset, offset+bytes) is free.
+  bool IsFree(uint64_t offset, uint32_t bytes) const;
+
+  uint64_t allocated_granules() const { return allocated_granules_; }
+  uint64_t total_granules() const { return num_granules_; }
+  uint32_t granule_bytes() const { return granule_bytes_; }
+
+ private:
+  uint64_t GranuleIndex(uint64_t offset) const {
+    KVD_DCHECK(offset % granule_bytes_ == 0);
+    return offset / granule_bytes_;
+  }
+
+  uint32_t granule_bytes_;
+  uint64_t num_granules_;
+  uint64_t allocated_granules_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_ALLOC_ALLOCATION_BITMAP_H_

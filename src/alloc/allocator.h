@@ -1,0 +1,25 @@
+// Dynamic-memory allocation interface used by the hash index for non-inline
+// KVs and chained hash buckets.
+#ifndef SRC_ALLOC_ALLOCATOR_H_
+#define SRC_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace kvd {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Returns the host-memory address of a block of at least `bytes` bytes.
+  virtual Result<uint64_t> Allocate(uint32_t bytes) = 0;
+
+  // Releases a block previously returned by Allocate with the same size.
+  virtual void Free(uint64_t address, uint32_t bytes) = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_ALLOC_ALLOCATOR_H_

@@ -1,0 +1,106 @@
+#include "src/alloc/dstack.h"
+
+#include <cstring>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+DequeStack::DequeStack(HostMemory& memory, uint64_t base, uint64_t capacity)
+    : memory_(memory), base_(base), capacity_(capacity) {
+  KVD_CHECK(capacity > 0);
+  StoreIndex(0, 0);  // left
+  StoreIndex(8, 0);  // right
+}
+
+uint64_t DequeStack::LoadIndex(uint64_t offset) const {
+  uint64_t value;
+  uint8_t raw[8];
+  memory_.Read(base_ + offset, raw);
+  std::memcpy(&value, raw, 8);
+  return value;
+}
+
+void DequeStack::StoreIndex(uint64_t offset, uint64_t value) {
+  uint8_t raw[8];
+  std::memcpy(raw, &value, 8);
+  memory_.Write(base_ + offset, raw);
+}
+
+uint64_t DequeStack::size() const {
+  const uint64_t left = LoadIndex(0);
+  const uint64_t right = LoadIndex(8);
+  KVD_DCHECK(right >= left && right - left <= capacity_);
+  return right - left;
+}
+
+bool DequeStack::PopLeft(uint64_t* out) {
+  const uint64_t left = LoadIndex(0);
+  if (left == LoadIndex(8)) {
+    return false;
+  }
+  uint8_t raw[8];
+  memory_.Read(EntryAddress(left), raw);
+  std::memcpy(out, raw, 8);
+  // Data read before the pointer moves (the Figure 8 race-freedom rule).
+  StoreIndex(0, left + 1);
+  return true;
+}
+
+bool DequeStack::PushLeft(uint64_t value) {
+  const uint64_t left = LoadIndex(0);
+  if (LoadIndex(8) - left >= capacity_ || left == 0) {
+    // A full ring, or a left end already at its virtual origin: the latter is
+    // re-normalized by pushing on the right instead, preserving LIFO order
+    // only approximately — free-slab pools are unordered sets, so any
+    // position is equally correct.
+    return PushRight(value);
+  }
+  uint8_t raw[8];
+  std::memcpy(raw, &value, 8);
+  memory_.Write(EntryAddress(left - 1), raw);
+  StoreIndex(0, left - 1);
+  return true;
+}
+
+uint64_t DequeStack::PopLeftBatch(std::span<uint64_t> out) {
+  uint64_t moved = 0;
+  while (moved < out.size() && PopLeft(&out[moved])) {
+    moved++;
+  }
+  return moved;
+}
+
+uint64_t DequeStack::PushLeftBatch(std::span<const uint64_t> in) {
+  uint64_t moved = 0;
+  while (moved < in.size() && PushLeft(in[moved])) {
+    moved++;
+  }
+  return moved;
+}
+
+bool DequeStack::PopRight(uint64_t* out) {
+  const uint64_t right = LoadIndex(8);
+  if (right == LoadIndex(0)) {
+    return false;
+  }
+  uint8_t raw[8];
+  memory_.Read(EntryAddress(right - 1), raw);
+  std::memcpy(out, raw, 8);
+  StoreIndex(8, right - 1);
+  return true;
+}
+
+bool DequeStack::PushRight(uint64_t value) {
+  const uint64_t right = LoadIndex(8);
+  if (right - LoadIndex(0) >= capacity_) {
+    return false;
+  }
+  uint8_t raw[8];
+  std::memcpy(raw, &value, 8);
+  memory_.Write(EntryAddress(right), raw);
+  StoreIndex(8, right + 1);
+  return true;
+}
+
+}  // namespace kvd

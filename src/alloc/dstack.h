@@ -1,0 +1,61 @@
+// Double-ended stack of slab entries in real memory (paper Figure 8).
+//
+// Each slab size class has a host-side pool laid out as a double-ended stack
+// in the daemon's memory: the *left* end is popped/pushed by the NIC's DMA
+// synchronization, the *right* end by the host daemon's split/merge logic.
+// "Because each end of a stack is either accessed by the NIC or the host,
+// and the data is accessed prior to moving pointers, race conditions would
+// not occur" (§4) — the two parties never touch the same end.
+//
+// Layout inside the backing HostMemory region:
+//   [0,8)   left index  (u64): next position the left end would pop
+//   [8,16)  right index (u64): one past the last occupied position
+//   [16,..) entry ring: capacity x 8-byte entries, indices wrap modulo
+//           capacity; occupied range is [left, right) in ring order
+#ifndef SRC_ALLOC_DSTACK_H_
+#define SRC_ALLOC_DSTACK_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/mem/host_memory.h"
+
+namespace kvd {
+
+class DequeStack {
+ public:
+  // Manages [base, base + BytesFor(capacity)) of `memory`; initializes empty.
+  DequeStack(HostMemory& memory, uint64_t base, uint64_t capacity);
+
+  static uint64_t BytesFor(uint64_t capacity) { return 16 + capacity * 8; }
+
+  uint64_t size() const;
+  uint64_t capacity() const { return capacity_; }
+  bool empty() const { return size() == 0; }
+
+  // --- left end: the NIC's side of the pool ---
+  bool PopLeft(uint64_t* out);
+  bool PushLeft(uint64_t value);
+  // Batched forms (one logical DMA each); return entries moved.
+  uint64_t PopLeftBatch(std::span<uint64_t> out);
+  uint64_t PushLeftBatch(std::span<const uint64_t> in);
+
+  // --- right end: the host daemon's side ---
+  bool PopRight(uint64_t* out);
+  bool PushRight(uint64_t value);
+
+ private:
+  uint64_t LoadIndex(uint64_t offset) const;
+  void StoreIndex(uint64_t offset, uint64_t value);
+  uint64_t EntryAddress(uint64_t index) const {
+    return base_ + 16 + (index % capacity_) * 8;
+  }
+
+  HostMemory& memory_;
+  uint64_t base_;
+  uint64_t capacity_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_ALLOC_DSTACK_H_

@@ -1,0 +1,160 @@
+#include "src/alloc/merger.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+namespace {
+
+// Buddy scan over sorted offsets: merge (a, a+s) when a is 2s-aligned.
+MergeResult ScanSortedForBuddies(const std::vector<uint64_t>& sorted,
+                                 uint32_t slab_bytes) {
+  MergeResult result;
+  const uint64_t pair_bytes = uint64_t{slab_bytes} * 2;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    if (i + 1 < sorted.size() && sorted[i] % pair_bytes == 0 &&
+        sorted[i + 1] == sorted[i] + slab_bytes) {
+      result.merged.push_back(sorted[i]);
+      i += 2;
+    } else {
+      result.unmerged.push_back(sorted[i]);
+      i += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MergeResult BitmapMerger::Merge(std::span<const uint64_t> free_offsets,
+                                uint32_t slab_bytes) {
+  KVD_CHECK(slab_bytes > 0);
+  const uint64_t num_slots = region_size_ / slab_bytes;
+  std::vector<uint64_t> bits((num_slots + 63) / 64, 0);
+  // Random-offset writes into the full-region bitmap: this pass is what makes
+  // the bitmap approach slow at scale (Figure 12).
+  for (uint64_t offset : free_offsets) {
+    const uint64_t slot = offset / slab_bytes;
+    KVD_DCHECK(slot < num_slots);
+    bits[slot / 64] |= uint64_t{1} << (slot % 64);
+  }
+  MergeResult result;
+  for (uint64_t slot = 0; slot + 1 < num_slots; slot += 2) {
+    const bool lo = (bits[slot / 64] >> (slot % 64)) & 1;
+    const bool hi = (bits[(slot + 1) / 64] >> ((slot + 1) % 64)) & 1;
+    if (lo && hi) {
+      result.merged.push_back(slot * slab_bytes);
+    } else if (lo) {
+      result.unmerged.push_back(slot * slab_bytes);
+    } else if (hi) {
+      result.unmerged.push_back((slot + 1) * slab_bytes);
+    }
+  }
+  // Odd trailing slot.
+  if (num_slots % 2 == 1) {
+    const uint64_t slot = num_slots - 1;
+    if ((bits[slot / 64] >> (slot % 64)) & 1) {
+      result.unmerged.push_back(slot * slab_bytes);
+    }
+  }
+  return result;
+}
+
+void RadixSortMerger::ParallelRadixSort(std::vector<uint64_t>& values,
+                                        unsigned num_threads) {
+  if (values.size() < 2) {
+    return;
+  }
+  num_threads = std::max(1u, num_threads);
+  constexpr int kDigitBits = 8;
+  constexpr int kNumBuckets = 1 << kDigitBits;
+
+  // Only sort the digits that vary: find the highest set bit across values.
+  uint64_t max_value = 0;
+  for (uint64_t v : values) {
+    max_value |= v;
+  }
+  int passes = 0;
+  while (max_value != 0) {
+    passes++;
+    max_value >>= kDigitBits;
+  }
+  passes = std::max(passes, 1);
+
+  std::vector<uint64_t> scratch(values.size());
+  uint64_t* src = values.data();
+  uint64_t* dst = scratch.data();
+  const size_t n = values.size();
+
+  for (int pass = 0; pass < passes; pass++) {
+    const int shift = pass * kDigitBits;
+    // Per-thread histograms.
+    std::vector<std::vector<uint64_t>> histograms(
+        num_threads, std::vector<uint64_t>(kNumBuckets, 0));
+    const size_t chunk = (n + num_threads - 1) / num_threads;
+    auto histogram_worker = [&](unsigned t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      auto& histogram = histograms[t];
+      for (size_t i = begin; i < end; i++) {
+        histogram[(src[i] >> shift) & (kNumBuckets - 1)]++;
+      }
+    };
+    {
+      std::vector<std::thread> workers;
+      for (unsigned t = 1; t < num_threads; t++) {
+        workers.emplace_back(histogram_worker, t);
+      }
+      histogram_worker(0);
+      for (auto& worker : workers) {
+        worker.join();
+      }
+    }
+    // Global bucket offsets, then per-thread starting positions: thread t's
+    // items for bucket b land after threads 0..t-1's items for bucket b.
+    std::vector<std::vector<uint64_t>> offsets(
+        num_threads, std::vector<uint64_t>(kNumBuckets, 0));
+    uint64_t running = 0;
+    for (int b = 0; b < kNumBuckets; b++) {
+      for (unsigned t = 0; t < num_threads; t++) {
+        offsets[t][b] = running;
+        running += histograms[t][b];
+      }
+    }
+    auto scatter_worker = [&](unsigned t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      auto& offset = offsets[t];
+      for (size_t i = begin; i < end; i++) {
+        dst[offset[(src[i] >> shift) & (kNumBuckets - 1)]++] = src[i];
+      }
+    };
+    {
+      std::vector<std::thread> workers;
+      for (unsigned t = 1; t < num_threads; t++) {
+        workers.emplace_back(scatter_worker, t);
+      }
+      scatter_worker(0);
+      for (auto& worker : workers) {
+        worker.join();
+      }
+    }
+    std::swap(src, dst);
+  }
+  if (src != values.data()) {
+    std::copy(src, src + n, values.data());
+  }
+}
+
+MergeResult RadixSortMerger::Merge(std::span<const uint64_t> free_offsets,
+                                   uint32_t slab_bytes) {
+  KVD_CHECK(slab_bytes > 0);
+  std::vector<uint64_t> sorted(free_offsets.begin(), free_offsets.end());
+  ParallelRadixSort(sorted, num_threads_);
+  return ScanSortedForBuddies(sorted, slab_bytes);
+}
+
+}  // namespace kvd

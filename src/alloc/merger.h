@@ -1,0 +1,72 @@
+// Free-slab merging strategies (paper §3.3.2 "lazy slab merging", §5.1.2,
+// Figure 12).
+//
+// Merging rebuilds larger slabs from freed smaller ones: two free slabs of
+// size s whose addresses are buddies (a aligned to 2s, and a+s) coalesce into
+// one slab of size 2s. The paper compares two ways to find buddy pairs among
+// billions of freed slots:
+//   - bitmap: populate an allocation-style bitmap at random offsets, then
+//     scan — random memory writes dominate and it does not scale with cores
+//   - radix sort: sort the free addresses (multi-core LSD radix sort), then
+//     a linear scan finds buddies — 30 s -> 1.8 s on 32 cores in the paper
+#ifndef SRC_ALLOC_MERGER_H_
+#define SRC_ALLOC_MERGER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kvd {
+
+struct MergeResult {
+  std::vector<uint64_t> merged;    // offsets of coalesced slabs (size 2s)
+  std::vector<uint64_t> unmerged;  // offsets whose buddy was not free (size s)
+};
+
+class Merger {
+ public:
+  virtual ~Merger() = default;
+
+  // Coalesces buddy pairs among `free_offsets` (region-relative offsets of
+  // free slabs of `slab_bytes` each). Offsets must be distinct multiples of
+  // `slab_bytes`.
+  virtual MergeResult Merge(std::span<const uint64_t> free_offsets,
+                            uint32_t slab_bytes) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Sets one bit per free slab in a region-sized bitmap (random writes), then
+// scans pairs of adjacent bits.
+class BitmapMerger final : public Merger {
+ public:
+  explicit BitmapMerger(uint64_t region_size) : region_size_(region_size) {}
+
+  MergeResult Merge(std::span<const uint64_t> free_offsets,
+                    uint32_t slab_bytes) override;
+  const char* name() const override { return "bitmap"; }
+
+ private:
+  uint64_t region_size_;
+};
+
+// Multi-core LSD radix sort over the free addresses followed by a linear
+// buddy scan.
+class RadixSortMerger final : public Merger {
+ public:
+  explicit RadixSortMerger(unsigned num_threads = 1) : num_threads_(num_threads) {}
+
+  MergeResult Merge(std::span<const uint64_t> free_offsets,
+                    uint32_t slab_bytes) override;
+  const char* name() const override { return "radix_sort"; }
+
+  // Exposed for benchmarking the sort phase alone.
+  static void ParallelRadixSort(std::vector<uint64_t>& values, unsigned num_threads);
+
+ private:
+  unsigned num_threads_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_ALLOC_MERGER_H_

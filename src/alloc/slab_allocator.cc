@@ -1,0 +1,77 @@
+#include "src/alloc/slab_allocator.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+SlabAllocator::SlabAllocator(const SlabConfig& config, std::unique_ptr<Merger> merger)
+    : config_(config), daemon_(config, std::move(merger)) {
+  config_.Validate();
+  nic_stacks_.resize(config_.NumClasses());
+  for (auto& stack : nic_stacks_) {
+    stack.reserve(config_.nic_stack_capacity);
+  }
+}
+
+size_t SlabAllocator::FetchFromHost(uint8_t cls) {
+  std::vector<uint64_t> batch(config_.sync_batch);
+  const size_t fetched = daemon_.PopBatch(cls, batch);
+  if (fetched == 0) {
+    return 0;
+  }
+  sync_stats_.sync_dma_reads++;
+  sync_stats_.entries_fetched += fetched;
+  for (size_t i = 0; i < fetched; i++) {
+    nic_stacks_[cls].push_back(batch[i]);
+  }
+  return fetched;
+}
+
+void SlabAllocator::FlushToHost(uint8_t cls) {
+  auto& stack = nic_stacks_[cls];
+  const size_t count = std::min<size_t>(config_.sync_batch, stack.size());
+  KVD_DCHECK(count > 0);
+  // The right end of the NIC-side double-ended stack drains to the host
+  // (Figure 8): oldest entries leave, the hot top-of-stack stays on the NIC.
+  daemon_.PushBatch(cls, std::span<const uint64_t>(stack.data(), count));
+  stack.erase(stack.begin(), stack.begin() + static_cast<long>(count));
+  sync_stats_.sync_dma_writes++;
+  sync_stats_.entries_flushed += count;
+}
+
+Result<uint64_t> SlabAllocator::Allocate(uint32_t bytes) {
+  if (bytes == 0 || bytes > config_.max_slab_bytes) {
+    return Status::InvalidArgument("allocation size outside slab range");
+  }
+  const uint8_t cls = config_.ClassFor(bytes);
+  auto& stack = nic_stacks_[cls];
+  if (stack.size() < config_.low_watermark && FetchFromHost(cls) == 0 &&
+      stack.empty()) {
+    return Status::OutOfMemory("slab pool exhausted");
+  }
+  const uint64_t address = stack.back();
+  stack.pop_back();
+  daemon_.bitmap().MarkAllocated(address - config_.region_base,
+                                 config_.ClassBytes(cls));
+  sync_stats_.allocations++;
+  return address;
+}
+
+void SlabAllocator::Free(uint64_t address, uint32_t bytes) {
+  KVD_CHECK(bytes > 0 && bytes <= config_.max_slab_bytes);
+  const uint8_t cls = config_.ClassFor(bytes);
+  daemon_.bitmap().MarkFree(address - config_.region_base, config_.ClassBytes(cls));
+  nic_stacks_[cls].push_back(address);
+  sync_stats_.frees++;
+  if (nic_stacks_[cls].size() > config_.high_watermark) {
+    FlushToHost(cls);
+  }
+}
+
+uint64_t SlabAllocator::FreeBytes() const { return daemon_.FreeBytes(); }
+
+}  // namespace kvd

@@ -1,0 +1,271 @@
+#include "src/baseline/cuckoo_hash_table.h"
+
+#include <bit>
+#include <set>
+#include <unordered_map>
+#include <cstring>
+
+#include "src/common/assert.h"
+#include "src/common/hashing.h"
+
+namespace kvd {
+namespace {
+
+// Slab image for a baseline value: u16 value_len, value bytes (the key lives
+// in the index, per the paper's comparison assumption).
+std::vector<uint8_t> BuildValueSlab(std::span<const uint8_t> value) {
+  std::vector<uint8_t> slab(2 + value.size());
+  const auto vlen = static_cast<uint16_t>(value.size());
+  std::memcpy(slab.data(), &vlen, 2);
+  std::memcpy(slab.data() + 2, value.data(), value.size());
+  return slab;
+}
+
+uint32_t SlabBytesFor(uint32_t value_len) { return 2 + value_len; }
+
+}  // namespace
+
+CuckooHashTable::CuckooHashTable(AccessEngine& engine, Allocator& allocator,
+                                 const CuckooConfig& config)
+    : engine_(engine), allocator_(allocator), config_(config), rng_(0xc0c0) {
+  KVD_CHECK(config.num_buckets > 0 && std::has_single_bit(config.num_buckets));
+}
+
+CuckooHashTable::Bucket CuckooHashTable::ReadBucket(uint64_t index) {
+  uint8_t raw[kBucketBytes];
+  engine_.Read(config_.index_base + index * kBucketBytes, raw);
+  Bucket bucket;
+  for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+    const uint8_t* p = raw + s * kSlotBytes;
+    Slot& slot = bucket.slots[s];
+    slot.valid = p[0] != 0;
+    slot.key_len = p[1];
+    std::memcpy(slot.key, p + 2, kMaxKeyBytes);
+    slot.pointer = 0;
+    std::memcpy(&slot.pointer, p + 2 + kMaxKeyBytes, 6);
+  }
+  return bucket;
+}
+
+void CuckooHashTable::WriteBucket(uint64_t index, const Bucket& bucket) {
+  uint8_t raw[kBucketBytes] = {};
+  for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+    uint8_t* p = raw + s * kSlotBytes;
+    const Slot& slot = bucket.slots[s];
+    p[0] = slot.valid ? 1 : 0;
+    p[1] = slot.key_len;
+    std::memcpy(p + 2, slot.key, kMaxKeyBytes);
+    std::memcpy(p + 2 + kMaxKeyBytes, &slot.pointer, 6);
+  }
+  engine_.Write(config_.index_base + index * kBucketBytes, raw);
+}
+
+uint64_t CuckooHashTable::Bucket1(std::span<const uint8_t> key) const {
+  return HashBytes(key) & (config_.num_buckets - 1);
+}
+
+uint64_t CuckooHashTable::AlternateBucket(uint64_t bucket,
+                                          std::span<const uint8_t> key_bytes,
+                                          uint8_t key_len) const {
+  // Partial-key cuckoo displacement: alt(b) = b ^ f(key), an involution, so
+  // a displaced key's other candidate is computable from the slot alone.
+  uint64_t f = Mix64(HashBytes(key_bytes.data(), key_len, /*seed=*/0x2bad)) |
+               1;  // non-zero so alt(b) != b
+  return (bucket ^ f) & (config_.num_buckets - 1);
+}
+
+uint64_t CuckooHashTable::Bucket2(std::span<const uint8_t> key) const {
+  return AlternateBucket(Bucket1(key), key, static_cast<uint8_t>(key.size()));
+}
+
+bool CuckooHashTable::SlotMatches(const Slot& slot, std::span<const uint8_t> key) {
+  return slot.valid && slot.key_len == key.size() &&
+         std::memcmp(slot.key, key.data(), key.size()) == 0;
+}
+
+Status CuckooHashTable::Get(std::span<const uint8_t> key,
+                            std::vector<uint8_t>& value_out) {
+  KVD_CHECK(key.size() <= kMaxKeyBytes);
+  // Check both candidate buckets; keys compare in parallel within a bucket.
+  for (const uint64_t index : {Bucket1(key), Bucket2(key)}) {
+    const Bucket bucket = ReadBucket(index);
+    for (const Slot& slot : bucket.slots) {
+      if (SlotMatches(slot, key)) {
+        const uint64_t address = (slot.pointer & 0xffffffffull) * 32;
+        const auto value_len = static_cast<uint32_t>(slot.pointer >> 32);
+        std::vector<uint8_t> slab(SlabBytesFor(value_len));
+        engine_.Read(address, slab);
+        value_out.assign(slab.begin() + 2, slab.end());
+        return Status::Ok();
+      }
+    }
+  }
+  return Status::NotFound();
+}
+
+Status CuckooHashTable::Put(std::span<const uint8_t> key,
+                            std::span<const uint8_t> value) {
+  if (key.empty() || key.size() > kMaxKeyBytes) {
+    return Status::InvalidArgument("key size");
+  }
+  if (value.size() > 0xffff) {
+    return Status::InvalidArgument("value size");
+  }
+  const uint64_t b1 = Bucket1(key);
+  const uint64_t b2 = Bucket2(key);
+  Bucket bucket1 = ReadBucket(b1);
+  Bucket bucket2 = ReadBucket(b2);
+
+  // Update in place if present.
+  for (auto& [index, bucket] : {std::pair<uint64_t, Bucket&>{b1, bucket1},
+                                std::pair<uint64_t, Bucket&>{b2, bucket2}}) {
+    for (Slot& slot : bucket.slots) {
+      if (SlotMatches(slot, key)) {
+        const uint64_t old_address = (slot.pointer & 0xffffffffull) * 32;
+        const auto old_len = static_cast<uint32_t>(slot.pointer >> 32);
+        allocator_.Free(old_address, SlabBytesFor(old_len));
+        Result<uint64_t> slab = allocator_.Allocate(
+            SlabBytesFor(static_cast<uint32_t>(value.size())));
+        if (!slab.ok()) {
+          return slab.status();
+        }
+        engine_.Write(*slab, BuildValueSlab(value));
+        slot.pointer = (*slab / 32) | (value.size() << 32);
+        WriteBucket(index, bucket);
+        return Status::Ok();
+      }
+    }
+  }
+
+  // Fresh insert: allocate the value first.
+  Result<uint64_t> slab =
+      allocator_.Allocate(SlabBytesFor(static_cast<uint32_t>(value.size())));
+  if (!slab.ok()) {
+    return slab.status();
+  }
+  engine_.Write(*slab, BuildValueSlab(value));
+
+  Slot incoming;
+  incoming.valid = true;
+  incoming.key_len = static_cast<uint8_t>(key.size());
+  std::memcpy(incoming.key, key.data(), key.size());
+  incoming.pointer = (*slab / 32) | (value.size() << 32);
+
+  // Free slot in either candidate bucket?
+  for (auto& [index, bucket] : {std::pair<uint64_t, Bucket&>{b1, bucket1},
+                                std::pair<uint64_t, Bucket&>{b2, bucket2}}) {
+    for (Slot& slot : bucket.slots) {
+      if (!slot.valid) {
+        slot = incoming;
+        WriteBucket(index, bucket);
+        num_kvs_++;
+        return Status::Ok();
+      }
+    }
+  }
+
+  // Cuckoo path (MemC3 style): *search* a displacement path first, then move
+  // keys backward along it, so no key is ever lost. Buckets read during the
+  // operation are cached NIC-side for its duration, so each bucket costs one
+  // read no matter how often the path revisits it.
+  std::unordered_map<uint64_t, Bucket> op_cache;
+  op_cache.emplace(b1, bucket1);
+  op_cache.emplace(b2, bucket2);
+  auto cached_bucket = [&](uint64_t index) -> Bucket& {
+    auto it = op_cache.find(index);
+    if (it == op_cache.end()) {
+      it = op_cache.emplace(index, ReadBucket(index)).first;
+    }
+    return it->second;
+  };
+
+  struct PathStep {
+    uint64_t index;
+    uint32_t slot;
+  };
+  std::vector<PathStep> path;
+  // Each (bucket, slot) may appear at most once on the path — the deferred
+  // backward moves assume every step is displaced exactly once.
+  std::set<std::pair<uint64_t, uint32_t>> visited;
+  uint64_t current_index = b1;
+  uint64_t free_index = 0;
+  uint32_t free_slot = 0;
+  bool found = false;
+  for (uint32_t depth = 0; depth < config_.max_kick_depth && !found; depth++) {
+    const auto preferred = static_cast<uint32_t>(rng_.NextBelow(kSlotsPerBucket));
+    uint32_t victim = kSlotsPerBucket;
+    for (uint32_t offset = 0; offset < kSlotsPerBucket; offset++) {
+      const uint32_t candidate = (preferred + offset) % kSlotsPerBucket;
+      if (visited.insert({current_index, candidate}).second) {
+        victim = candidate;
+        break;
+      }
+    }
+    if (victim == kSlotsPerBucket) {
+      break;  // every slot of this bucket is already on the path
+    }
+    path.push_back(PathStep{current_index, victim});
+    const Slot displaced = cached_bucket(current_index).slots[victim];
+    const uint64_t next_index = AlternateBucket(
+        current_index, std::span<const uint8_t>(displaced.key, displaced.key_len),
+        displaced.key_len);
+    Bucket& next = cached_bucket(next_index);
+    for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+      if (!next.slots[s].valid) {
+        free_index = next_index;
+        free_slot = s;
+        found = true;
+        break;
+      }
+    }
+    current_index = next_index;
+  }
+  if (!found) {
+    // The table is effectively full at this load factor; a production system
+    // would resize. The freshly allocated value is released.
+    allocator_.Free(*slab, SlabBytesFor(static_cast<uint32_t>(value.size())));
+    return Status::OutOfMemory("cuckoo path exceeded depth bound");
+  }
+
+  // Move keys backward: the deepest displaced key moves into the free slot
+  // first, vacating its own slot for its predecessor, and so on.
+  uint64_t dest_index = free_index;
+  uint32_t dest_slot = free_slot;
+  for (size_t i = path.size(); i-- > 0;) {
+    const PathStep& src = path[i];
+    Bucket& src_bucket = cached_bucket(src.index);
+    Bucket& dest_bucket = cached_bucket(dest_index);
+    dest_bucket.slots[dest_slot] = src_bucket.slots[src.slot];
+    src_bucket.slots[src.slot].valid = false;
+    WriteBucket(dest_index, dest_bucket);
+    displacements_++;
+    dest_index = src.index;
+    dest_slot = src.slot;
+  }
+  // The head of the path is now free for the incoming key.
+  Bucket& head = cached_bucket(b1);
+  KVD_DCHECK(dest_index == b1);
+  head.slots[dest_slot] = incoming;
+  WriteBucket(b1, head);
+  num_kvs_++;
+  return Status::Ok();
+}
+
+Status CuckooHashTable::Delete(std::span<const uint8_t> key) {
+  for (const uint64_t index : {Bucket1(key), Bucket2(key)}) {
+    Bucket bucket = ReadBucket(index);
+    for (Slot& slot : bucket.slots) {
+      if (SlotMatches(slot, key)) {
+        allocator_.Free((slot.pointer & 0xffffffffull) * 32,
+                        SlabBytesFor(static_cast<uint32_t>(slot.pointer >> 32)));
+        slot = Slot{};
+        WriteBucket(index, bucket);
+        num_kvs_--;
+        return Status::Ok();
+      }
+    }
+  }
+  return Status::NotFound();
+}
+
+}  // namespace kvd

@@ -1,0 +1,81 @@
+// Bucketized cuckoo hash table in the style of MemC3 (Fan et al., NSDI'13),
+// used as a Figure 11 baseline.
+//
+// Following the paper's comparison setup (§5.1.1): keys are stored inline in
+// the index and can be compared in parallel within a bucket; values live in
+// dynamically allocated slabs. Every bucket is one 64-byte line with four
+// 16-byte slots (key fingerprint + key bytes + slab pointer). Each key has
+// two candidate buckets; inserts displace ("kick") existing keys along a
+// cuckoo path when both are full.
+//
+// All memory is touched through AccessEngine so the benchmark measures real
+// DMA-equivalent access counts per GET/PUT at any memory utilization.
+#ifndef SRC_BASELINE_CUCKOO_HASH_TABLE_H_
+#define SRC_BASELINE_CUCKOO_HASH_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/mem/access_engine.h"
+
+namespace kvd {
+
+struct CuckooConfig {
+  uint64_t index_base = 0;
+  uint64_t num_buckets = 0;     // must be a power of two
+  uint32_t max_kick_depth = 250;  // displacement chain bound before failure
+};
+
+class CuckooHashTable {
+ public:
+  CuckooHashTable(AccessEngine& engine, Allocator& allocator,
+                  const CuckooConfig& config);
+
+  Status Get(std::span<const uint8_t> key, std::vector<uint8_t>& value_out);
+  Status Put(std::span<const uint8_t> key, std::span<const uint8_t> value);
+  Status Delete(std::span<const uint8_t> key);
+
+  uint64_t num_kvs() const { return num_kvs_; }
+  uint64_t displacements() const { return displacements_; }
+
+  static constexpr uint32_t kBucketBytes = 64;
+  static constexpr uint32_t kSlotsPerBucket = 4;
+  static constexpr uint32_t kSlotBytes = 16;
+  // Slot layout: u8 valid, u8 key_len, 8 B key, 6 B slab pointer + length.
+  static constexpr uint32_t kMaxKeyBytes = 8;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    uint8_t key_len = 0;
+    uint8_t key[kMaxKeyBytes] = {};
+    uint64_t pointer = 0;  // slab address (32-bit) | value_len << 40
+  };
+  struct Bucket {
+    Slot slots[kSlotsPerBucket];
+  };
+
+  Bucket ReadBucket(uint64_t index);
+  void WriteBucket(uint64_t index, const Bucket& bucket);
+  uint64_t Bucket1(std::span<const uint8_t> key) const;
+  uint64_t Bucket2(std::span<const uint8_t> key) const;
+  uint64_t AlternateBucket(uint64_t bucket, std::span<const uint8_t> key_bytes,
+                           uint8_t key_len) const;
+  static bool SlotMatches(const Slot& slot, std::span<const uint8_t> key);
+
+  AccessEngine& engine_;
+  Allocator& allocator_;
+  CuckooConfig config_;
+  Rng rng_;
+  uint64_t num_kvs_ = 0;
+  uint64_t displacements_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_BASELINE_CUCKOO_HASH_TABLE_H_

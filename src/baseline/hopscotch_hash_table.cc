@@ -1,0 +1,242 @@
+#include "src/baseline/hopscotch_hash_table.h"
+
+#include <cstring>
+
+#include "src/common/assert.h"
+#include "src/common/hashing.h"
+
+namespace kvd {
+namespace {
+
+std::vector<uint8_t> BuildValueSlab(std::span<const uint8_t> value) {
+  std::vector<uint8_t> slab(2 + value.size());
+  const auto vlen = static_cast<uint16_t>(value.size());
+  std::memcpy(slab.data(), &vlen, 2);
+  std::memcpy(slab.data() + 2, value.data(), value.size());
+  return slab;
+}
+
+uint32_t SlabBytesFor(uint32_t value_len) { return 2 + value_len; }
+
+}  // namespace
+
+HopscotchHashTable::HopscotchHashTable(AccessEngine& engine, Allocator& allocator,
+                                       const HopscotchConfig& config)
+    : engine_(engine), allocator_(allocator), config_(config) {
+  KVD_CHECK(config.num_slots > 0 && config.num_slots % kSlotsPerBucket == 0);
+  KVD_CHECK(config.neighborhood >= 2);
+}
+
+uint64_t HopscotchHashTable::HomeSlot(std::span<const uint8_t> key) const {
+  return HashBytes(key) % config_.num_slots;
+}
+
+bool HopscotchHashTable::SlotMatches(const Slot& slot, std::span<const uint8_t> key) {
+  return slot.valid && slot.key_len == key.size() &&
+         std::memcmp(slot.key, key.data(), key.size()) == 0;
+}
+
+std::vector<HopscotchHashTable::Slot>& HopscotchHashTable::CachedBucket(
+    BucketCache& cache, uint64_t bucket) {
+  auto it = cache.find(bucket);
+  if (it == cache.end()) {
+    uint8_t raw[kSlotsPerBucket * kSlotBytes];
+    engine_.Read(config_.index_base + bucket * kSlotsPerBucket * kSlotBytes, raw);
+    std::vector<Slot> slots(kSlotsPerBucket);
+    for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+      const uint8_t* p = raw + s * kSlotBytes;
+      slots[s].valid = p[0] != 0;
+      slots[s].key_len = p[1];
+      std::memcpy(slots[s].key, p + 2, kMaxKeyBytes);
+      slots[s].pointer = 0;
+      std::memcpy(&slots[s].pointer, p + 2 + kMaxKeyBytes, 6);
+    }
+    it = cache.emplace(bucket, std::move(slots)).first;
+  }
+  return it->second;
+}
+
+HopscotchHashTable::Slot HopscotchHashTable::LoadSlot(BucketCache& cache,
+                                                      uint64_t slot_index) {
+  return CachedBucket(cache, slot_index / kSlotsPerBucket)[slot_index %
+                                                           kSlotsPerBucket];
+}
+
+void HopscotchHashTable::StoreSlot(BucketCache& cache, uint64_t slot_index,
+                                   const Slot& slot) {
+  const uint64_t bucket = slot_index / kSlotsPerBucket;
+  CachedBucket(cache, bucket)[slot_index % kSlotsPerBucket] = slot;
+  // Write the whole 64 B bucket back (one DMA write).
+  uint8_t raw[kSlotsPerBucket * kSlotBytes] = {};
+  const auto& slots = CachedBucket(cache, bucket);
+  for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+    uint8_t* p = raw + s * kSlotBytes;
+    p[0] = slots[s].valid ? 1 : 0;
+    p[1] = slots[s].key_len;
+    std::memcpy(p + 2, slots[s].key, kMaxKeyBytes);
+    std::memcpy(p + 2 + kMaxKeyBytes, &slots[s].pointer, 6);
+  }
+  engine_.Write(config_.index_base + bucket * kSlotsPerBucket * kSlotBytes, raw);
+}
+
+std::vector<HopscotchHashTable::Slot> HopscotchHashTable::ReadNeighborhood(
+    uint64_t home) {
+  // FaRM reads the whole neighborhood as one contiguous DMA. Near the end of
+  // the array the span wraps; the wrapped tail costs a second read.
+  const uint64_t end = home + config_.neighborhood;
+  std::vector<Slot> out;
+  auto read_span = [&](uint64_t first, uint64_t count) {
+    std::vector<uint8_t> raw(count * kSlotBytes);
+    engine_.Read(config_.index_base + first * kSlotBytes, raw);
+    for (uint64_t s = 0; s < count; s++) {
+      const uint8_t* p = raw.data() + s * kSlotBytes;
+      Slot slot;
+      slot.valid = p[0] != 0;
+      slot.key_len = p[1];
+      std::memcpy(slot.key, p + 2, kMaxKeyBytes);
+      slot.pointer = 0;
+      std::memcpy(&slot.pointer, p + 2 + kMaxKeyBytes, 6);
+      out.push_back(slot);
+    }
+  };
+  if (end <= config_.num_slots) {
+    read_span(home, config_.neighborhood);
+  } else {
+    read_span(home, config_.num_slots - home);
+    read_span(0, end - config_.num_slots);
+  }
+  return out;
+}
+
+Status HopscotchHashTable::Get(std::span<const uint8_t> key,
+                               std::vector<uint8_t>& value_out) {
+  KVD_CHECK(key.size() <= kMaxKeyBytes);
+  const uint64_t home = HomeSlot(key);
+  const std::vector<Slot> neighborhood = ReadNeighborhood(home);
+  for (const Slot& slot : neighborhood) {
+    if (SlotMatches(slot, key)) {
+      const uint64_t address = (slot.pointer & 0xffffffffull) * 32;
+      const auto value_len = static_cast<uint32_t>(slot.pointer >> 32);
+      std::vector<uint8_t> slab(SlabBytesFor(value_len));
+      engine_.Read(address, slab);
+      value_out.assign(slab.begin() + 2, slab.end());
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status HopscotchHashTable::Put(std::span<const uint8_t> key,
+                               std::span<const uint8_t> value) {
+  if (key.empty() || key.size() > kMaxKeyBytes) {
+    return Status::InvalidArgument("key size");
+  }
+  if (value.size() > 0xffff) {
+    return Status::InvalidArgument("value size");
+  }
+  const uint64_t home = HomeSlot(key);
+  BucketCache cache;
+
+  // In-place update if the key exists within its neighborhood.
+  for (uint32_t d = 0; d < config_.neighborhood; d++) {
+    const uint64_t index = (home + d) % config_.num_slots;
+    Slot slot = LoadSlot(cache, index);
+    if (SlotMatches(slot, key)) {
+      allocator_.Free((slot.pointer & 0xffffffffull) * 32,
+                      SlabBytesFor(static_cast<uint32_t>(slot.pointer >> 32)));
+      Result<uint64_t> slab =
+          allocator_.Allocate(SlabBytesFor(static_cast<uint32_t>(value.size())));
+      if (!slab.ok()) {
+        return slab.status();
+      }
+      engine_.Write(*slab, BuildValueSlab(value));
+      slot.pointer = (*slab / 32) | (value.size() << 32);
+      StoreSlot(cache, index, slot);
+      return Status::Ok();
+    }
+  }
+
+  // Linear probe for a free slot.
+  uint64_t free_index = 0;
+  bool found = false;
+  for (uint32_t d = 0; d < config_.max_probe_slots; d++) {
+    const uint64_t index = (home + d) % config_.num_slots;
+    if (!LoadSlot(cache, index).valid) {
+      free_index = index;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::OutOfMemory("no free slot within probe bound");
+  }
+
+  // Hop the free slot backwards until it lands inside the neighborhood.
+  auto distance = [&](uint64_t from, uint64_t to) {
+    return (to + config_.num_slots - from) % config_.num_slots;
+  };
+  while (distance(home, free_index) >= config_.neighborhood) {
+    // Candidates: keys in the H-1 slots before the free slot whose own
+    // neighborhood still covers it after the move; take the farthest-back
+    // movable key (maximum progress per hop).
+    bool moved = false;
+    for (uint32_t back = config_.neighborhood - 1; back >= 1; back--) {
+      const uint64_t candidate_index =
+          (free_index + config_.num_slots - back) % config_.num_slots;
+      const Slot candidate = LoadSlot(cache, candidate_index);
+      if (!candidate.valid) {
+        continue;
+      }
+      const uint64_t candidate_home = HomeSlot(
+          std::span<const uint8_t>(candidate.key, candidate.key_len));
+      if (distance(candidate_home, free_index) < config_.neighborhood) {
+        StoreSlot(cache, free_index, candidate);
+        Slot vacated;
+        StoreSlot(cache, candidate_index, vacated);
+        displacements_++;
+        free_index = candidate_index;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      // FaRM would chain an overflow bucket here; we report table-full.
+      return Status::OutOfMemory("no displaceable key toward neighborhood");
+    }
+  }
+
+  // Allocate and place.
+  Result<uint64_t> slab =
+      allocator_.Allocate(SlabBytesFor(static_cast<uint32_t>(value.size())));
+  if (!slab.ok()) {
+    return slab.status();
+  }
+  engine_.Write(*slab, BuildValueSlab(value));
+  Slot incoming;
+  incoming.valid = true;
+  incoming.key_len = static_cast<uint8_t>(key.size());
+  std::memcpy(incoming.key, key.data(), key.size());
+  incoming.pointer = (*slab / 32) | (value.size() << 32);
+  StoreSlot(cache, free_index, incoming);
+  num_kvs_++;
+  return Status::Ok();
+}
+
+Status HopscotchHashTable::Delete(std::span<const uint8_t> key) {
+  const uint64_t home = HomeSlot(key);
+  BucketCache cache;
+  for (uint32_t d = 0; d < config_.neighborhood; d++) {
+    const uint64_t index = (home + d) % config_.num_slots;
+    Slot slot = LoadSlot(cache, index);
+    if (SlotMatches(slot, key)) {
+      allocator_.Free((slot.pointer & 0xffffffffull) * 32,
+                      SlabBytesFor(static_cast<uint32_t>(slot.pointer >> 32)));
+      StoreSlot(cache, index, Slot{});
+      num_kvs_--;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+}  // namespace kvd

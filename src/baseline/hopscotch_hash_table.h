@@ -1,0 +1,84 @@
+// Associative hopscotch hash table in the style of FaRM (Dragojević et al.,
+// NSDI'14), used as a Figure 11 baseline.
+//
+// Keys live inline in the index; values in slab-allocated memory (paper
+// §5.1.1 comparison setup). Every key hashes to a home slot; the key is
+// guaranteed to reside within the *neighborhood* of H consecutive slots
+// starting there, so a GET is one contiguous index read (H x 16 B spans two
+// 64-byte buckets for H = 8) plus one value read — constant-time lookups,
+// which is why hopscotch GETs beat chaining at high utilization in
+// Figure 11c. Inserts linear-probe for a free slot and then "hop" it
+// backwards into the neighborhood by displacing keys whose own neighborhoods
+// still cover the freed position — the write amplification that makes
+// hopscotch PUTs expensive under load (Figure 11d).
+//
+// Simplification vs. FaRM: no overflow chaining — when no displacement
+// sequence can bring the free slot home, the insert fails. This caps
+// achievable utilization slightly below FaRM's but leaves the access-count
+// curves (the quantity Figure 11 compares) intact; see DESIGN.md.
+#ifndef SRC_BASELINE_HOPSCOTCH_HASH_TABLE_H_
+#define SRC_BASELINE_HOPSCOTCH_HASH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/common/status.h"
+#include "src/mem/access_engine.h"
+
+namespace kvd {
+
+struct HopscotchConfig {
+  uint64_t index_base = 0;
+  uint64_t num_slots = 0;       // multiple of kSlotsPerBucket
+  uint32_t neighborhood = 8;    // H consecutive slots
+  uint32_t max_probe_slots = 512;  // linear-probe bound before failure
+};
+
+class HopscotchHashTable {
+ public:
+  HopscotchHashTable(AccessEngine& engine, Allocator& allocator,
+                     const HopscotchConfig& config);
+
+  Status Get(std::span<const uint8_t> key, std::vector<uint8_t>& value_out);
+  Status Put(std::span<const uint8_t> key, std::span<const uint8_t> value);
+  Status Delete(std::span<const uint8_t> key);
+
+  uint64_t num_kvs() const { return num_kvs_; }
+  uint64_t displacements() const { return displacements_; }
+
+  static constexpr uint32_t kSlotBytes = 16;
+  static constexpr uint32_t kSlotsPerBucket = 4;  // 64 B bucket
+  static constexpr uint32_t kMaxKeyBytes = 8;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    uint8_t key_len = 0;
+    uint8_t key[kMaxKeyBytes] = {};
+    uint64_t pointer = 0;  // (slab address / 32) | value_len << 32
+  };
+
+  // Per-operation cache: one engine read per touched bucket.
+  using BucketCache = std::unordered_map<uint64_t, std::vector<Slot>>;
+  std::vector<Slot>& CachedBucket(BucketCache& cache, uint64_t bucket);
+  Slot LoadSlot(BucketCache& cache, uint64_t slot_index);
+  void StoreSlot(BucketCache& cache, uint64_t slot_index, const Slot& slot);
+  // One contiguous read covering the neighborhood (FaRM's single-DMA GET).
+  std::vector<Slot> ReadNeighborhood(uint64_t home);
+
+  uint64_t HomeSlot(std::span<const uint8_t> key) const;
+  static bool SlotMatches(const Slot& slot, std::span<const uint8_t> key);
+
+  AccessEngine& engine_;
+  Allocator& allocator_;
+  HopscotchConfig config_;
+  uint64_t num_kvs_ = 0;
+  uint64_t displacements_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_BASELINE_HOPSCOTCH_HASH_TABLE_H_

@@ -1,0 +1,45 @@
+// Runtime assertion macros.
+//
+// KVD_CHECK is always on (release builds included) and is used to guard
+// invariants whose violation would corrupt the store or the simulation.
+// KVD_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#ifndef SRC_COMMON_ASSERT_H_
+#define SRC_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kvd {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "KVD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace kvd
+
+#define KVD_CHECK(cond)                                    \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::kvd::AssertFail(#cond, __FILE__, __LINE__, "");    \
+    }                                                      \
+  } while (0)
+
+#define KVD_CHECK_MSG(cond, msg)                           \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::kvd::AssertFail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define KVD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define KVD_DCHECK(cond) KVD_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_ASSERT_H_

@@ -1,0 +1,44 @@
+#include "src/common/hashing.h"
+
+#include <cstring>
+
+namespace kvd {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint64_t HashBytes(std::span<const uint8_t> data, uint64_t seed) {
+  const uint8_t* p = data.data();
+  size_t remaining = data.size();
+  uint64_t h = seed + kPrime3 + data.size() * kPrime2;
+  while (remaining >= 8) {
+    h ^= Mix64(LoadU64(p));
+    h *= kPrime1;
+    h += kPrime2;
+    p += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p, remaining);
+    h ^= Mix64(tail + remaining);
+    h *= kPrime1;
+  }
+  return Mix64(h);
+}
+
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  return HashBytes(std::span<const uint8_t>(static_cast<const uint8_t*>(data), size), seed);
+}
+
+}  // namespace kvd

@@ -1,0 +1,111 @@
+// Lightweight error propagation types used across the library.
+//
+// KV-Direct operations fail for well-defined, recoverable reasons (key absent,
+// store full, value too large); exceptions are reserved for programming errors.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+// Error categories for key-value and substrate operations.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,         // key does not exist
+  kAlreadyExists,    // insert-only op on existing key
+  kOutOfMemory,      // slab allocator or hash index exhausted
+  kInvalidArgument,  // malformed key/value/parameters
+  kResourceBusy,     // pipeline / reservation station full
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "NOT_FOUND".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status: a code plus an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "") {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    KVD_CHECK_MSG(!std::get<Status>(data_).ok(), "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    KVD_CHECK_MSG(ok(), "value() on error Result");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    KVD_CHECK_MSG(ok(), "value() on error Result");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    KVD_CHECK_MSG(ok(), "value() on error Result");
+    return std::move(std::get<T>(data_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Fixed-width table output for the benchmark harness: every bench binary
+// prints the rows/series of the paper figure it regenerates.
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kvd {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(uint64_t v);
+
+  // Prints to stdout with aligned columns.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+// Size and time unit constants shared by the hardware models.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace kvd {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Decimal units used for link bandwidths (GB/s means 1e9 bytes per second).
+inline constexpr uint64_t kKB = 1000;
+inline constexpr uint64_t kMB = 1000 * kKB;
+inline constexpr uint64_t kGB = 1000 * kMB;
+
+// Simulation time is carried in integer picoseconds so that a 180 MHz clock
+// period (5555.5 ns/1000) and sub-nanosecond link serialization times stay
+// exact without floating point drift in the event queue.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1000;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Converts a bandwidth in bytes/second to picoseconds per byte.
+constexpr double PicosPerByte(double bytes_per_second) {
+  return 1e12 / bytes_per_second;
+}
+
+inline constexpr uint64_t kCacheLineBytes = 64;
+
+}  // namespace kvd
+
+#endif  // SRC_COMMON_UNITS_H_

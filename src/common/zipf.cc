@@ -1,0 +1,64 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+#include "src/common/hashing.h"
+
+namespace kvd {
+namespace {
+
+// zeta(n, theta) = sum_{i=1..n} 1/i^theta. Exact up to a cutoff, then the
+// integral approximation; the error is far below workload noise for the sizes
+// benchmarks use (up to 2^30 items).
+double Zeta(uint64_t n, double theta) {
+  constexpr uint64_t kExactCutoff = 1 << 20;
+  double sum = 0;
+  const uint64_t exact = n < kExactCutoff ? n : kExactCutoff;
+  for (uint64_t i = 1; i <= exact; i++) {
+    sum += std::pow(1.0 / static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // Integral of x^-theta from `exact` to `n`.
+    sum += (std::pow(static_cast<double>(n), 1 - theta) -
+            std::pow(static_cast<double>(exact), 1 - theta)) /
+           (1 - theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t num_items, double theta)
+    : num_items_(num_items), theta_(theta) {
+  KVD_CHECK(num_items >= 1);
+  KVD_CHECK(theta > 0 && theta < 1);
+  zetan_ = Zeta(num_items, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(num_items), 1 - theta)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(num_items_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  return rank < num_items_ ? rank : num_items_ - 1;
+}
+
+uint64_t ZipfGenerator::NextScrambled(Rng& rng) const {
+  // The constant offset keeps rank 0 from mapping to item 0 (Mix64(0) == 0).
+  return Mix64(Next(rng) + 0x9e3779b97f4a7c15ULL) % num_items_;
+}
+
+double ZipfGenerator::HeadProbability() const { return 1.0 / zetan_; }
+
+}  // namespace kvd

@@ -1,0 +1,45 @@
+// Zipf-distributed key sampling for the paper's "long-tail" workload
+// (YCSB skewed, exponent 0.99).
+//
+// Uses Gray et al.'s method from "Quickly Generating Billion-Record Synthetic
+// Databases" (the same generator YCSB uses): O(1) per sample after O(1) setup,
+// with an optional scramble so popular items are spread over the key space.
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace kvd {
+
+class ZipfGenerator {
+ public:
+  // Items are ranked 0..num_items-1 with rank 0 the most popular.
+  ZipfGenerator(uint64_t num_items, double theta);
+
+  // Returns a rank in [0, num_items).
+  uint64_t Next(Rng& rng) const;
+
+  // Returns a scrambled item id in [0, num_items): rank popularity preserved,
+  // but hot items are scattered across the id space (YCSB "scrambled zipfian").
+  uint64_t NextScrambled(Rng& rng) const;
+
+  uint64_t num_items() const { return num_items_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of the single most popular item; used by analytic models.
+  double HeadProbability() const;
+
+ private:
+  uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_COMMON_ZIPF_H_

@@ -1,0 +1,21 @@
+// Human-readable diagnostics across every component of a KvDirectServer —
+// the operational visibility a deployed store needs: per-subsystem counters,
+// utilization, and the latency distribution, in one report.
+#ifndef SRC_CORE_DIAGNOSTICS_H_
+#define SRC_CORE_DIAGNOSTICS_H_
+
+#include <string>
+
+#include "src/core/kv_direct.h"
+
+namespace kvd {
+
+// Multi-line report covering the store (KVs, utilization), the KV processor
+// (ops, fast-path share, latency percentiles), the reservation station, the
+// slab allocator (sync DMA amortization), the load dispatcher (hit rates),
+// the PCIe links, and the network.
+std::string DiagnosticsReport(KvDirectServer& server);
+
+}  // namespace kvd
+
+#endif  // SRC_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,346 @@
+#include "src/core/kv_direct.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+namespace {
+
+Status ToStatus(ResultCode code) {
+  switch (code) {
+    case ResultCode::kOk:
+      return Status::Ok();
+    case ResultCode::kNotFound:
+      return Status::NotFound();
+    case ResultCode::kOutOfMemory:
+      return Status::OutOfMemory();
+    case ResultCode::kInvalidArgument:
+      return Status::InvalidArgument();
+    case ResultCode::kBusy:
+      return Status(StatusCode::kResourceBusy);
+  }
+  return Status::Internal();
+}
+
+}  // namespace
+
+void ServerConfig::AutoTune(uint32_t kv_bytes, bool long_tail) {
+  long_tail_workload = long_tail;
+  constexpr double kSlotPacking = 0.7;  // usable fraction of hash slots
+  if (kv_bytes <= kMaxInlineKvBytes) {
+    // Inline everything of this size: the corpus lives in the hash index, so
+    // the index takes nearly the whole region (a margin remains for chained
+    // buckets and stragglers).
+    inline_threshold_bytes = std::min<uint32_t>(kv_bytes, kMaxInlineKvBytes);
+    hash_index_ratio = 0.9;
+  } else {
+    // Non-inline: the index holds one 5-byte slot per KV, the heap holds the
+    // rounded slab. Ratio = index bytes : total bytes per KV, scale-free.
+    inline_threshold_bytes = 10;
+    const double index_per_kv = kSlotBytes / kSlotPacking;
+    const double slab_per_kv =
+        static_cast<double>(std::bit_ceil(kv_bytes + HashIndex::kSlabHeaderBytes));
+    hash_index_ratio = index_per_kv / (index_per_kv + slab_per_kv);
+  }
+  // Load dispatch ratio from the paper's balance condition (§3.3.4).
+  const double k = static_cast<double>(nic_dram.capacity_bytes) /
+                   static_cast<double>(kvs_memory_bytes);
+  const double pcie_tput =
+      pcie.link.bandwidth_bytes_per_sec * pcie.num_links * 0.84;  // achievable
+  dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
+      pcie_tput, nic_dram.bandwidth_bytes_per_sec, std::min(k, 1.0), long_tail,
+      static_cast<double>(kvs_memory_bytes) / std::max<uint32_t>(kv_bytes, 1));
+}
+
+KvDirectServer::KvDirectServer(const ServerConfig& config) : config_(config) {
+  HashIndexConfig index_config;
+  index_config.memory_base = 0;
+  index_config.memory_size = config.kvs_memory_bytes;
+  index_config.hash_index_ratio = config.hash_index_ratio;
+  index_config.inline_threshold_bytes = config.inline_threshold_bytes;
+  index_config.min_slab_bytes = config.min_slab_bytes;
+  index_config.max_slab_bytes = config.max_slab_bytes;
+  const auto regions = index_config.ComputeRegions();
+
+  memory_ = std::make_unique<HostMemory>(config.kvs_memory_bytes);
+  direct_engine_ = std::make_unique<DirectEngine>(*memory_);
+  trace_engine_ = std::make_unique<TraceRecordingEngine>(*direct_engine_);
+
+  SlabConfig slab_config;
+  slab_config.region_base = regions.heap_base;
+  slab_config.region_size = regions.heap_size;
+  slab_config.min_slab_bytes = config.min_slab_bytes;
+  slab_config.max_slab_bytes = config.max_slab_bytes;
+  allocator_ = std::make_unique<SlabAllocator>(slab_config);
+
+  index_ = std::make_unique<HashIndex>(*trace_engine_, *allocator_, index_config);
+
+  dma_ = std::make_unique<DmaEngine>(sim_, config.pcie);
+  nic_dram_ = std::make_unique<NicDram>(sim_, config.nic_dram);
+
+  LoadDispatcherConfig dispatch_config;
+  dispatch_config.policy = config.dispatch_policy;
+  dispatch_config.host_memory_bytes = config.kvs_memory_bytes;
+  dispatch_config.nic_dram_bytes = config.nic_dram.capacity_bytes;
+  if (config.dispatch_ratio >= 0) {
+    dispatch_config.dispatch_ratio = config.dispatch_ratio;
+  } else {
+    const double k = std::min(1.0, static_cast<double>(config.nic_dram.capacity_bytes) /
+                                       static_cast<double>(config.kvs_memory_bytes));
+    dispatch_config.dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
+        config.pcie.link.bandwidth_bytes_per_sec * config.pcie.num_links * 0.84,
+        config.nic_dram.bandwidth_bytes_per_sec, k, config.long_tail_workload);
+  }
+  dispatcher_ = std::make_unique<LoadDispatcher>(sim_, *dma_, *nic_dram_,
+                                                 dispatch_config);
+
+  network_ = std::make_unique<NetworkModel>(sim_, config.network);
+
+  processor_ = std::make_unique<KvProcessor>(sim_, *index_, *trace_engine_,
+                                             *dispatcher_, registry_,
+                                             config.processor);
+  processor_->AttachSlabSyncStats(&allocator_->sync_stats());
+}
+
+void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done) {
+  processor_->Submit(std::move(op), std::move(done));
+}
+
+void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
+                                   std::function<void(std::vector<uint8_t>)> respond) {
+  PacketParser parser(std::move(payload));
+  std::vector<KvOperation> ops;
+  while (true) {
+    Result<std::optional<KvOperation>> next = parser.Next();
+    if (!next.ok()) {
+      // Malformed packet: respond with a single error result.
+      KvResultMessage error;
+      error.code = ResultCode::kInvalidArgument;
+      respond(EncodeResults({error}));
+      return;
+    }
+    if (!next->has_value()) {
+      break;
+    }
+    ops.push_back(std::move(**next));
+  }
+  if (ops.empty()) {
+    respond({});
+    return;
+  }
+  // Collect results in request order; respond when the last one retires.
+  struct PacketState {
+    std::vector<KvResultMessage> results;
+    size_t remaining;
+    std::function<void(std::vector<uint8_t>)> respond;
+  };
+  auto state = std::make_shared<PacketState>();
+  state->results.resize(ops.size());
+  state->remaining = ops.size();
+  state->respond = std::move(respond);
+  for (size_t i = 0; i < ops.size(); i++) {
+    processor_->Submit(std::move(ops[i]), [state, i](KvResultMessage result) {
+      state->results[i] = std::move(result);
+      if (--state->remaining == 0) {
+        state->respond(EncodeResults(state->results));
+      }
+    });
+  }
+}
+
+KvResultMessage KvDirectServer::Execute(const KvOperation& op) {
+  return processor_->ExecuteFunctional(op);
+}
+
+Status KvDirectServer::Load(std::span<const uint8_t> key,
+                            std::span<const uint8_t> value) {
+  return index_->Put(key, value);
+}
+
+Client::Client(KvDirectServer& server, Options options)
+    : server_(server), options_(options) {}
+
+
+KvResultMessage Client::Call(KvOperation op) {
+  pending_.push_back(std::move(op));
+  std::vector<KvResultMessage> results = Flush();
+  KVD_CHECK(results.size() == 1);
+  return std::move(results[0]);
+}
+
+Result<std::vector<uint8_t>> Client::Get(std::span<const uint8_t> key) {
+  KvOperation op;
+  op.opcode = Opcode::kGet;
+  op.key.assign(key.begin(), key.end());
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return std::move(result.value);
+}
+
+Status Client::Put(std::span<const uint8_t> key, std::span<const uint8_t> value) {
+  KvOperation op;
+  op.opcode = Opcode::kPut;
+  op.key.assign(key.begin(), key.end());
+  op.value.assign(value.begin(), value.end());
+  return ToStatus(Call(std::move(op)).code);
+}
+
+Status Client::Delete(std::span<const uint8_t> key) {
+  KvOperation op;
+  op.opcode = Opcode::kDelete;
+  op.key.assign(key.begin(), key.end());
+  return ToStatus(Call(std::move(op)).code);
+}
+
+Result<uint64_t> Client::Update(std::span<const uint8_t> key, uint64_t param,
+                                uint16_t function_id, uint8_t element_width) {
+  KvOperation op;
+  op.opcode = Opcode::kUpdateScalar;
+  op.key.assign(key.begin(), key.end());
+  op.param = param;
+  op.function_id = function_id;
+  op.element_width = element_width;
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return result.scalar;
+}
+
+Result<std::vector<uint8_t>> Client::UpdateVectorWithScalar(
+    std::span<const uint8_t> key, uint64_t param, uint16_t function_id,
+    uint8_t element_width) {
+  KvOperation op;
+  op.opcode = Opcode::kUpdateScalarVector;
+  op.key.assign(key.begin(), key.end());
+  op.param = param;
+  op.function_id = function_id;
+  op.element_width = element_width;
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return std::move(result.value);
+}
+
+Result<std::vector<uint8_t>> Client::UpdateVectorWithVector(
+    std::span<const uint8_t> key, std::span<const uint8_t> params,
+    uint16_t function_id, uint8_t element_width) {
+  KvOperation op;
+  op.opcode = Opcode::kUpdateVector;
+  op.key.assign(key.begin(), key.end());
+  op.value.assign(params.begin(), params.end());
+  op.function_id = function_id;
+  op.element_width = element_width;
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return std::move(result.value);
+}
+
+Result<uint64_t> Client::Reduce(std::span<const uint8_t> key, uint64_t initial,
+                                uint16_t function_id, uint8_t element_width) {
+  KvOperation op;
+  op.opcode = Opcode::kReduce;
+  op.key.assign(key.begin(), key.end());
+  op.param = initial;
+  op.function_id = function_id;
+  op.element_width = element_width;
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return result.scalar;
+}
+
+Result<std::vector<uint8_t>> Client::Filter(std::span<const uint8_t> key,
+                                            uint64_t param, uint16_t function_id,
+                                            uint8_t element_width) {
+  KvOperation op;
+  op.opcode = Opcode::kFilter;
+  op.key.assign(key.begin(), key.end());
+  op.param = param;
+  op.function_id = function_id;
+  op.element_width = element_width;
+  KvResultMessage result = Call(std::move(op));
+  if (result.code != ResultCode::kOk) {
+    return ToStatus(result.code);
+  }
+  return std::move(result.value);
+}
+
+size_t Client::Enqueue(KvOperation op) {
+  pending_.push_back(std::move(op));
+  return pending_.size() - 1;
+}
+
+std::vector<KvResultMessage> Client::Flush() {
+  std::vector<KvOperation> ops = std::move(pending_);
+  pending_.clear();
+  std::vector<KvResultMessage> results(ops.size());
+  size_t packets_outstanding = 0;
+
+  Simulator& sim = server_.simulator();
+  NetworkModel& network = server_.network();
+
+  // Split the operation stream into packets under the payload budget; each
+  // packet independently traverses client -> server -> client.
+  size_t next_op = 0;
+  size_t result_base = 0;
+  while (next_op < ops.size()) {
+    PacketBuilder builder(options_.batch_payload_bytes, options_.enable_compression);
+    const size_t first = next_op;
+    while (next_op < ops.size() &&
+           next_op - first < options_.max_ops_per_packet &&
+           builder.Add(ops[next_op])) {
+      next_op++;
+    }
+    KVD_CHECK_MSG(next_op > first, "operation exceeds packet payload budget");
+    const size_t count = next_op - first;
+    std::vector<uint8_t> payload = builder.Finish();
+    packets_sent_++;
+    packets_outstanding++;
+
+    const size_t base = result_base;
+    result_base += count;
+    // The payload size must be read before the move below captures it (the
+    // evaluation order of arguments vs. captures is unspecified).
+    const auto payload_size = static_cast<uint32_t>(payload.size());
+    network.SendToServer(
+        payload_size,
+        [this, payload = std::move(payload), base, count, &results, &network,
+         &packets_outstanding]() mutable {
+          server_.DeliverPacket(
+              std::move(payload),
+              [base, count, &results, &network,
+               &packets_outstanding](std::vector<uint8_t> response) {
+                const auto response_size = static_cast<uint32_t>(response.size());
+                network.SendToClient(
+                    response_size,
+                    [base, count, response = std::move(response), &results,
+                     &packets_outstanding] {
+                      Result<std::vector<KvResultMessage>> decoded =
+                          DecodeResults(response);
+                      KVD_CHECK(decoded.ok());
+                      KVD_CHECK(decoded->size() == count);
+                      for (size_t i = 0; i < count; i++) {
+                        results[base + i] = std::move((*decoded)[i]);
+                      }
+                      packets_outstanding--;
+                    });
+              });
+        });
+  }
+  while (packets_outstanding > 0) {
+    KVD_CHECK_MSG(sim.Step(), "simulation idle with packets outstanding");
+  }
+  return results;
+}
+
+}  // namespace kvd

@@ -1,0 +1,164 @@
+// Public entry points of the KV-Direct library.
+//
+// KvDirectServer assembles the full system of paper Figure 2/4: host memory
+// holding the hash index and slab heap, the PCIe DMA engine, the NIC DRAM
+// load dispatcher, the reservation station, the KV processor, and the 40 GbE
+// network model — all driven by one discrete-event simulator.
+//
+// Client provides remote direct key-value access: single synchronous
+// operations for convenience, and batched pipelined operations (the paper's
+// client-side network batching, Figure 15) for throughput.
+#ifndef SRC_CORE_KV_DIRECT_H_
+#define SRC_CORE_KV_DIRECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/alloc/slab_allocator.h"
+#include "src/common/units.h"
+#include "src/core/kv_processor.h"
+#include "src/core/update_functions.h"
+#include "src/dram/load_dispatcher.h"
+#include "src/dram/nic_dram.h"
+#include "src/hash/hash_index.h"
+#include "src/mem/access_engine.h"
+#include "src/mem/host_memory.h"
+#include "src/net/network_model.h"
+#include "src/net/wire_format.h"
+#include "src/pcie/dma_engine.h"
+#include "src/sim/simulator.h"
+
+namespace kvd {
+
+struct ServerConfig {
+  // KVS region in host memory (the paper reserves 64 GiB; scaled here).
+  uint64_t kvs_memory_bytes = 64 * kMiB;
+  double hash_index_ratio = 0.5;
+  uint32_t inline_threshold_bytes = 10;
+  uint32_t min_slab_bytes = 32;
+  uint32_t max_slab_bytes = 512;
+
+  DmaEngineConfig pcie;
+  NicDramConfig nic_dram;
+  DispatchPolicy dispatch_policy = DispatchPolicy::kHybrid;
+  // < 0 selects the analytically optimal ratio for the workload skew.
+  double dispatch_ratio = -1.0;
+  bool long_tail_workload = false;
+
+  NetworkConfig network;
+  KvProcessorConfig processor;
+
+  // Tunes hash_index_ratio / inline_threshold / dispatch_ratio for a workload
+  // of `kv_bytes` key+value pairs, as §5.2.1 does before each benchmark.
+  void AutoTune(uint32_t kv_bytes, bool long_tail);
+};
+
+class KvDirectServer {
+ public:
+  explicit KvDirectServer(const ServerConfig& config);
+
+  KvDirectServer(const KvDirectServer&) = delete;
+  KvDirectServer& operator=(const KvDirectServer&) = delete;
+
+  // --- timed paths ---
+  // Submits one operation directly to the KV processor (no network).
+  void Submit(KvOperation op, KvProcessor::Completion done);
+  // Delivers a client request packet; `respond` fires with the encoded
+  // response payload once every operation in the packet has retired.
+  void DeliverPacket(std::vector<uint8_t> payload,
+                     std::function<void(std::vector<uint8_t>)> respond);
+
+  // --- untimed convenience (warm-up fills, tests) ---
+  KvResultMessage Execute(const KvOperation& op);
+  Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
+
+  // --- component access for benchmarks and diagnostics ---
+  Simulator& simulator() { return sim_; }
+  KvProcessor& processor() { return *processor_; }
+  HashIndex& index() { return *index_; }
+  SlabAllocator& allocator() { return *allocator_; }
+  LoadDispatcher& dispatcher() { return *dispatcher_; }
+  DmaEngine& dma() { return *dma_; }
+  NicDram& nic_dram() { return *nic_dram_; }
+  NetworkModel& network() { return *network_; }
+  UpdateFunctionRegistry& registry() { return registry_; }
+  const ServerConfig& config() const { return config_; }
+  const AccessStats& memory_stats() const { return direct_engine_->stats(); }
+
+ private:
+  ServerConfig config_;
+  Simulator sim_;
+  UpdateFunctionRegistry registry_;
+  std::unique_ptr<HostMemory> memory_;
+  std::unique_ptr<DirectEngine> direct_engine_;
+  std::unique_ptr<TraceRecordingEngine> trace_engine_;
+  std::unique_ptr<SlabAllocator> allocator_;
+  std::unique_ptr<HashIndex> index_;
+  std::unique_ptr<DmaEngine> dma_;
+  std::unique_ptr<NicDram> nic_dram_;
+  std::unique_ptr<LoadDispatcher> dispatcher_;
+  std::unique_ptr<NetworkModel> network_;
+  std::unique_ptr<KvProcessor> processor_;
+};
+
+// A client endpoint on the simulated network. Synchronous calls advance the
+// simulator until their response arrives, so examples read like ordinary
+// key-value code while every microsecond is accounted for.
+class Client {
+ public:
+  struct Options {
+    uint32_t batch_payload_bytes = 4096;  // packet budget for batched calls
+    // 1 disables client-side batching entirely (Figure 15/17 ablation).
+    uint32_t max_ops_per_packet = 0xffffffff;
+    bool enable_compression = true;
+  };
+
+  explicit Client(KvDirectServer& server) : Client(server, Options()) {}
+  Client(KvDirectServer& server, Options options);
+
+  // --- single synchronous operations ---
+  Result<std::vector<uint8_t>> Get(std::span<const uint8_t> key);
+  Status Put(std::span<const uint8_t> key, std::span<const uint8_t> value);
+  Status Delete(std::span<const uint8_t> key);
+  // Atomic scalar update (e.g. fetch-and-add); returns the original value.
+  Result<uint64_t> Update(std::span<const uint8_t> key, uint64_t param,
+                          uint16_t function_id = kFnAddU64,
+                          uint8_t element_width = 8);
+  // Vector operations (Table 1).
+  Result<std::vector<uint8_t>> UpdateVectorWithScalar(std::span<const uint8_t> key,
+                                                      uint64_t param,
+                                                      uint16_t function_id,
+                                                      uint8_t element_width);
+  Result<std::vector<uint8_t>> UpdateVectorWithVector(std::span<const uint8_t> key,
+                                                      std::span<const uint8_t> params,
+                                                      uint16_t function_id,
+                                                      uint8_t element_width);
+  Result<uint64_t> Reduce(std::span<const uint8_t> key, uint64_t initial,
+                          uint16_t function_id, uint8_t element_width);
+  Result<std::vector<uint8_t>> Filter(std::span<const uint8_t> key, uint64_t param,
+                                      uint16_t function_id, uint8_t element_width);
+
+  // --- batched pipeline ---
+  // Queues an operation for the next Flush(). Returns the index of its result.
+  size_t Enqueue(KvOperation op);
+  // Sends all queued operations (splitting across packets as needed), runs
+  // the simulation until every response arrives, and returns results in
+  // enqueue order.
+  std::vector<KvResultMessage> Flush();
+
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  KvResultMessage Call(KvOperation op);
+
+  KvDirectServer& server_;
+  Options options_;
+  std::vector<KvOperation> pending_;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_CORE_KV_DIRECT_H_

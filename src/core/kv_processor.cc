@@ -1,0 +1,318 @@
+#include "src/core/kv_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/common/hashing.h"
+
+namespace kvd {
+namespace {
+
+ResultCode ToResultCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ResultCode::kOk;
+    case StatusCode::kNotFound:
+      return ResultCode::kNotFound;
+    case StatusCode::kOutOfMemory:
+      return ResultCode::kOutOfMemory;
+    case StatusCode::kResourceBusy:
+      return ResultCode::kBusy;
+    default:
+      return ResultCode::kInvalidArgument;
+  }
+}
+
+}  // namespace
+
+KvProcessor::KvProcessor(Simulator& sim, HashIndex& index,
+                         TraceRecordingEngine& engine, LoadDispatcher& dispatcher,
+                         UpdateFunctionRegistry& registry,
+                         const KvProcessorConfig& config)
+    : sim_(sim),
+      index_(index),
+      engine_(engine),
+      dispatcher_(dispatcher),
+      registry_(registry),
+      config_(config),
+      station_(config.ooo),
+      cycle_(static_cast<SimTime>(std::llround(1e12 / config.clock_hz))) {
+  KVD_CHECK(config.clock_hz > 0);
+}
+
+KvResultMessage KvProcessor::ExecuteFunctional(const KvOperation& op) {
+  KvResultMessage result;
+  switch (op.opcode) {
+    case Opcode::kGet: {
+      result.code = ToResultCode(index_.Get(op.key, result.value));
+      break;
+    }
+    case Opcode::kPut: {
+      result.code = ToResultCode(index_.Put(op.key, op.value));
+      break;
+    }
+    case Opcode::kDelete: {
+      result.code = ToResultCode(index_.Delete(op.key));
+      break;
+    }
+    case Opcode::kUpdateScalar: {
+      Status inner = Status::Ok();
+      std::vector<uint8_t> original;
+      const Status status = index_.UpdateInPlace(
+          op.key,
+          [&](std::vector<uint8_t>& value) {
+            Result<uint64_t> r =
+                registry_.ApplyScalar(op.function_id, value, op.param,
+                                      op.element_width);
+            if (!r.ok()) {
+              inner = r.status();
+            } else {
+              result.scalar = *r;
+            }
+          },
+          &original);
+      result.code = ToResultCode(status.ok() ? inner : status);
+      break;
+    }
+    case Opcode::kUpdateScalarVector: {
+      Status inner = Status::Ok();
+      std::vector<uint8_t> original;
+      const Status status = index_.UpdateInPlace(
+          op.key,
+          [&](std::vector<uint8_t>& value) {
+            inner = registry_.ApplyScalarToVector(op.function_id, value, op.param,
+                                                  op.element_width);
+          },
+          &original);
+      result.code = ToResultCode(status.ok() ? inner : status);
+      if (result.code == ResultCode::kOk) {
+        result.value = std::move(original);  // original vector returned
+      }
+      break;
+    }
+    case Opcode::kUpdateVector: {
+      Status inner = Status::Ok();
+      std::vector<uint8_t> original;
+      const Status status = index_.UpdateInPlace(
+          op.key,
+          [&](std::vector<uint8_t>& value) {
+            inner = registry_.ApplyVectorToVector(op.function_id, value, op.value,
+                                                  op.element_width);
+          },
+          &original);
+      result.code = ToResultCode(status.ok() ? inner : status);
+      if (result.code == ResultCode::kOk) {
+        result.value = std::move(original);
+      }
+      break;
+    }
+    case Opcode::kReduce: {
+      std::vector<uint8_t> value;
+      const Status status = index_.Get(op.key, value);
+      if (!status.ok()) {
+        result.code = ToResultCode(status);
+        break;
+      }
+      Result<uint64_t> r =
+          registry_.Reduce(op.function_id, value, op.param, op.element_width);
+      result.code = ToResultCode(r.status());
+      if (r.ok()) {
+        result.scalar = *r;
+      }
+      break;
+    }
+    case Opcode::kFilter: {
+      std::vector<uint8_t> value;
+      const Status status = index_.Get(op.key, value);
+      if (!status.ok()) {
+        result.code = ToResultCode(status);
+        break;
+      }
+      Result<std::vector<uint8_t>> r =
+          registry_.Filter(op.function_id, value, op.param, op.element_width);
+      result.code = ToResultCode(r.status());
+      if (r.ok()) {
+        result.value = std::move(*r);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+SimTime KvProcessor::NextCycleTime() {
+  // The decoder is fully pipelined: one operation enters per clock cycle.
+  next_issue_at_ = std::max(next_issue_at_, sim_.Now()) + cycle_;
+  return next_issue_at_;
+}
+
+void KvProcessor::Submit(KvOperation op, Completion done) {
+  stats_.submitted++;
+  waiting_.emplace_back(std::move(op), std::move(done));
+  Pump();
+}
+
+void KvProcessor::Pump() {
+  while (!waiting_.empty()) {
+    KvOperation& op = waiting_.front().first;
+    const KeyHash kh = HashKey(op.key);
+    const uint16_t slot = kh.StationSlot();
+    const uint64_t id = next_id_;
+    const ReservationStation::Action action =
+        station_.Admit(id, slot, kh.digest, IsWriteOpcode(op.opcode));
+    if (action == ReservationStation::Action::kRejectFull) {
+      return;  // retried when an operation retires
+    }
+    next_id_++;
+
+    Inflight inflight;
+    inflight.op = std::move(op);
+    inflight.done = std::move(waiting_.front().second);
+    waiting_.pop_front();
+    inflight.slot = slot;
+    inflight.digest = kh.digest;
+    inflight.submitted_at = sim_.Now();
+
+    // Functional execution at admission: the station guarantees per-key
+    // admission order is execution order, so results are exact.
+    engine_.BeginOp();
+    const uint64_t sync_reads_before =
+        slab_sync_stats_ != nullptr ? slab_sync_stats_->sync_dma_reads : 0;
+    const uint64_t sync_writes_before =
+        slab_sync_stats_ != nullptr ? slab_sync_stats_->sync_dma_writes : 0;
+    inflight.result = ExecuteFunctional(inflight.op);
+    if (!inflight.op.return_value) {
+      inflight.result.value.clear();  // caller declined the original vector
+    }
+    inflight.trace = engine_.TakeTrace();
+    slot_bucket_address_[slot] = index_.BucketAddressFor(inflight.op.key);
+    if (slab_sync_stats_ != nullptr) {
+      // Slab-pool synchronizations triggered by this operation become DMA
+      // transfers of one entry batch each (paper Figure 8); they are daemon
+      // metadata, charged at the key's heap line for dispatching purposes.
+      for (uint64_t n = slab_sync_stats_->sync_dma_reads - sync_reads_before; n > 0;
+           n--) {
+        inflight.trace.push_back(
+            {AccessKind::kRead, slot_bucket_address_[slot], config_.slab_sync_bytes});
+      }
+      for (uint64_t n = slab_sync_stats_->sync_dma_writes - sync_writes_before; n > 0;
+           n--) {
+        inflight.trace.push_back(
+            {AccessKind::kWrite, slot_bucket_address_[slot], config_.slab_sync_bytes});
+      }
+    }
+
+    switch (action) {
+      case ReservationStation::Action::kIssueToPipeline: {
+        stats_.pipeline_ops++;
+        const uint64_t op_id = id;
+        auto [it, inserted] = inflight_.emplace(op_id, std::move(inflight));
+        KVD_CHECK(inserted);
+        sim_.ScheduleAt(NextCycleTime(), [this, op_id] { StepPipelineOp(op_id); });
+        break;
+      }
+      case ReservationStation::Action::kFastPath: {
+        stats_.fast_path_ops++;
+        const uint64_t op_id = id;
+        auto [it, inserted] = inflight_.emplace(op_id, std::move(inflight));
+        KVD_CHECK(inserted);
+        // Retires in one clock cycle from the cached value; the slot may now
+        // need a (new) write-back.
+        const uint16_t fast_slot = it->second.slot;
+        sim_.ScheduleAt(NextCycleTime(), [this, op_id, fast_slot] {
+          Retire(op_id);
+          AdvanceSlot(fast_slot, slot_bucket_address_[fast_slot]);
+        });
+        break;
+      }
+      case ReservationStation::Action::kPark: {
+        // Waits in the station chain; timing resumes at CompletePipeline or
+        // TryIssueNext.
+        auto [it, inserted] = inflight_.emplace(id, std::move(inflight));
+        KVD_CHECK(inserted);
+        break;
+      }
+      case ReservationStation::Action::kRejectFull:
+        KVD_CHECK(false);  // handled above
+    }
+  }
+}
+
+void KvProcessor::StepPipelineOp(uint64_t id) {
+  auto it = inflight_.find(id);
+  KVD_CHECK(it != inflight_.end());
+  Inflight& inflight = it->second;
+  if (inflight.next_access >= inflight.trace.size()) {
+    OnPipelineComplete(id);
+    return;
+  }
+  // Accesses within one operation are dependent (bucket read before slab
+  // read before write-back), so they run serially.
+  const AccessRecord access = inflight.trace[inflight.next_access++];
+  dispatcher_.Access(access.kind, access.address, access.length,
+                     [this, id] { StepPipelineOp(id); });
+}
+
+void KvProcessor::OnPipelineComplete(uint64_t id) {
+  const auto it = inflight_.find(id);
+  KVD_CHECK(it != inflight_.end());
+  const uint16_t slot = it->second.slot;
+  const uint64_t bucket_address = slot_bucket_address_[slot];
+  Retire(id);
+
+  // Data forwarding: parked same-key operations retire back to back, one per
+  // clock cycle, without touching the memory system. They share the global
+  // one-op-per-cycle issue budget with newly admitted operations, so total
+  // retirement can never exceed the 180 MHz clock bound.
+  const std::vector<uint64_t> fast_path = station_.CompletePipeline(slot);
+  SimTime retire_at = sim_.Now();
+  for (const uint64_t fast_id : fast_path) {
+    retire_at = NextCycleTime();
+    stats_.fast_path_ops++;
+    sim_.ScheduleAt(retire_at, [this, fast_id] { Retire(fast_id); });
+  }
+  if (fast_path.empty()) {
+    AdvanceSlot(slot, bucket_address);
+  } else {
+    sim_.ScheduleAt(retire_at,
+                    [this, slot, bucket_address] { AdvanceSlot(slot, bucket_address); });
+  }
+  Pump();
+}
+
+void KvProcessor::AdvanceSlot(uint16_t slot, uint64_t bucket_address) {
+  if (station_.NeedsWriteback(slot)) {
+    station_.BeginWriteback(slot);
+    stats_.writebacks++;
+    // Cache write-back: one bucket-line write issued to the memory system.
+    dispatcher_.Access(AccessKind::kWrite, bucket_address, kBucketBytes,
+                       [this, slot, bucket_address] {
+                         station_.CompleteWriteback(slot);
+                         AdvanceSlot(slot, bucket_address);
+                       });
+    return;
+  }
+  // A parked operation with a different key (false-positive dependency) now
+  // owns the slot and issues to the main pipeline.
+  if (const auto next = station_.TryIssueNext(slot); next.has_value()) {
+    stats_.pipeline_ops++;
+    const uint64_t op_id = *next;
+    sim_.ScheduleAt(NextCycleTime(), [this, op_id] { StepPipelineOp(op_id); });
+  }
+}
+
+void KvProcessor::Retire(uint64_t id) {
+  auto it = inflight_.find(id);
+  KVD_CHECK(it != inflight_.end());
+  Inflight inflight = std::move(it->second);
+  inflight_.erase(it);
+  stats_.retired++;
+  stats_.latency_ns.Add((sim_.Now() - inflight.submitted_at) / kNanosecond);
+  if (inflight.done) {
+    inflight.done(std::move(inflight.result));
+  }
+}
+
+}  // namespace kvd

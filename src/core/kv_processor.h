@@ -1,0 +1,128 @@
+// The KV processor (paper §3.3, Figure 4): the FPGA pipeline that decodes
+// operations, resolves dependencies in the reservation station, executes
+// against the hash index, and dispatches memory accesses between PCIe and
+// NIC DRAM.
+//
+// Execution is split in two layers that share one code path through the hash
+// index:
+//
+//   1. *Functional* execution runs synchronously at admission time against
+//      real bytes in host memory, recording the DMA-equivalent access trace.
+//      Per-key ordering equals admission order, which the reservation station
+//      also enforces for the timed layer, so results are exact.
+//   2. *Timed* execution replays the trace through the load dispatcher
+//      (PCIe/NIC-DRAM discrete-event models). Accesses within one operation
+//      are dependent and run serially; across operations the pipeline keeps
+//      up to max_inflight operations moving — exactly the paper's source of
+//      parallelism.
+//
+// Operations whose key is cached in the reservation station skip the memory
+// system entirely and retire at one per clock cycle (the data-forwarding fast
+// path that gives 180 Mops single-key atomics, Figure 13a).
+#ifndef SRC_CORE_KV_PROCESSOR_H_
+#define SRC_CORE_KV_PROCESSOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/slab_allocator.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/core/update_functions.h"
+#include "src/dram/load_dispatcher.h"
+#include "src/hash/hash_index.h"
+#include "src/mem/access_engine.h"
+#include "src/net/kv_types.h"
+#include "src/ooo/reservation_station.h"
+#include "src/sim/simulator.h"
+
+namespace kvd {
+
+struct KvProcessorConfig {
+  double clock_hz = 180e6;  // fully pipelined: one op per cycle peak
+  OooConfig ooo;
+  // Synthetic trace entries for slab-pool syncs: entries_per_batch * 5 B.
+  uint32_t slab_sync_bytes = 160;
+};
+
+struct KvProcessorStats {
+  uint64_t submitted = 0;
+  uint64_t retired = 0;
+  uint64_t pipeline_ops = 0;   // ops that went through the memory system
+  uint64_t fast_path_ops = 0;  // retired from the reservation station
+  uint64_t writebacks = 0;
+  LatencyHistogram latency_ns;  // submission -> retirement
+};
+
+class KvProcessor {
+ public:
+  using Completion = std::function<void(KvResultMessage)>;
+
+  KvProcessor(Simulator& sim, HashIndex& index, TraceRecordingEngine& engine,
+              LoadDispatcher& dispatcher, UpdateFunctionRegistry& registry,
+              const KvProcessorConfig& config);
+
+  // Executes `op` with full timing; `done` fires at retirement (sim time).
+  void Submit(KvOperation op, Completion done);
+
+  // Pure functional execution, no simulation (tests, warm-up fills).
+  KvResultMessage ExecuteFunctional(const KvOperation& op);
+
+  // Attaches the slab allocator's sync counters so pool synchronization DMAs
+  // are charged to the operations that trigger them.
+  void AttachSlabSyncStats(const SyncStats* stats) { slab_sync_stats_ = stats; }
+
+  const KvProcessorStats& stats() const { return stats_; }
+  const ReservationStation& station() const { return station_; }
+  SimTime cycle() const { return cycle_; }
+  size_t backlog() const { return waiting_.size(); }
+
+ private:
+  struct Inflight {
+    KvOperation op;
+    KvResultMessage result;
+    std::vector<AccessRecord> trace;
+    size_t next_access = 0;
+    uint16_t slot = 0;
+    uint64_t digest = 0;
+    SimTime submitted_at = 0;
+    Completion done;
+  };
+
+  // Admits from the waiting queue into the reservation station while
+  // capacity allows.
+  void Pump();
+  // Runs the next access of a pipeline op, or completes it.
+  void StepPipelineOp(uint64_t id);
+  void OnPipelineComplete(uint64_t id);
+  // Post-completion slot maintenance: write-backs and chained issues.
+  void AdvanceSlot(uint16_t slot, uint64_t bucket_address);
+  void Retire(uint64_t id);
+  SimTime NextCycleTime();
+
+  Simulator& sim_;
+  HashIndex& index_;
+  TraceRecordingEngine& engine_;
+  LoadDispatcher& dispatcher_;
+  UpdateFunctionRegistry& registry_;
+  KvProcessorConfig config_;
+  const SyncStats* slab_sync_stats_ = nullptr;
+  ReservationStation station_;
+  SimTime cycle_;
+  SimTime next_issue_at_ = 0;
+
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Inflight> inflight_;
+  std::deque<std::pair<KvOperation, Completion>> waiting_;
+  // Bucket addresses for pending write-backs, keyed by station slot.
+  std::unordered_map<uint16_t, uint64_t> slot_bucket_address_;
+
+  KvProcessorStats stats_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_CORE_KV_PROCESSOR_H_

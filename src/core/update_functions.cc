@@ -1,0 +1,181 @@
+#include "src/core/update_functions.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+namespace {
+
+float AsFloat(uint64_t bits) {
+  float f;
+  const auto u = static_cast<uint32_t>(bits);
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+uint64_t FromFloat(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+
+}  // namespace
+
+UpdateFunctionRegistry::UpdateFunctionRegistry() {
+  functions_[kFnAddU64] = [](uint64_t e, uint64_t p) { return e + p; };
+  functions_[kFnAddF32] = [](uint64_t e, uint64_t p) {
+    return FromFloat(AsFloat(e) + AsFloat(p));
+  };
+  functions_[kFnMaxU64] = [](uint64_t e, uint64_t p) { return e > p ? e : p; };
+  functions_[kFnMinU64] = [](uint64_t e, uint64_t p) { return e < p ? e : p; };
+  functions_[kFnXorU64] = [](uint64_t e, uint64_t p) { return e ^ p; };
+  // Compare-and-swap over 32-bit values: param packs (expected << 32) | new.
+  functions_[kFnCasU64] = [](uint64_t e, uint64_t p) {
+    const uint64_t expected = p >> 32;
+    const uint64_t replacement = p & 0xffffffffu;
+    return e == expected ? replacement : e;
+  };
+  predicates_[kFnNonZero] = [](uint64_t e, uint64_t) { return e != 0; };
+  predicates_[kFnGreater] = [](uint64_t e, uint64_t p) { return e > p; };
+}
+
+void UpdateFunctionRegistry::RegisterFunction(uint16_t id, ElementFunction fn) {
+  KVD_CHECK_MSG(id >= kFnFirstUserFunction, "user function ids start at 64");
+  functions_[id] = std::move(fn);
+}
+
+void UpdateFunctionRegistry::RegisterPredicate(uint16_t id, ElementPredicate fn) {
+  KVD_CHECK_MSG(id >= kFnFirstUserFunction, "user function ids start at 64");
+  predicates_[id] = std::move(fn);
+}
+
+Status UpdateFunctionRegistry::ValidateWidth(std::span<const uint8_t> value,
+                                             uint8_t element_width) {
+  if (element_width != 1 && element_width != 2 && element_width != 4 &&
+      element_width != 8) {
+    return Status::InvalidArgument("element width must be 1, 2, 4, or 8");
+  }
+  if (value.size() % element_width != 0) {
+    return Status::InvalidArgument("value size not a multiple of element width");
+  }
+  return Status::Ok();
+}
+
+uint64_t UpdateFunctionRegistry::LoadElement(std::span<const uint8_t> value,
+                                             size_t index, uint8_t width) {
+  uint64_t element = 0;
+  std::memcpy(&element, value.data() + index * width, width);
+  return element;
+}
+
+void UpdateFunctionRegistry::StoreElement(std::span<uint8_t> value, size_t index,
+                                          uint8_t width, uint64_t element) {
+  std::memcpy(value.data() + index * width, &element, width);
+}
+
+Result<uint64_t> UpdateFunctionRegistry::ApplyScalar(uint16_t id,
+                                                     std::span<uint8_t> value,
+                                                     uint64_t param,
+                                                     uint8_t element_width) const {
+  if (Status status = ValidateWidth(value, element_width); !status.ok()) {
+    return status;
+  }
+  if (value.size() != element_width) {
+    return Status::InvalidArgument("scalar update on non-scalar value");
+  }
+  const auto it = functions_.find(id);
+  if (it == functions_.end()) {
+    return Status::InvalidArgument("unregistered update function");
+  }
+  const uint64_t original = LoadElement(value, 0, element_width);
+  StoreElement(value, 0, element_width, it->second(original, param));
+  return original;
+}
+
+Status UpdateFunctionRegistry::ApplyScalarToVector(uint16_t id,
+                                                   std::span<uint8_t> value,
+                                                   uint64_t param,
+                                                   uint8_t element_width) const {
+  if (Status status = ValidateWidth(value, element_width); !status.ok()) {
+    return status;
+  }
+  const auto it = functions_.find(id);
+  if (it == functions_.end()) {
+    return Status::InvalidArgument("unregistered update function");
+  }
+  const size_t count = value.size() / element_width;
+  for (size_t i = 0; i < count; i++) {
+    StoreElement(value, i, element_width,
+                 it->second(LoadElement(value, i, element_width), param));
+  }
+  return Status::Ok();
+}
+
+Status UpdateFunctionRegistry::ApplyVectorToVector(uint16_t id,
+                                                   std::span<uint8_t> value,
+                                                   std::span<const uint8_t> params,
+                                                   uint8_t element_width) const {
+  if (Status status = ValidateWidth(value, element_width); !status.ok()) {
+    return status;
+  }
+  if (params.size() != value.size()) {
+    return Status::InvalidArgument("parameter vector size mismatch");
+  }
+  const auto it = functions_.find(id);
+  if (it == functions_.end()) {
+    return Status::InvalidArgument("unregistered update function");
+  }
+  const size_t count = value.size() / element_width;
+  for (size_t i = 0; i < count; i++) {
+    StoreElement(value, i, element_width,
+                 it->second(LoadElement(value, i, element_width),
+                            LoadElement(params, i, element_width)));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> UpdateFunctionRegistry::Reduce(uint16_t id,
+                                                std::span<const uint8_t> value,
+                                                uint64_t initial,
+                                                uint8_t element_width) const {
+  if (Status status = ValidateWidth(value, element_width); !status.ok()) {
+    return status;
+  }
+  const auto it = functions_.find(id);
+  if (it == functions_.end()) {
+    return Status::InvalidArgument("unregistered update function");
+  }
+  uint64_t acc = initial;
+  const size_t count = value.size() / element_width;
+  for (size_t i = 0; i < count; i++) {
+    acc = it->second(LoadElement(value, i, element_width), acc);
+  }
+  return acc;
+}
+
+Result<std::vector<uint8_t>> UpdateFunctionRegistry::Filter(
+    uint16_t id, std::span<const uint8_t> value, uint64_t param,
+    uint8_t element_width) const {
+  if (Status status = ValidateWidth(value, element_width); !status.ok()) {
+    return status;
+  }
+  const auto it = predicates_.find(id);
+  if (it == predicates_.end()) {
+    return Status::InvalidArgument("unregistered filter predicate");
+  }
+  std::vector<uint8_t> out;
+  const size_t count = value.size() / element_width;
+  for (size_t i = 0; i < count; i++) {
+    const uint64_t element = LoadElement(value, i, element_width);
+    if (it->second(element, param)) {
+      const size_t at = out.size();
+      out.resize(at + element_width);
+      std::memcpy(out.data() + at, &element, element_width);
+    }
+  }
+  return out;
+}
+
+}  // namespace kvd

@@ -1,0 +1,131 @@
+#include "src/dram/dram_cache_store.h"
+
+#include <cstring>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+DramCacheStore::DramCacheStore(uint64_t num_lines)
+    : num_lines_(num_lines), arena_(num_lines * kStoredLineBytes) {
+  KVD_CHECK(num_lines > 0);
+  // Identity initialization: slot i caches host line i (tag 0) with zero
+  // data, clean — consistent with a zero-initialized store, so no valid bit
+  // is needed (paper §4).
+  const std::array<uint8_t, kLineBytes> zeros{};
+  for (uint64_t slot = 0; slot < num_lines_; slot++) {
+    StoreLine(slot, EncodeLine(zeros, LineMetadata{0, false}));
+  }
+}
+
+uint64_t DramCacheStore::SlotOf(uint64_t host_address) const {
+  return (host_address / kLineBytes) % num_lines_;
+}
+
+uint8_t DramCacheStore::TagOf(uint64_t host_address) const {
+  const uint64_t tag = host_address / kLineBytes / num_lines_;
+  KVD_CHECK_MSG(tag < 16, "host address beyond the 4-bit tag range");
+  return static_cast<uint8_t>(tag);
+}
+
+EccLine DramCacheStore::LoadLine(uint64_t slot) const {
+  EccLine line;
+  uint8_t raw[kStoredLineBytes];
+  arena_.Read(SlotBase(slot), raw);
+  for (int w = 0; w < 8; w++) {
+    std::memcpy(&line.words[w], raw + w * 8, 8);
+  }
+  std::memcpy(line.ecc.data(), raw + 64, 8);
+  return line;
+}
+
+void DramCacheStore::StoreLine(uint64_t slot, const EccLine& line) {
+  uint8_t raw[kStoredLineBytes];
+  for (int w = 0; w < 8; w++) {
+    std::memcpy(raw + w * 8, &line.words[w], 8);
+  }
+  std::memcpy(raw + 64, line.ecc.data(), 8);
+  arena_.Write(SlotBase(slot), raw);
+}
+
+std::optional<DramCacheStore::LookupResult> DramCacheStore::Lookup(
+    uint64_t host_address) {
+  const uint64_t slot = SlotOf(host_address);
+  EccLine line = LoadLine(slot);
+  LookupResult result;
+  const LineDecodeResult decode = DecodeLine(line, result.data);
+  if (decode.double_error_detected ||
+      decode.status == EccDecodeStatus::kUncorrectable) {
+    // Unrecoverable corruption: drop the line (the dispatcher refetches from
+    // host memory, which is authoritative for clean lines).
+    double_errors_++;
+    const std::array<uint8_t, kLineBytes> zeros{};
+    StoreLine(slot, EncodeLine(zeros, LineMetadata{0, false}));
+    return std::nullopt;
+  }
+  if (decode.corrected_words > 0) {
+    corrected_errors_ += decode.corrected_words;
+    StoreLine(slot, line);  // scrub the repaired line back to DRAM
+  }
+  if (decode.metadata.address_tag != TagOf(host_address)) {
+    return std::nullopt;  // different host line resident
+  }
+  result.dirty = decode.metadata.dirty;
+  return result;
+}
+
+std::optional<DramCacheStore::Eviction> DramCacheStore::Install(
+    uint64_t host_address, std::span<const uint8_t> data, bool dirty) {
+  KVD_CHECK(data.size() == kLineBytes);
+  const uint64_t slot = SlotOf(host_address);
+  std::optional<Eviction> eviction;
+
+  EccLine previous = LoadLine(slot);
+  std::array<uint8_t, kLineBytes> previous_data;
+  const LineDecodeResult decode = DecodeLine(previous, previous_data);
+  if (!decode.double_error_detected &&
+      decode.status != EccDecodeStatus::kUncorrectable) {
+    corrected_errors_ += decode.corrected_words;
+    if (decode.metadata.dirty) {
+      Eviction out;
+      out.dirty = true;
+      // Reconstruct the evictee's host address from its tag and the slot.
+      out.host_address =
+          (static_cast<uint64_t>(decode.metadata.address_tag) * num_lines_ + slot) *
+          kLineBytes;
+      out.data = previous_data;
+      eviction = out;
+    }
+  } else {
+    double_errors_++;  // the displaced line was corrupt; nothing to write back
+  }
+
+  StoreLine(slot, EncodeLine(data, LineMetadata{TagOf(host_address), dirty}));
+  return eviction;
+}
+
+bool DramCacheStore::MarkDirty(uint64_t host_address, std::span<const uint8_t> new_data) {
+  KVD_CHECK(new_data.size() == kLineBytes);
+  const uint64_t slot = SlotOf(host_address);
+  EccLine line = LoadLine(slot);
+  std::array<uint8_t, kLineBytes> data;
+  const LineDecodeResult decode = DecodeLine(line, data);
+  if (decode.double_error_detected ||
+      decode.status == EccDecodeStatus::kUncorrectable ||
+      decode.metadata.address_tag != TagOf(host_address)) {
+    return false;
+  }
+  StoreLine(slot, EncodeLine(new_data, LineMetadata{TagOf(host_address), true}));
+  return true;
+}
+
+void DramCacheStore::InjectBitFlip(uint64_t cache_line, uint32_t bit) {
+  KVD_CHECK(cache_line < num_lines_ && bit < kStoredLineBytes * 8);
+  uint8_t byte;
+  const uint64_t address = SlotBase(cache_line) + bit / 8;
+  arena_.Read(address, std::span<uint8_t>(&byte, 1));
+  byte ^= static_cast<uint8_t>(1u << (bit % 8));
+  arena_.Write(address, std::span<const uint8_t>(&byte, 1));
+}
+
+}  // namespace kvd

@@ -1,0 +1,84 @@
+// Data-storing NIC DRAM cache (paper §3.3.4, §4) — the storage counterpart
+// of LoadDispatcher's timing model.
+//
+// A direct-mapped cache of 64-byte lines held in a real memory arena, each
+// line stored as 72 bytes: 64 data + the 8-byte ECC lane carrying Hamming
+// check bits, two 256-bit-granularity parity bits, the 4-bit address tag and
+// the dirty flag (ecc_metadata.h). No valid bit exists — the paper notes the
+// NIC accesses the KVS exclusively, so lines are initialized to cache the
+// identity mapping of a zeroed store (line i holds host line i).
+//
+// Single-bit DRAM errors are corrected transparently on lookup; double-bit
+// errors surface as misses with `double_errors` counted — the store then
+// refetches from host memory, which is exactly how the hardware would
+// recover.
+#ifndef SRC_DRAM_DRAM_CACHE_STORE_H_
+#define SRC_DRAM_DRAM_CACHE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/dram/ecc_metadata.h"
+#include "src/mem/host_memory.h"
+
+namespace kvd {
+
+class DramCacheStore {
+ public:
+  // `num_lines` cache lines; host addresses must satisfy
+  // (host_line / num_lines) < 16 — the 4-bit tag budget (host:NIC <= 16:1).
+  explicit DramCacheStore(uint64_t num_lines);
+
+  static constexpr uint32_t kLineBytes = 64;
+  static constexpr uint32_t kStoredLineBytes = 72;  // data + ECC lane
+
+  struct LookupResult {
+    std::array<uint8_t, kLineBytes> data;
+    bool dirty;
+  };
+
+  // Returns the line's contents if `host_address`'s line is resident.
+  // Corrects single-bit errors in place; a detected double-bit error evicts
+  // the line (counted) and reports a miss.
+  std::optional<LookupResult> Lookup(uint64_t host_address);
+
+  struct Eviction {
+    bool dirty = false;          // a dirty line was displaced
+    uint64_t host_address = 0;   // where it must be written back
+    std::array<uint8_t, kLineBytes> data{};
+  };
+
+  // Installs a line for `host_address`, displacing the previous occupant.
+  // Returns the eviction record when the displaced line was dirty.
+  std::optional<Eviction> Install(uint64_t host_address,
+                                  std::span<const uint8_t> data, bool dirty);
+
+  // Marks the resident line dirty (write hit). Returns false on tag miss.
+  bool MarkDirty(uint64_t host_address, std::span<const uint8_t> new_data);
+
+  // Flips one stored bit of a cache line — DRAM fault injection for tests.
+  // `bit` indexes the 576 stored bits (data then ECC lane).
+  void InjectBitFlip(uint64_t cache_line, uint32_t bit);
+
+  uint64_t corrected_errors() const { return corrected_errors_; }
+  uint64_t double_errors() const { return double_errors_; }
+  uint64_t num_lines() const { return num_lines_; }
+
+ private:
+  uint64_t SlotOf(uint64_t host_address) const;
+  uint8_t TagOf(uint64_t host_address) const;
+  uint64_t SlotBase(uint64_t slot) const { return slot * kStoredLineBytes; }
+
+  EccLine LoadLine(uint64_t slot) const;
+  void StoreLine(uint64_t slot, const EccLine& line);
+
+  uint64_t num_lines_;
+  HostMemory arena_;
+  uint64_t corrected_errors_ = 0;
+  uint64_t double_errors_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_DRAM_DRAM_CACHE_STORE_H_

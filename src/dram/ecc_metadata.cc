@@ -1,0 +1,193 @@
+#include "src/dram/ecc_metadata.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+namespace {
+
+// Hamming(71,64): the codeword has positions 1..71; positions that are
+// powers of two (1,2,4,...,64) hold the seven check bits, the rest hold data
+// bits in order. Check bit c (at position 2^c) covers every position whose
+// binary representation has bit c set, so the syndrome of a single flipped
+// bit equals its position.
+
+// Position (1-based, skipping powers of two) of data bit `i`.
+constexpr std::array<uint8_t, 64> BuildDataPositions() {
+  std::array<uint8_t, 64> positions{};
+  int index = 0;
+  for (uint8_t position = 1; index < 64; position++) {
+    if ((position & (position - 1)) != 0) {  // not a power of two
+      positions[index++] = position;
+    }
+  }
+  return positions;
+}
+
+constexpr std::array<uint8_t, 64> kDataPositions = BuildDataPositions();
+
+// Syndrome contribution of the data bits alone.
+uint8_t DataSyndrome(uint64_t data) {
+  uint8_t syndrome = 0;
+  while (data != 0) {
+    const int i = std::countr_zero(data);
+    data &= data - 1;
+    syndrome ^= kDataPositions[i];
+  }
+  return syndrome;
+}
+
+// Parity of the full codeword (data + 7 Hamming check bits): flipping *any*
+// stored bit toggles it, so odd-vs-even flip counts stay distinguishable for
+// check-bit errors too.
+bool CodewordParity(uint64_t data, uint8_t check_bits) {
+  return (std::popcount(data) + std::popcount(static_cast<unsigned>(check_bits & 0x7f))) & 1;
+}
+
+void SetRepurposedBit(EccLine& line, int word, bool value) {
+  if (value) {
+    line.ecc[word] |= 0x80;
+  } else {
+    line.ecc[word] &= 0x7f;
+  }
+}
+
+bool GetRepurposedBit(const EccLine& line, int word) {
+  return (line.ecc[word] & 0x80) != 0;
+}
+
+}  // namespace
+
+uint8_t HammingEncode(uint64_t data) {
+  // Choosing check bits equal to the data syndrome makes the total syndrome
+  // zero for a clean word.
+  return DataSyndrome(data);
+}
+
+EccDecodeStatus HammingDecode(uint64_t& data, uint8_t& check_bits) {
+  const uint8_t syndrome = DataSyndrome(data) ^ check_bits;
+  if (syndrome == 0) {
+    return EccDecodeStatus::kClean;
+  }
+  // A syndrome that is a power of two points at a flipped check bit.
+  if ((syndrome & (syndrome - 1)) == 0) {
+    check_bits ^= syndrome;
+    return EccDecodeStatus::kCorrectedSingle;
+  }
+  // Otherwise it points at a data position; find which data bit lives there.
+  for (int i = 0; i < 64; i++) {
+    if (kDataPositions[i] == syndrome) {
+      data ^= uint64_t{1} << i;
+      return EccDecodeStatus::kCorrectedSingle;
+    }
+  }
+  // Positions run 1..71; syndromes beyond that cannot arise from one flip.
+  return EccDecodeStatus::kUncorrectable;
+}
+
+EccLine EncodeLine(std::span<const uint8_t> data64, const LineMetadata& metadata) {
+  KVD_CHECK(data64.size() == 64);
+  KVD_CHECK(metadata.address_tag < 16);
+  EccLine line;
+  for (int w = 0; w < 8; w++) {
+    std::memcpy(&line.words[w], data64.data() + w * 8, 8);
+    line.ecc[w] = HammingEncode(line.words[w]);
+  }
+  // Group parity at 256-bit granularity (words 0..3 and 4..7), over data
+  // and check bits alike.
+  bool parity0 = false;
+  bool parity1 = false;
+  for (int w = 0; w < 4; w++) {
+    parity0 ^= CodewordParity(line.words[w], line.ecc[w]);
+  }
+  for (int w = 4; w < 8; w++) {
+    parity1 ^= CodewordParity(line.words[w], line.ecc[w]);
+  }
+  SetRepurposedBit(line, kParityBitWord0, parity0);
+  SetRepurposedBit(line, kParityBitWord1, parity1);
+  // Metadata in the freed bits.
+  for (int bit = 0; bit < 4; bit++) {
+    SetRepurposedBit(line, kTagBitsFirstWord + bit,
+                     (metadata.address_tag >> bit) & 1);
+  }
+  SetRepurposedBit(line, kDirtyBitWord, metadata.dirty);
+  SetRepurposedBit(line, kSpareBitWord, false);
+  return line;
+}
+
+LineDecodeResult DecodeLine(EccLine& line, std::span<uint8_t> data64_out) {
+  KVD_CHECK(data64_out.size() == 64);
+  LineDecodeResult result;
+  // Group parity is computed over the *data* bits as stored, before any
+  // correction: a single data-bit flip leaves it mismatched (odd flips), a
+  // double flip leaves it matched (even flips). That distinction — the role
+  // the customary per-word 8th ECC bit plays — survives the widening to
+  // 256-bit granularity (paper §4), at the price of attributing at most one
+  // error event per group.
+  bool group_mismatch[2];
+  for (int g = 0; g < 2; g++) {
+    bool parity = false;
+    for (int w = g * 4; w < g * 4 + 4; w++) {
+      parity ^= CodewordParity(line.words[w], line.ecc[w]);
+    }
+    group_mismatch[g] = parity != GetRepurposedBit(line, g == 0 ? kParityBitWord0
+                                                                : kParityBitWord1);
+  }
+
+  for (int w = 0; w < 8; w++) {
+    uint8_t check = line.ecc[w] & 0x7f;
+    const uint8_t syndrome = DataSyndrome(line.words[w]) ^ check;
+    if (syndrome == 0) {
+      continue;
+    }
+    const int group = w / 4;
+    if (!group_mismatch[group]) {
+      // Non-zero syndrome with consistent group parity: an even number of
+      // flips — the double-bit error SECDED promises to *detect*.
+      result.double_error_detected = true;
+      result.status = EccDecodeStatus::kUncorrectable;
+      continue;
+    }
+    // Odd flips in the group: the single error the code can repair. The
+    // syndrome names either a check position (power of two) or a data
+    // position.
+    bool corrected = false;
+    if ((syndrome & (syndrome - 1)) == 0) {
+      check ^= syndrome;
+      line.ecc[w] = static_cast<uint8_t>((line.ecc[w] & 0x80) | check);
+      corrected = true;
+    } else {
+      for (int i = 0; i < 64; i++) {
+        if (kDataPositions[i] == syndrome) {
+          line.words[w] ^= uint64_t{1} << i;
+          corrected = true;
+          break;
+        }
+      }
+    }
+    if (corrected) {
+      group_mismatch[group] = false;  // one event per group
+      result.corrected_words++;
+      if (result.status == EccDecodeStatus::kClean) {
+        result.status = EccDecodeStatus::kCorrectedSingle;
+      }
+    } else {
+      result.status = EccDecodeStatus::kUncorrectable;
+      result.double_error_detected = true;
+    }
+  }
+
+  for (int w = 0; w < 8; w++) {
+    std::memcpy(data64_out.data() + w * 8, &line.words[w], 8);
+  }
+  for (int bit = 0; bit < 4; bit++) {
+    result.metadata.address_tag |= static_cast<uint8_t>(
+        GetRepurposedBit(line, kTagBitsFirstWord + bit) << bit);
+  }
+  result.metadata.dirty = GetRepurposedBit(line, kDirtyBitWord);
+  return result;
+}
+
+}  // namespace kvd

@@ -1,0 +1,28 @@
+#include "src/dram/nic_dram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+NicDram::NicDram(Simulator& sim, const NicDramConfig& config)
+    : sim_(sim),
+      config_(config),
+      picos_per_byte_(PicosPerByte(config.bandwidth_bytes_per_sec *
+                                   config.random_access_efficiency)) {}
+
+void NicDram::Access(uint32_t bytes, std::function<void()> done) {
+  KVD_CHECK(bytes > 0);
+  accesses_++;
+  bytes_ += bytes;
+  const auto occupancy = static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) * picos_per_byte_));
+  const SimTime start = std::max(sim_.Now(), channel_free_at_);
+  channel_free_at_ = start + occupancy;
+  sim_.ScheduleAt(channel_free_at_ + config_.access_latency, std::move(done));
+}
+
+}  // namespace kvd

@@ -1,0 +1,27 @@
+#include "src/mem/host_memory.h"
+
+#include <cstring>
+
+namespace kvd {
+
+HostMemory::HostMemory(uint64_t size_bytes)
+    : size_(size_bytes), data_(new uint8_t[size_bytes]()) {
+  KVD_CHECK_MSG(size_bytes > 0, "zero-sized host memory");
+}
+
+void HostMemory::Read(uint64_t address, std::span<uint8_t> out) const {
+  KVD_CHECK(address + out.size() <= size_);
+  std::memcpy(out.data(), data_.get() + address, out.size());
+}
+
+void HostMemory::Write(uint64_t address, std::span<const uint8_t> in) {
+  KVD_CHECK(address + in.size() <= size_);
+  std::memcpy(data_.get() + address, in.data(), in.size());
+}
+
+void HostMemory::Fill(uint64_t address, uint64_t length, uint8_t byte) {
+  KVD_CHECK(address + length <= size_);
+  std::memset(data_.get() + address, byte, length);
+}
+
+}  // namespace kvd

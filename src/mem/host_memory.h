@@ -1,0 +1,45 @@
+// Host memory arena backing the KV store.
+//
+// In the paper, 64 GiB of server DRAM holds the hash index and the slab heap
+// and the NIC reaches it only through PCIe DMA. Here it is a plain byte arena
+// of configurable size; all store data structures live inside it at explicit
+// offsets, with the exact bit-level layout the paper describes, so capacity
+// and utilization experiments behave identically at smaller scale.
+#ifndef SRC_MEM_HOST_MEMORY_H_
+#define SRC_MEM_HOST_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+class HostMemory {
+ public:
+  explicit HostMemory(uint64_t size_bytes);
+
+  uint64_t size() const { return size_; }
+
+  std::span<uint8_t> Span(uint64_t address, uint64_t length) {
+    KVD_DCHECK(address + length <= size_);
+    return {data_.get() + address, length};
+  }
+  std::span<const uint8_t> Span(uint64_t address, uint64_t length) const {
+    KVD_DCHECK(address + length <= size_);
+    return {data_.get() + address, length};
+  }
+
+  void Read(uint64_t address, std::span<uint8_t> out) const;
+  void Write(uint64_t address, std::span<const uint8_t> in);
+  void Fill(uint64_t address, uint64_t length, uint8_t byte);
+
+ private:
+  uint64_t size_;
+  std::unique_ptr<uint8_t[]> data_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_MEM_HOST_MEMORY_H_

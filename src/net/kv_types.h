@@ -1,0 +1,110 @@
+// Wire-level operation and result types (paper Table 1).
+//
+// KV-Direct extends one-sided RDMA verbs to key-value operations, including
+// vector primitives that treat a value as an array of fixed-width elements
+// and apply a pre-registered function λ NIC-side:
+//
+//   get(k) -> v                      put(k, v) -> bool     delete(k) -> bool
+//   update_scalar2scalar(k, Δ, λ)    -> original scalar
+//   update_scalar2vector(k, Δ, λ)    -> original vector (λ per element)
+//   update_vector2vector(k, [Δ], λ)  -> original vector (elementwise)
+//   reduce(k, Σ0, λ)                 -> Σ
+//   filter(k, λ)                     -> filtered vector
+#ifndef SRC_NET_KV_TYPES_H_
+#define SRC_NET_KV_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kvd {
+
+enum class Opcode : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+  kUpdateScalar = 3,        // update_scalar2scalar: atomic read-modify-write
+  kUpdateScalarVector = 4,  // update_scalar2vector: λ(elem, Δ) per element
+  kUpdateVector = 5,        // update_vector2vector: λ(elem, Δ_i) elementwise
+  kReduce = 6,
+  kFilter = 7,
+};
+
+// Status byte carried in responses.
+enum class ResultCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kOutOfMemory = 2,
+  kInvalidArgument = 3,
+  kBusy = 4,
+};
+
+// Identifiers of pre-registered update functions (paper §3.2: user-defined λ
+// are compiled to hardware logic before execution; clients reference them by
+// id). The builtin set covers the paper's workloads; applications register
+// more through UpdateFunctionRegistry.
+enum BuiltinFunction : uint16_t {
+  kFnAddU64 = 0,    // fetch-and-add
+  kFnAddF32 = 1,    // PageRank weight accumulation
+  kFnMaxU64 = 2,
+  kFnMinU64 = 3,
+  kFnXorU64 = 4,
+  kFnCasU64 = 5,    // compare-and-swap: param = (expected<<32 | new) pattern
+  kFnNonZero = 6,   // filter: keep elements != 0
+  kFnGreater = 7,   // filter: keep elements > param
+  kFnFirstUserFunction = 64,
+};
+
+struct KvOperation {
+  Opcode opcode = Opcode::kGet;
+  std::vector<uint8_t> key;
+  // PUT: the value. update_vector2vector: the parameter vector [Δ].
+  std::vector<uint8_t> value;
+  // Scalar parameter Δ, or initial reduction value Σ0.
+  uint64_t param = 0;
+  uint16_t function_id = kFnAddU64;
+  uint8_t element_width = 8;  // bytes per vector element (4 or 8)
+  // Vector updates optionally skip returning the original vector, halving
+  // network traffic (Table 2 "vector update without return").
+  bool return_value = true;
+};
+
+struct KvResultMessage {
+  ResultCode code = ResultCode::kOk;
+  // GET value / original vector / filtered vector.
+  std::vector<uint8_t> value;
+  // Original scalar (updates) or reduction result.
+  uint64_t scalar = 0;
+};
+
+// True for operations that mutate the stored value.
+constexpr bool IsWriteOpcode(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kGet:
+    case Opcode::kReduce:
+    case Opcode::kFilter:
+      return false;
+    case Opcode::kPut:
+    case Opcode::kDelete:
+    case Opcode::kUpdateScalar:
+    case Opcode::kUpdateScalarVector:
+    case Opcode::kUpdateVector:
+      return true;
+  }
+  return true;
+}
+
+constexpr bool IsVectorOpcode(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kUpdateScalarVector:
+    case Opcode::kUpdateVector:
+    case Opcode::kReduce:
+    case Opcode::kFilter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace kvd
+
+#endif  // SRC_NET_KV_TYPES_H_

@@ -1,0 +1,51 @@
+#include "src/net/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+NetworkModel::NetworkModel(Simulator& sim, const NetworkConfig& config)
+    : sim_(sim),
+      config_(config),
+      picos_per_byte_(PicosPerByte(config.bandwidth_bytes_per_sec)) {}
+
+void NetworkModel::Send(uint32_t payload_bytes, SimTime& wire_free_at,
+                        uint64_t& packets, uint64_t& bytes,
+                        std::function<void()> delivered) {
+  // Payloads above the MTU budget are segmented into multiple wire packets,
+  // each paying the per-packet overhead; delivery fires when the last
+  // segment arrives.
+  const uint32_t num_packets =
+      payload_bytes == 0 ? 1
+                         : (payload_bytes + config_.max_payload_bytes - 1) /
+                               config_.max_payload_bytes;
+  const uint32_t wire_bytes =
+      payload_bytes + num_packets * config_.per_packet_overhead_bytes;
+  const SimTime occupancy =
+      static_cast<SimTime>(
+          std::llround(static_cast<double>(wire_bytes) * picos_per_byte_)) +
+      num_packets * config_.per_packet_processing;
+  const SimTime start = std::max(sim_.Now(), wire_free_at);
+  wire_free_at = start + occupancy;
+  packets += num_packets;
+  bytes += wire_bytes;
+  sim_.ScheduleAt(wire_free_at + config_.one_way_latency, std::move(delivered));
+}
+
+void NetworkModel::SendToServer(uint32_t payload_bytes,
+                                std::function<void()> delivered) {
+  Send(payload_bytes, to_server_free_at_, to_server_packets_, to_server_bytes_,
+       std::move(delivered));
+}
+
+void NetworkModel::SendToClient(uint32_t payload_bytes,
+                                std::function<void()> delivered) {
+  Send(payload_bytes, to_client_free_at_, to_client_packets_, to_client_bytes_,
+       std::move(delivered));
+}
+
+}  // namespace kvd

@@ -1,0 +1,62 @@
+// Timing model of the 40 GbE path between clients and the KV server
+// (paper §4, §5: 5 GB/s, ~2 µs RTT, 88 B RDMA-over-Ethernet header +
+// padding per packet).
+//
+// Each direction is an independent serial wire; a packet occupies it for
+// (overhead + payload) / bandwidth and arrives one-way-latency later.
+#ifndef SRC_NET_NETWORK_MODEL_H_
+#define SRC_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace kvd {
+
+struct NetworkConfig {
+  double bandwidth_bytes_per_sec = 5e9;  // 40 Gbps
+  SimTime one_way_latency = 1 * kMicrosecond;
+  uint32_t per_packet_overhead_bytes = 88;
+  // Per-packet processing at the endpoints (header parse, CRC, doorbells):
+  // caps the packet rate near ~15 Mpps, the message-rate ballpark the paper
+  // cites for RDMA NICs (§2.2) — this, not wire bytes, is what client-side
+  // batching amortizes (Figure 15).
+  SimTime per_packet_processing = 60 * kNanosecond;
+  uint32_t max_payload_bytes = 4096;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(Simulator& sim, const NetworkConfig& config);
+
+  // Client -> server direction; `delivered` fires at arrival.
+  void SendToServer(uint32_t payload_bytes, std::function<void()> delivered);
+  // Server -> client direction.
+  void SendToClient(uint32_t payload_bytes, std::function<void()> delivered);
+
+  const NetworkConfig& config() const { return config_; }
+  uint64_t packets_to_server() const { return to_server_packets_; }
+  uint64_t packets_to_client() const { return to_client_packets_; }
+  uint64_t bytes_to_server() const { return to_server_bytes_; }   // incl. overhead
+  uint64_t bytes_to_client() const { return to_client_bytes_; }
+
+ private:
+  void Send(uint32_t payload_bytes, SimTime& wire_free_at, uint64_t& packets,
+            uint64_t& bytes, std::function<void()> delivered);
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  double picos_per_byte_;
+  SimTime to_server_free_at_ = 0;
+  SimTime to_client_free_at_ = 0;
+  uint64_t to_server_packets_ = 0;
+  uint64_t to_client_packets_ = 0;
+  uint64_t to_server_bytes_ = 0;
+  uint64_t to_client_bytes_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_NET_NETWORK_MODEL_H_

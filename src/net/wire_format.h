@@ -1,0 +1,93 @@
+// Packet encoding with client-side batching (paper §4 "Vector Operation
+// Decoder", Figure 15).
+//
+// The network, not PCIe, is the scarce resource: an RDMA write over Ethernet
+// carries 88 bytes of header and padding, versus 26 bytes for a PCIe TLP.
+// KV-Direct therefore batches multiple KV operations per network packet and
+// compresses repetitive fields: two flag bits let an operation copy the key
+// size / value size of the previous operation in the packet, and a third
+// copies the previous operation's entire value (common in graph and
+// parameter-server traffic where many KVs share size or contents).
+//
+// Per-operation layout (little endian):
+//   u8 opcode | u8 flags | [u16 key_len] [u32 value_len]
+//   | for vector/update ops: u64 param, u16 function_id, u8 element_width
+//   | key bytes | [value bytes]
+// Bracketed fields are omitted when the corresponding flag bit is set.
+#ifndef SRC_NET_WIRE_FORMAT_H_
+#define SRC_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/kv_types.h"
+
+namespace kvd {
+
+inline constexpr uint8_t kFlagCopyKeyLen = 1u << 0;
+inline constexpr uint8_t kFlagCopyValueLen = 1u << 1;
+inline constexpr uint8_t kFlagCopyValueBytes = 1u << 2;
+inline constexpr uint8_t kFlagNoReturn = 1u << 3;
+
+// Builds one request packet out of batched operations.
+class PacketBuilder {
+ public:
+  // `max_payload_bytes`: packet size budget (network MTU minus headers).
+  // `enable_compression`: ablation switch for the copy-flags optimization.
+  explicit PacketBuilder(uint32_t max_payload_bytes = 4096,
+                         bool enable_compression = true);
+
+  // Appends `op`; returns false (and leaves the packet unchanged) if the
+  // encoded operation would overflow the payload budget.
+  bool Add(const KvOperation& op);
+
+  size_t operation_count() const { return count_; }
+  size_t payload_size() const { return buffer_.size(); }
+  bool empty() const { return count_ == 0; }
+
+  // Returns the payload and resets the builder for the next packet.
+  std::vector<uint8_t> Finish();
+
+ private:
+  uint32_t max_payload_bytes_;
+  bool enable_compression_;
+  std::vector<uint8_t> buffer_;
+  size_t count_ = 0;
+  // Previous operation's fields for the copy flags.
+  std::optional<uint16_t> prev_key_len_;
+  std::optional<uint32_t> prev_value_len_;
+  std::vector<uint8_t> prev_value_;
+};
+
+// Decodes a request packet back into operations (the NIC-side decoder).
+class PacketParser {
+ public:
+  explicit PacketParser(std::vector<uint8_t> payload);
+
+  // Returns the next operation, or nullopt at end of packet. Malformed input
+  // yields an error status.
+  Result<std::optional<KvOperation>> Next();
+
+ private:
+  std::vector<uint8_t> payload_;
+  size_t offset_ = 0;
+  std::optional<uint16_t> prev_key_len_;
+  std::optional<uint32_t> prev_value_len_;
+  std::vector<uint8_t> prev_value_;
+};
+
+// Response packet: a sequence of results mirroring the request order.
+// Layout per result: u8 code | u32 value_len | u64 scalar | value bytes.
+std::vector<uint8_t> EncodeResults(const std::vector<KvResultMessage>& results);
+Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& payload);
+
+// Encoded size of one operation given the previous op in the packet (used by
+// benchmarks to reason about network efficiency without building packets).
+uint32_t EncodedOperationSize(const KvOperation& op, const KvOperation* previous,
+                              bool enable_compression);
+
+}  // namespace kvd
+
+#endif  // SRC_NET_WIRE_FORMAT_H_

@@ -1,0 +1,87 @@
+#include "src/pcie/dma_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/common/hashing.h"
+
+namespace kvd {
+
+DmaEngine::DmaEngine(Simulator& sim, const DmaEngineConfig& config)
+    : sim_(sim), config_(config), read_tags_("dma/read_tags", config.read_tags) {
+  KVD_CHECK(config.num_links >= 1);
+  for (uint32_t i = 0; i < config.num_links; i++) {
+    links_.push_back(std::make_unique<PcieLink>(sim, config.link,
+                                                "pcie" + std::to_string(i),
+                                                /*rng_seed=*/0x5eed + i));
+  }
+}
+
+PcieLink& DmaEngine::PickLink(uint64_t address) {
+  // Interleave by 64 B line so both links carry equal load regardless of the
+  // KVS layout (hash index low addresses, slab heap high addresses).
+  const uint64_t line = address / kCacheLineBytes;
+  return *links_[Mix64(line) % links_.size()];
+}
+
+void DmaEngine::Read(uint64_t address, uint32_t bytes, std::function<void()> done,
+                     bool random_access) {
+  KVD_CHECK(bytes > 0);
+  reads_issued_++;
+  const uint32_t max_payload = config_.link.max_payload_bytes;
+  const uint32_t num_tlps = (bytes + max_payload - 1) / max_payload;
+
+  // Fan out TLPs; `done` fires when the last completion arrives.
+  auto remaining = std::make_shared<uint32_t>(num_tlps);
+  auto on_tlp_done = [this, remaining, done = std::move(done)]() mutable {
+    read_tags_.Release(1);
+    if (--*remaining == 0) {
+      done();
+    }
+  };
+
+  uint32_t offset = 0;
+  for (uint32_t i = 0; i < num_tlps; i++) {
+    const uint32_t chunk = std::min(max_payload, bytes - offset);
+    const uint64_t chunk_address = address + offset;
+    offset += chunk;
+    // Each in-flight read TLP needs a unique tag to match its completion.
+    read_tags_.Acquire(1, [this, chunk, chunk_address, random_access, on_tlp_done] {
+      PickLink(chunk_address).SubmitRead(chunk, random_access, on_tlp_done);
+    });
+  }
+}
+
+void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> done) {
+  KVD_CHECK(bytes > 0);
+  writes_issued_++;
+  const uint32_t max_payload = config_.link.max_payload_bytes;
+  const uint32_t num_tlps = (bytes + max_payload - 1) / max_payload;
+
+  auto remaining = std::make_shared<uint32_t>(num_tlps);
+  auto on_tlp_done = [remaining, done = std::move(done)]() mutable {
+    if (--*remaining == 0) {
+      done();
+    }
+  };
+
+  uint32_t offset = 0;
+  for (uint32_t i = 0; i < num_tlps; i++) {
+    const uint32_t chunk = std::min(max_payload, bytes - offset);
+    const uint64_t chunk_address = address + offset;
+    offset += chunk;
+    PickLink(chunk_address).SubmitWrite(chunk, on_tlp_done);
+  }
+}
+
+LatencyHistogram DmaEngine::AggregateReadLatency() const {
+  LatencyHistogram out;
+  for (const auto& link : links_) {
+    out.Merge(link->read_latency());
+  }
+  return out;
+}
+
+}  // namespace kvd

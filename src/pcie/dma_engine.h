@@ -1,0 +1,64 @@
+// DMA engine multiplexing the NIC's PCIe endpoints (paper §2.4, §4).
+//
+// The FPGA's DMA engine supports only 64 outstanding PCIe tags, shared across
+// both Gen3 x8 links of the bifurcated x16 connector — this, not raw
+// bandwidth, caps random 64 B read throughput at ~60 Mops (Figure 3a).
+// Requests larger than the TLP max payload are split into multiple TLPs,
+// each consuming a tag for its full round trip.
+#ifndef SRC_PCIE_DMA_ENGINE_H_
+#define SRC_PCIE_DMA_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/pcie/pcie_link.h"
+#include "src/sim/simulator.h"
+#include "src/sim/token_pool.h"
+
+namespace kvd {
+
+struct DmaEngineConfig {
+  uint32_t num_links = 2;
+  uint32_t read_tags = 64;  // shared across links
+  PcieLinkConfig link;
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(Simulator& sim, const DmaEngineConfig& config);
+
+  // DMA read of `bytes` starting at `address`; `done` fires when all
+  // completions have arrived. `random_access` selects uncached latency.
+  void Read(uint64_t address, uint32_t bytes, std::function<void()> done,
+            bool random_access = true);
+
+  // Posted DMA write; `done` fires when the last TLP is on the wire.
+  void Write(uint64_t address, uint32_t bytes, std::function<void()> done);
+
+  const DmaEngineConfig& config() const { return config_; }
+  PcieLink& link(uint32_t i) { return *links_[i]; }
+  uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
+
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+  const TokenPool& tag_pool() const { return read_tags_; }
+
+  // Aggregate read latency over all links, in nanoseconds.
+  LatencyHistogram AggregateReadLatency() const;
+
+ private:
+  PcieLink& PickLink(uint64_t address);
+
+  Simulator& sim_;
+  DmaEngineConfig config_;
+  std::vector<std::unique_ptr<PcieLink>> links_;
+  TokenPool read_tags_;
+  uint64_t reads_issued_ = 0;
+  uint64_t writes_issued_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_PCIE_DMA_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  KVD_CHECK_MSG(when >= now_, "event scheduled in the past");
+  queue_.push(Entry{when, next_sequence_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the entry is popped before the callback runs.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  executed_++;
+  entry.fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace kvd

@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// All hardware models (PCIe link, NIC DRAM, network, KV-processor clock) are
+// driven by one Simulator instance. Events execute in (time, sequence) order;
+// the sequence tiebreak makes same-timestamp behaviour deterministic, which
+// keeps every benchmark bit-reproducible across runs.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace kvd {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` picoseconds from now.
+  void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Schedules `fn` at absolute time `when` (must not be in the past).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  // Runs the earliest pending event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until none remain at or before `deadline`; advances the clock
+  // to `deadline` even if the queue drains earlier.
+  void RunUntil(SimTime deadline);
+
+  // Runs until the event queue is empty.
+  void RunUntilIdle();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_SIM_SIMULATOR_H_

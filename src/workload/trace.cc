@@ -1,0 +1,97 @@
+#include "src/workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/net/wire_format.h"
+
+namespace kvd {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'V', 'D', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTrace(const std::vector<KvOperation>& ops) {
+  // One unbounded packet stream: the wire codec already handles every op
+  // shape and compresses repeated sizes/values.
+  PacketBuilder builder(~0u, /*enable_compression=*/true);
+  for (const KvOperation& op : ops) {
+    KVD_CHECK_MSG(builder.Add(op), "trace op exceeded the unbounded budget");
+  }
+  std::vector<uint8_t> body = builder.Finish();
+
+  std::vector<uint8_t> out(kHeaderBytes + body.size());
+  std::memcpy(out.data(), kMagic, 8);
+  std::memcpy(out.data() + 8, &kVersion, 4);
+  const auto count = static_cast<uint32_t>(ops.size());
+  std::memcpy(out.data() + 12, &count, 4);
+  std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
+  return out;
+}
+
+Result<std::vector<KvOperation>> DecodeTrace(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes || std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    return Status::InvalidArgument("not a KVD trace");
+  }
+  uint32_t version;
+  uint32_t count;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  std::memcpy(&count, bytes.data() + 12, 4);
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported trace version");
+  }
+  PacketParser parser(
+      std::vector<uint8_t>(bytes.begin() + kHeaderBytes, bytes.end()));
+  std::vector<KvOperation> ops;
+  ops.reserve(count);
+  while (true) {
+    Result<std::optional<KvOperation>> next = parser.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (!next->has_value()) {
+      break;
+    }
+    ops.push_back(std::move(**next));
+  }
+  if (ops.size() != count) {
+    return Status::InvalidArgument("trace op count mismatch");
+  }
+  return ops;
+}
+
+Status WriteTraceFile(const std::string& path, const std::vector<KvOperation>& ops) {
+  const std::vector<uint8_t> bytes = EncodeTrace(ops);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace file for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (written != bytes.size()) {
+    return Status::Internal("short trace write");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<KvOperation>> ReadTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("trace file missing");
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (read != bytes.size()) {
+    return Status::Internal("short trace read");
+  }
+  return DecodeTrace(bytes);
+}
+
+}  // namespace kvd

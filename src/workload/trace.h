@@ -1,0 +1,35 @@
+// Operation-trace capture and replay.
+//
+// Research workflows record a workload once (e.g., a tuned YCSB mix) and
+// replay it byte-identically across configurations — the only way an
+// A/B comparison of server knobs isolates the knob. The trace file reuses
+// the network wire encoding (wire_format.h), so a trace is also a corpus of
+// valid packets for decoder testing.
+//
+// File layout: 8-byte magic "KVDTRACE", u32 version, u32 op count, then the
+// operations encoded as one PacketBuilder stream (compression enabled —
+// traces of regular workloads shrink accordingly).
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/kv_types.h"
+
+namespace kvd {
+
+// Serializes operations to the trace byte format.
+std::vector<uint8_t> EncodeTrace(const std::vector<KvOperation>& ops);
+
+// Parses a trace; rejects bad magic, version, or truncation.
+Result<std::vector<KvOperation>> DecodeTrace(const std::vector<uint8_t>& bytes);
+
+// File convenience wrappers.
+Status WriteTraceFile(const std::string& path, const std::vector<KvOperation>& ops);
+Result<std::vector<KvOperation>> ReadTraceFile(const std::string& path);
+
+}  // namespace kvd
+
+#endif  // SRC_WORKLOAD_TRACE_H_

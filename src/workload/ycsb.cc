@@ -1,0 +1,52 @@
+#include "src/workload/ycsb.h"
+
+#include <cstring>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+YcsbWorkload::YcsbWorkload(const WorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_keys, config.zipf_theta) {
+  KVD_CHECK(config.num_keys > 0);
+  KVD_CHECK(config.key_bytes >= 1 && config.key_bytes <= 255);
+  KVD_CHECK(config.get_ratio >= 0.0 && config.get_ratio <= 1.0);
+}
+
+std::vector<uint8_t> YcsbWorkload::KeyFor(uint64_t id) const {
+  std::vector<uint8_t> key(config_.key_bytes, 0);
+  std::memcpy(key.data(), &id, std::min<size_t>(sizeof(id), key.size()));
+  return key;
+}
+
+uint64_t YcsbWorkload::NextKeyId() {
+  if (config_.distribution == KeyDistribution::kLongTail) {
+    return zipf_.NextScrambled(rng_);
+  }
+  return rng_.NextBelow(config_.num_keys);
+}
+
+KvOperation YcsbWorkload::NextOp() {
+  op_counter_++;
+  KvOperation op;
+  op.key = KeyFor(NextKeyId());
+  if (rng_.NextBool(config_.get_ratio)) {
+    op.opcode = Opcode::kGet;
+  } else {
+    op.opcode = Opcode::kPut;
+    op.value.assign(config_.value_bytes, static_cast<uint8_t>(op_counter_));
+  }
+  return op;
+}
+
+KvOperation YcsbWorkload::LoadOpFor(uint64_t id) const {
+  KvOperation op;
+  op.opcode = Opcode::kPut;
+  op.key = KeyFor(id);
+  op.value.assign(config_.value_bytes, static_cast<uint8_t>(id * 37 + 11));
+  return op;
+}
+
+}  // namespace kvd

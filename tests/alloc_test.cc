@@ -1,0 +1,399 @@
+// Tests for the slab allocator stack: bitmap, mergers, host daemon,
+// NIC-side allocator (paper §3.3.2, §4, Figures 8 and 12).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/alloc/allocation_bitmap.h"
+#include "src/alloc/dstack.h"
+#include "src/alloc/host_daemon.h"
+#include "src/alloc/merger.h"
+#include "src/alloc/slab_allocator.h"
+#include "src/mem/host_memory.h"
+#include "src/common/random.h"
+#include "src/common/units.h"
+
+namespace kvd {
+namespace {
+
+SlabConfig SmallConfig() {
+  SlabConfig config;
+  config.region_base = 0;
+  config.region_size = 64 * kKiB;
+  config.min_slab_bytes = 32;
+  config.max_slab_bytes = 512;
+  config.nic_stack_capacity = 32;
+  config.sync_batch = 8;
+  config.low_watermark = 2;
+  config.high_watermark = 28;
+  return config;
+}
+
+TEST(SlabConfigTest, ClassMath) {
+  SlabConfig config = SmallConfig();
+  EXPECT_EQ(config.NumClasses(), 5);
+  EXPECT_EQ(config.ClassBytes(0), 32u);
+  EXPECT_EQ(config.ClassBytes(4), 512u);
+  EXPECT_EQ(config.ClassFor(1), 0);
+  EXPECT_EQ(config.ClassFor(32), 0);
+  EXPECT_EQ(config.ClassFor(33), 1);
+  EXPECT_EQ(config.ClassFor(64), 1);
+  EXPECT_EQ(config.ClassFor(100), 2);
+  EXPECT_EQ(config.ClassFor(512), 4);
+}
+
+TEST(AllocationBitmapTest, MarkAndQuery) {
+  AllocationBitmap bitmap(1024, 32);
+  EXPECT_TRUE(bitmap.IsFree(0, 1024));
+  bitmap.MarkAllocated(64, 128);
+  EXPECT_TRUE(bitmap.IsAllocated(64, 128));
+  EXPECT_FALSE(bitmap.IsFree(64, 32));
+  EXPECT_TRUE(bitmap.IsFree(0, 64));
+  EXPECT_TRUE(bitmap.IsFree(192, 832));
+  EXPECT_EQ(bitmap.allocated_granules(), 4u);
+  bitmap.MarkFree(64, 128);
+  EXPECT_TRUE(bitmap.IsFree(0, 1024));
+}
+
+TEST(AllocationBitmapTest, DoubleAllocationAborts) {
+  AllocationBitmap bitmap(1024, 32);
+  bitmap.MarkAllocated(0, 32);
+  EXPECT_DEATH(bitmap.MarkAllocated(0, 32), "double allocation");
+}
+
+TEST(AllocationBitmapTest, DoubleFreeAborts) {
+  AllocationBitmap bitmap(1024, 32);
+  EXPECT_DEATH(bitmap.MarkFree(0, 32), "double free");
+}
+
+class MergerParamTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<Merger> MakeMerger(uint64_t region_size) {
+    if (GetParam()) {
+      return std::make_unique<BitmapMerger>(region_size);
+    }
+    return std::make_unique<RadixSortMerger>(2);
+  }
+};
+
+TEST_P(MergerParamTest, MergesBuddyPairs) {
+  auto merger = MakeMerger(1024);
+  // 0+32 are buddies; 64 alone; 128+160 buddies; 96 is the *upper* buddy of
+  // 64 but 64's pair (64,96) is aligned so they merge too.
+  const std::vector<uint64_t> free_offsets = {0, 32, 128, 160, 64, 96, 224};
+  MergeResult result = merger->Merge(free_offsets, 32);
+  std::sort(result.merged.begin(), result.merged.end());
+  EXPECT_EQ(result.merged, (std::vector<uint64_t>{0, 64, 128}));
+  EXPECT_EQ(result.unmerged, (std::vector<uint64_t>{224}));
+}
+
+TEST_P(MergerParamTest, MisalignedNeighborsDoNotMerge) {
+  auto merger = MakeMerger(1024);
+  // 32 and 64 are adjacent but (32, 64) is not an aligned buddy pair.
+  MergeResult result = merger->Merge(std::vector<uint64_t>{32, 64}, 32);
+  EXPECT_TRUE(result.merged.empty());
+  EXPECT_EQ(result.unmerged.size(), 2u);
+}
+
+TEST_P(MergerParamTest, EmptyInput) {
+  auto merger = MakeMerger(1024);
+  MergeResult result = merger->Merge(std::vector<uint64_t>{}, 32);
+  EXPECT_TRUE(result.merged.empty());
+  EXPECT_TRUE(result.unmerged.empty());
+}
+
+TEST_P(MergerParamTest, RandomizedConservation) {
+  auto merger = MakeMerger(1 * kMiB);
+  Rng rng(77);
+  // Random subset of 32 B slots.
+  std::set<uint64_t> offsets;
+  while (offsets.size() < 5000) {
+    offsets.insert(rng.NextBelow(1 * kMiB / 32) * 32);
+  }
+  std::vector<uint64_t> input(offsets.begin(), offsets.end());
+  // Shuffle to exercise the sort.
+  for (size_t i = input.size() - 1; i > 0; i--) {
+    std::swap(input[i], input[rng.NextBelow(i + 1)]);
+  }
+  MergeResult result = merger->Merge(input, 32);
+  // Conservation: every input offset appears exactly once, either as an
+  // unmerged slab or as half of a merged pair.
+  std::set<uint64_t> reconstructed(result.unmerged.begin(), result.unmerged.end());
+  for (uint64_t merged : result.merged) {
+    EXPECT_EQ(merged % 64, 0u);
+    EXPECT_TRUE(reconstructed.insert(merged).second);
+    EXPECT_TRUE(reconstructed.insert(merged + 32).second);
+  }
+  EXPECT_EQ(reconstructed, offsets);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitmapAndRadix, MergerParamTest, ::testing::Bool(),
+                         [](const auto& param_info) {
+                           return param_info.param ? "Bitmap" : "RadixSort";
+                         });
+
+TEST(RadixSortTest, SortsRandomValues) {
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 10000; i++) {
+    values.push_back(rng.Next());
+  }
+  std::vector<uint64_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+  RadixSortMerger::ParallelRadixSort(values, 4);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(RadixSortTest, ThreadCountsAgree) {
+  Rng rng(6);
+  std::vector<uint64_t> base;
+  for (int i = 0; i < 5000; i++) {
+    base.push_back(rng.NextBelow(1 << 20));
+  }
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    std::vector<uint64_t> values = base;
+    RadixSortMerger::ParallelRadixSort(values, threads);
+    EXPECT_TRUE(std::is_sorted(values.begin(), values.end())) << threads;
+  }
+}
+
+// --- DequeStack: the Figure 8 double-ended stack in real memory ---
+
+TEST(DequeStackTest, LeftAndRightEndsOperateIndependently) {
+  HostMemory memory(DequeStack::BytesFor(8));
+  DequeStack stack(memory, 0, 8);
+  EXPECT_TRUE(stack.empty());
+  // Host side fills from the right.
+  for (uint64_t v = 1; v <= 4; v++) {
+    EXPECT_TRUE(stack.PushRight(v * 100));
+  }
+  EXPECT_EQ(stack.size(), 4u);
+  // NIC side pops from the left: oldest host pushes come out first.
+  uint64_t out = 0;
+  EXPECT_TRUE(stack.PopLeft(&out));
+  EXPECT_EQ(out, 100u);
+  EXPECT_TRUE(stack.PopLeft(&out));
+  EXPECT_EQ(out, 200u);
+  // NIC returns an entry to the left end; it is the next left pop.
+  EXPECT_TRUE(stack.PushLeft(42));
+  EXPECT_TRUE(stack.PopLeft(&out));
+  EXPECT_EQ(out, 42u);
+  // Host side pops from the right: most recent right push first.
+  EXPECT_TRUE(stack.PopRight(&out));
+  EXPECT_EQ(out, 400u);
+}
+
+TEST(DequeStackTest, CapacityBoundsRespected) {
+  HostMemory memory(DequeStack::BytesFor(4));
+  DequeStack stack(memory, 0, 4);
+  for (uint64_t v = 0; v < 4; v++) {
+    EXPECT_TRUE(stack.PushRight(v));
+  }
+  EXPECT_FALSE(stack.PushRight(99));
+  EXPECT_FALSE(stack.PushLeft(99));
+  uint64_t out = 0;
+  for (int i = 0; i < 4; i++) {
+    EXPECT_TRUE(stack.PopRight(&out));
+  }
+  EXPECT_FALSE(stack.PopRight(&out));
+  EXPECT_FALSE(stack.PopLeft(&out));
+}
+
+TEST(DequeStackTest, RingWrapsAcrossManyCycles) {
+  HostMemory memory(DequeStack::BytesFor(8));
+  DequeStack stack(memory, 0, 8);
+  // Long alternating traffic forces the virtual indices far past capacity.
+  uint64_t next_in = 0;
+  uint64_t next_out = 0;
+  for (int round = 0; round < 1000; round++) {
+    EXPECT_TRUE(stack.PushRight(next_in++));
+    EXPECT_TRUE(stack.PushRight(next_in++));
+    uint64_t out = 0;
+    EXPECT_TRUE(stack.PopLeft(&out));
+    EXPECT_EQ(out, next_out++);
+    EXPECT_TRUE(stack.PopLeft(&out));
+    EXPECT_EQ(out, next_out++);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(DequeStackTest, BatchedFormsMoveUpToCount) {
+  HostMemory memory(DequeStack::BytesFor(16));
+  DequeStack stack(memory, 0, 16);
+  const std::vector<uint64_t> in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(stack.PushLeftBatch(in), 5u);
+  std::vector<uint64_t> out(8, 0);
+  EXPECT_EQ(stack.PopLeftBatch(out), 5u);  // only five available
+}
+
+TEST(DequeStackTest, EntriesLiveInTheBackingMemory) {
+  HostMemory memory(DequeStack::BytesFor(4));
+  DequeStack stack(memory, 0, 4);
+  EXPECT_TRUE(stack.PushRight(0xfeedf00d));
+  // The entry is physically in the arena right after the 16-byte header.
+  uint64_t raw = 0;
+  std::memcpy(&raw, memory.Span(16, 8).data(), 8);
+  EXPECT_EQ(raw, 0xfeedf00dull);
+}
+
+TEST(HostDaemonTest, StartsWithWholeRegionInTopClass) {
+  SlabConfig config = SmallConfig();
+  HostDaemon daemon(config);
+  EXPECT_EQ(daemon.StackDepth(4), config.region_size / 512);
+  EXPECT_EQ(daemon.StackDepth(0), 0u);
+  EXPECT_EQ(daemon.FreeBytes(), config.region_size);
+}
+
+TEST(HostDaemonTest, PopSplitsLargerSlabs) {
+  SlabConfig config = SmallConfig();
+  HostDaemon daemon(config);
+  uint64_t address = 0;
+  EXPECT_EQ(daemon.PopBatch(0, std::span<uint64_t>(&address, 1)), 1u);
+  // Splitting one 512 B slab down to 32 B leaves one free slab in each
+  // intermediate class.
+  EXPECT_EQ(daemon.StackDepth(0), 1u);  // the other 32 B half
+  EXPECT_EQ(daemon.StackDepth(1), 1u);
+  EXPECT_EQ(daemon.StackDepth(2), 1u);
+  EXPECT_EQ(daemon.StackDepth(3), 1u);
+  EXPECT_EQ(daemon.stats().splits, 4u);
+}
+
+TEST(HostDaemonTest, LazyMergeRebuildsLargeSlabs) {
+  SlabConfig config = SmallConfig();
+  config.region_size = 1024;  // two 512 B slabs
+  HostDaemon daemon(config);
+  // Drain everything as 32 B slabs.
+  std::vector<uint64_t> slabs(32);
+  EXPECT_EQ(daemon.PopBatch(0, slabs), 32u);
+  EXPECT_EQ(daemon.StackDepth(4), 0u);
+  // Return them all, then ask for a 512 B slab: only merging can satisfy it.
+  daemon.PushBatch(0, slabs);
+  uint64_t big = 0;
+  EXPECT_EQ(daemon.PopBatch(4, std::span<uint64_t>(&big, 1)), 1u);
+  EXPECT_GE(daemon.stats().slabs_merged, 15u);
+}
+
+TEST(HostDaemonTest, ExhaustionReturnsZero) {
+  SlabConfig config = SmallConfig();
+  config.region_size = 512;
+  HostDaemon daemon(config);
+  std::vector<uint64_t> slabs(16);
+  EXPECT_EQ(daemon.PopBatch(0, slabs), 16u);  // 512 / 32
+  uint64_t extra = 0;
+  EXPECT_EQ(daemon.PopBatch(0, std::span<uint64_t>(&extra, 1)), 0u);
+}
+
+TEST(SlabAllocatorTest, AllocateFreeRoundTrip) {
+  SlabAllocator allocator(SmallConfig());
+  Result<uint64_t> a = allocator.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % 128, 0u);  // class alignment
+  EXPECT_TRUE(allocator.daemon().bitmap().IsAllocated(*a, 128));
+  allocator.Free(*a, 100);
+  EXPECT_TRUE(allocator.daemon().bitmap().IsFree(*a, 128));
+}
+
+TEST(SlabAllocatorTest, RejectsOversizedAndZero) {
+  SlabAllocator allocator(SmallConfig());
+  EXPECT_FALSE(allocator.Allocate(0).ok());
+  EXPECT_FALSE(allocator.Allocate(513).ok());
+}
+
+TEST(SlabAllocatorTest, DistinctAddressesUntilExhaustion) {
+  SlabConfig config = SmallConfig();
+  config.region_size = 4 * kKiB;
+  SlabAllocator allocator(config);
+  std::set<uint64_t> addresses;
+  while (true) {
+    Result<uint64_t> r = allocator.Allocate(32);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+      break;
+    }
+    EXPECT_TRUE(addresses.insert(*r).second) << "duplicate address";
+  }
+  EXPECT_EQ(addresses.size(), 4 * kKiB / 32);
+}
+
+TEST(SlabAllocatorTest, BatchingAmortizesSyncDma) {
+  SlabConfig config = SmallConfig();
+  config.region_size = 1 * kMiB;
+  SlabAllocator allocator(config);
+  for (int i = 0; i < 2000; i++) {
+    Result<uint64_t> r = allocator.Allocate(32);
+    ASSERT_TRUE(r.ok());
+  }
+  // Paper: < 0.07 DMA per allocation with batched sync.
+  EXPECT_LT(allocator.sync_stats().AmortizedDmaPerOp(), 0.2);
+  EXPECT_GT(allocator.sync_stats().sync_dma_reads, 0u);
+}
+
+TEST(SlabAllocatorTest, ChurnReusesFreedSlabsWithoutDaemonTraffic) {
+  SlabConfig config = SmallConfig();
+  SlabAllocator allocator(config);
+  // Warm up.
+  Result<uint64_t> first = allocator.Allocate(64);
+  ASSERT_TRUE(first.ok());
+  const uint64_t reads_before = allocator.sync_stats().sync_dma_reads;
+  // Stable-size churn: free then allocate repeatedly; the NIC stack absorbs
+  // everything (paper: stable workloads never trigger split/merge).
+  uint64_t address = *first;
+  for (int i = 0; i < 1000; i++) {
+    allocator.Free(address, 64);
+    Result<uint64_t> next = allocator.Allocate(64);
+    ASSERT_TRUE(next.ok());
+    address = *next;
+  }
+  EXPECT_EQ(allocator.sync_stats().sync_dma_reads, reads_before);
+  EXPECT_EQ(allocator.daemon().stats().merge_passes, 0u);
+}
+
+TEST(SlabAllocatorTest, WorkloadShiftTriggersMerge) {
+  SlabConfig config = SmallConfig();
+  config.region_size = 8 * kKiB;
+  config.nic_stack_capacity = 8;
+  config.sync_batch = 4;
+  config.high_watermark = 6;
+  config.low_watermark = 1;
+  SlabAllocator allocator(config);
+  // Phase 1: fill the region with small KVs.
+  std::vector<uint64_t> small;
+  while (true) {
+    Result<uint64_t> r = allocator.Allocate(32);
+    if (!r.ok()) {
+      break;
+    }
+    small.push_back(*r);
+  }
+  // Phase 2: free everything, then allocate large slabs — merging required.
+  for (uint64_t address : small) {
+    allocator.Free(address, 32);
+  }
+  int large_count = 0;
+  while (true) {
+    Result<uint64_t> r = allocator.Allocate(512);
+    if (!r.ok()) {
+      break;
+    }
+    large_count++;
+  }
+  EXPECT_GE(large_count, 12);  // most of the 16 possible 512 B slabs
+  EXPECT_GT(allocator.daemon().stats().slabs_merged, 0u);
+}
+
+TEST(SlabAllocatorTest, FreeBytesTracksAllocations) {
+  SlabConfig config = SmallConfig();
+  SlabAllocator allocator(config);
+  const uint64_t initial = allocator.FreeBytes();
+  Result<uint64_t> a = allocator.Allocate(200);  // 256 B class
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(allocator.FreeBytes(), initial - 256);
+  allocator.Free(*a, 200);
+  EXPECT_EQ(allocator.FreeBytes(), initial);
+}
+
+}  // namespace
+}  // namespace kvd

@@ -1,0 +1,229 @@
+// Tests for the ECC-spare-bit metadata codec (paper §4): Hamming correction,
+// widened-parity double-bit detection, and metadata coexistence.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/dram/dram_cache_store.h"
+#include "src/dram/ecc_metadata.h"
+
+namespace kvd {
+namespace {
+
+std::array<uint8_t, 64> PatternLine(uint64_t seed) {
+  std::array<uint8_t, 64> data;
+  Rng rng(seed);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(HammingTest, CleanWordDecodesClean) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; trial++) {
+    uint64_t data = rng.Next();
+    uint8_t check = HammingEncode(data);
+    const uint64_t original = data;
+    EXPECT_EQ(HammingDecode(data, check), EccDecodeStatus::kClean);
+    EXPECT_EQ(data, original);
+  }
+}
+
+TEST(HammingTest, EverySingleDataBitFlipCorrects) {
+  const uint64_t original = 0xdeadbeefcafef00dull;
+  const uint8_t original_check = HammingEncode(original);
+  for (int bit = 0; bit < 64; bit++) {
+    uint64_t data = original ^ (uint64_t{1} << bit);
+    uint8_t check = original_check;
+    EXPECT_EQ(HammingDecode(data, check), EccDecodeStatus::kCorrectedSingle) << bit;
+    EXPECT_EQ(data, original) << bit;
+    EXPECT_EQ(check, original_check) << bit;
+  }
+}
+
+TEST(HammingTest, EverySingleCheckBitFlipCorrects) {
+  const uint64_t original = 0x0123456789abcdefull;
+  const uint8_t original_check = HammingEncode(original);
+  for (int bit = 0; bit < 7; bit++) {
+    uint64_t data = original;
+    uint8_t check = original_check ^ static_cast<uint8_t>(1u << bit);
+    EXPECT_EQ(HammingDecode(data, check), EccDecodeStatus::kCorrectedSingle) << bit;
+    EXPECT_EQ(data, original) << bit;
+    EXPECT_EQ(check, original_check) << bit;
+  }
+}
+
+TEST(EccLineTest, MetadataRoundTripsForAllValues) {
+  const auto data = PatternLine(7);
+  for (uint8_t tag = 0; tag < 16; tag++) {
+    for (bool dirty : {false, true}) {
+      EccLine line = EncodeLine(data, LineMetadata{tag, dirty});
+      std::array<uint8_t, 64> out;
+      const LineDecodeResult result = DecodeLine(line, out);
+      EXPECT_EQ(result.status, EccDecodeStatus::kClean);
+      EXPECT_FALSE(result.double_error_detected);
+      EXPECT_EQ(result.metadata, (LineMetadata{tag, dirty}));
+      EXPECT_EQ(std::memcmp(out.data(), data.data(), 64), 0);
+    }
+  }
+}
+
+TEST(EccLineTest, SingleBitErrorAnywhereCorrectsAndKeepsMetadata) {
+  const auto data = PatternLine(11);
+  const LineMetadata metadata{0xA, true};
+  Rng rng(3);
+  for (int trial = 0; trial < 512; trial++) {
+    EccLine line = EncodeLine(data, metadata);
+    const int bit = static_cast<int>(rng.NextBelow(512));  // any data bit
+    line.words[bit / 64] ^= uint64_t{1} << (bit % 64);
+    std::array<uint8_t, 64> out;
+    const LineDecodeResult result = DecodeLine(line, out);
+    EXPECT_EQ(result.status, EccDecodeStatus::kCorrectedSingle);
+    EXPECT_EQ(result.corrected_words, 1);
+    EXPECT_FALSE(result.double_error_detected);
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), 64), 0);
+    EXPECT_EQ(result.metadata, metadata);
+  }
+}
+
+TEST(EccLineTest, DoubleBitErrorInOneWordIsDetectedNotMiscorrected) {
+  const auto data = PatternLine(13);
+  Rng rng(5);
+  int detected = 0;
+  constexpr int kTrials = 512;
+  for (int trial = 0; trial < kTrials; trial++) {
+    EccLine line = EncodeLine(data, LineMetadata{3, false});
+    const int word = static_cast<int>(rng.NextBelow(8));
+    const int bit_a = static_cast<int>(rng.NextBelow(64));
+    int bit_b = static_cast<int>(rng.NextBelow(64));
+    while (bit_b == bit_a) {
+      bit_b = static_cast<int>(rng.NextBelow(64));
+    }
+    line.words[word] ^= uint64_t{1} << bit_a;
+    line.words[word] ^= uint64_t{1} << bit_b;
+    std::array<uint8_t, 64> out;
+    const LineDecodeResult result = DecodeLine(line, out);
+    detected += result.double_error_detected ? 1 : 0;
+    // Crucially: the decoder must NOT claim a clean single-bit repair.
+    EXPECT_NE(result.status, EccDecodeStatus::kClean);
+  }
+  EXPECT_EQ(detected, kTrials);  // SECDED: every double detected
+}
+
+TEST(EccLineTest, SingleErrorsInBothGroupsCorrectIndependently) {
+  const auto data = PatternLine(17);
+  EccLine line = EncodeLine(data, LineMetadata{5, true});
+  line.words[1] ^= uint64_t{1} << 20;  // group 0
+  line.words[6] ^= uint64_t{1} << 41;  // group 1
+  std::array<uint8_t, 64> out;
+  const LineDecodeResult result = DecodeLine(line, out);
+  EXPECT_EQ(result.corrected_words, 2);
+  EXPECT_FALSE(result.double_error_detected);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 64), 0);
+  EXPECT_EQ(result.metadata, (LineMetadata{5, true}));
+}
+
+// The paper's arithmetic: 8 x 8 ECC bits, minus 8 x 7 Hamming, minus 2 group
+// parity = 6 free bits >= 5 metadata bits. The layout constants must respect
+// that budget.
+TEST(EccLineTest, BitBudgetMatchesPaper) {
+  EXPECT_EQ(kTagBitsFirstWord + 4, kDirtyBitWord);
+  EXPECT_LT(kSpareBitWord, 8);
+  // 2 parity + 4 tag + 1 dirty + 1 spare = the 8 repurposed MSBs.
+  EXPECT_EQ(2 + 4 + 1 + 1, 8);
+}
+
+// --- DramCacheStore: the ECC codec under a real cache ---
+
+std::array<uint8_t, 64> LinePattern(uint8_t fill) {
+  std::array<uint8_t, 64> data;
+  data.fill(fill);
+  return data;
+}
+
+TEST(DramCacheStoreTest, InstallLookupRoundTrip) {
+  DramCacheStore cache(16);
+  const auto data = LinePattern(0x7b);
+  EXPECT_FALSE(cache.Install(3 * 64, data, false).has_value());
+  const auto hit = cache.Lookup(3 * 64);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data, data);
+  EXPECT_FALSE(hit->dirty);
+}
+
+TEST(DramCacheStoreTest, TagDistinguishesConflictingHostLines) {
+  DramCacheStore cache(16);
+  // Host lines 3 and 3+16 map to the same slot with different tags.
+  EXPECT_FALSE(cache.Install(3 * 64, LinePattern(1), false).has_value());
+  ASSERT_TRUE(cache.Lookup(3 * 64).has_value());
+  EXPECT_FALSE(cache.Lookup((3 + 16) * 64).has_value());  // tag mismatch
+  // Installing the conflicting line displaces the first.
+  EXPECT_FALSE(cache.Install((3 + 16) * 64, LinePattern(2), false).has_value());
+  EXPECT_FALSE(cache.Lookup(3 * 64).has_value());
+  ASSERT_TRUE(cache.Lookup((3 + 16) * 64).has_value());
+}
+
+TEST(DramCacheStoreTest, DirtyEvictionCarriesDataAndAddress) {
+  DramCacheStore cache(16);
+  EXPECT_FALSE(cache.Install(5 * 64, LinePattern(9), /*dirty=*/true).has_value());
+  const auto eviction = cache.Install((5 + 32) * 64, LinePattern(4), false);
+  ASSERT_TRUE(eviction.has_value());
+  EXPECT_TRUE(eviction->dirty);
+  EXPECT_EQ(eviction->host_address, 5u * 64);
+  EXPECT_EQ(eviction->data, LinePattern(9));
+}
+
+TEST(DramCacheStoreTest, MarkDirtyUpdatesInPlace) {
+  DramCacheStore cache(16);
+  EXPECT_FALSE(cache.Install(2 * 64, LinePattern(1), false).has_value());
+  EXPECT_TRUE(cache.MarkDirty(2 * 64, LinePattern(8)));
+  const auto hit = cache.Lookup(2 * 64);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->dirty);
+  EXPECT_EQ(hit->data, LinePattern(8));
+  // Tag mismatch refuses the write-hit path.
+  EXPECT_FALSE(cache.MarkDirty((2 + 16) * 64, LinePattern(8)));
+}
+
+TEST(DramCacheStoreTest, SingleBitFaultsAreScrubbedTransparently) {
+  DramCacheStore cache(64);
+  Rng rng(21);
+  int survived = 0;
+  for (int trial = 0; trial < 200; trial++) {
+    const uint64_t line = rng.NextBelow(64);
+    const auto data = LinePattern(static_cast<uint8_t>(trial));
+    cache.Install(line * 64, data, false);
+    cache.InjectBitFlip(line, static_cast<uint32_t>(rng.NextBelow(512)));  // data bits
+    const auto hit = cache.Lookup(line * 64);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data, data);
+    survived++;
+    // The scrub rewrote the corrected line: a second read is clean.
+    const uint64_t corrected_before = cache.corrected_errors();
+    ASSERT_TRUE(cache.Lookup(line * 64).has_value());
+    EXPECT_EQ(cache.corrected_errors(), corrected_before);
+  }
+  EXPECT_EQ(survived, 200);
+  EXPECT_EQ(cache.corrected_errors(), 200u);
+}
+
+TEST(DramCacheStoreTest, DoubleBitFaultBecomesACountedMiss) {
+  DramCacheStore cache(16);
+  const auto data = LinePattern(0x3c);
+  cache.Install(7 * 64, data, false);
+  // Two flips in the same 64-bit word.
+  cache.InjectBitFlip(7, 130);
+  cache.InjectBitFlip(7, 140);
+  EXPECT_FALSE(cache.Lookup(7 * 64).has_value());
+  EXPECT_EQ(cache.double_errors(), 1u);
+  // The slot was reset: a refetched install works again.
+  cache.Install(7 * 64, data, false);
+  ASSERT_TRUE(cache.Lookup(7 * 64).has_value());
+}
+
+}  // namespace
+}  // namespace kvd

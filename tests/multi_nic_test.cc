@@ -1,0 +1,136 @@
+// Tests for the multi-NIC deployment (paper Table 3: 10 NICs, near-linear).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/core/multi_nic.h"
+
+namespace kvd {
+namespace {
+
+std::vector<uint8_t> Key(uint64_t id) {
+  std::vector<uint8_t> key(8);
+  std::memcpy(key.data(), &id, 8);
+  return key;
+}
+
+ServerConfig PerNicConfig() {
+  ServerConfig config;
+  config.kvs_memory_bytes = 2 * kMiB;
+  config.nic_dram.capacity_bytes = 256 * kKiB;
+  config.inline_threshold_bytes = 24;
+  return config;
+}
+
+TEST(MultiNicTest, PartitioningIsStableAndCoversAllNics) {
+  MultiNicServer cluster(4, PerNicConfig());
+  std::set<uint32_t> owners;
+  for (uint64_t i = 0; i < 1000; i++) {
+    const uint32_t owner = cluster.OwnerOf(Key(i));
+    EXPECT_LT(owner, 4u);
+    EXPECT_EQ(owner, cluster.OwnerOf(Key(i)));  // stable
+    owners.insert(owner);
+  }
+  EXPECT_EQ(owners.size(), 4u);  // all NICs carry load
+}
+
+TEST(MultiNicTest, RoutedOperationsRoundTrip) {
+  MultiNicServer cluster(4, PerNicConfig());
+  MultiNicClient client(cluster);
+  for (uint64_t i = 0; i < 200; i++) {
+    ASSERT_TRUE(client.Put(Key(i), Key(i * 7)).ok());
+  }
+  for (uint64_t i = 0; i < 200; i++) {
+    auto v = client.Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, Key(i * 7));
+  }
+  EXPECT_EQ(cluster.TotalKvs(), 200u);
+  // Keys land in the NIC that owns them and nowhere else.
+  for (uint64_t i = 0; i < 200; i++) {
+    KvOperation get;
+    get.opcode = Opcode::kGet;
+    get.key = Key(i);
+    for (uint32_t nic = 0; nic < cluster.num_nics(); nic++) {
+      const KvResultMessage r = cluster.nic(nic).Execute(get);
+      EXPECT_EQ(r.code == ResultCode::kOk, nic == cluster.OwnerOf(Key(i)));
+    }
+  }
+}
+
+TEST(MultiNicTest, DeleteAndUpdateRouteCorrectly) {
+  MultiNicServer cluster(3, PerNicConfig());
+  MultiNicClient client(cluster);
+  ASSERT_TRUE(client.Put(Key(1), std::vector<uint8_t>(8, 0)).ok());
+  auto original = client.Update(Key(1), 5);
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*original, 0u);
+  ASSERT_TRUE(client.Delete(Key(1)).ok());
+  EXPECT_EQ(client.Get(Key(1)).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MultiNicTest, BatchFlushPreservesOrderAcrossPartitions) {
+  MultiNicServer cluster(4, PerNicConfig());
+  MultiNicClient client(cluster);
+  constexpr uint64_t kOps = 300;
+  for (uint64_t i = 0; i < kOps; i++) {
+    KvOperation op;
+    op.opcode = Opcode::kPut;
+    op.key = Key(i);
+    op.value = Key(i + 1);
+    client.Enqueue(std::move(op));
+  }
+  auto put_results = client.Flush();
+  ASSERT_EQ(put_results.size(), kOps);
+  for (uint64_t i = 0; i < kOps; i++) {
+    KvOperation op;
+    op.opcode = Opcode::kGet;
+    op.key = Key(i);
+    client.Enqueue(std::move(op));
+  }
+  auto get_results = client.Flush();
+  ASSERT_EQ(get_results.size(), kOps);
+  for (uint64_t i = 0; i < kOps; i++) {
+    ASSERT_EQ(get_results[i].code, ResultCode::kOk) << i;
+    EXPECT_EQ(get_results[i].value, Key(i + 1)) << i;  // order preserved
+  }
+}
+
+TEST(MultiNicTest, ThroughputScalesNearLinearly) {
+  // Weak scaling, like the paper's 10-NIC experiment: every NIC serves its
+  // own partition at full load, and the aggregate is ops / slowest clock.
+  auto run = [](uint32_t num_nics) {
+    MultiNicServer cluster(num_nics, PerNicConfig());
+    MultiNicClient client(cluster);
+    const uint64_t ops = 10000 * num_nics;
+    for (uint64_t i = 0; i < 512; i++) {
+      (void)cluster.Load(Key(i), Key(i));
+    }
+    for (uint64_t i = 0; i < ops; i++) {
+      KvOperation op;
+      op.opcode = Opcode::kGet;
+      op.key = Key(i % 512);
+      client.Enqueue(std::move(op));
+    }
+    client.Flush();
+    return static_cast<double>(ops) /
+           (static_cast<double>(cluster.MaxSimTime()) / kMicrosecond);
+  };
+  const double one = run(1);
+  const double four = run(4);
+  EXPECT_GT(four, one * 3.2);  // near-linear (paper: 9.6x at 10 NICs)
+}
+
+TEST(MultiNicTest, SingleNicDegeneratesToPlainServer) {
+  MultiNicServer cluster(1, PerNicConfig());
+  MultiNicClient client(cluster);
+  ASSERT_TRUE(client.Put(Key(1), Key(2)).ok());
+  EXPECT_EQ(cluster.OwnerOf(Key(1)), 0u);
+  EXPECT_EQ(cluster.TotalKvs(), 1u);
+}
+
+}  // namespace
+}  // namespace kvd

@@ -1,0 +1,235 @@
+// Tests for the wire format (batching + flag-bit compression) and the
+// network timing model (paper §4, Figure 15).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/kv_types.h"
+#include "src/net/network_model.h"
+#include "src/net/wire_format.h"
+#include "src/sim/simulator.h"
+
+namespace kvd {
+namespace {
+
+KvOperation MakeGet(std::vector<uint8_t> key) {
+  KvOperation op;
+  op.opcode = Opcode::kGet;
+  op.key = std::move(key);
+  return op;
+}
+
+KvOperation MakePut(std::vector<uint8_t> key, std::vector<uint8_t> value) {
+  KvOperation op;
+  op.opcode = Opcode::kPut;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+std::vector<KvOperation> RoundTrip(const std::vector<KvOperation>& ops,
+                                   bool compression = true) {
+  PacketBuilder builder(65536, compression);
+  for (const auto& op : ops) {
+    EXPECT_TRUE(builder.Add(op));
+  }
+  PacketParser parser(builder.Finish());
+  std::vector<KvOperation> out;
+  while (true) {
+    auto next = parser.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next->has_value()) {
+      break;
+    }
+    out.push_back(std::move(**next));
+  }
+  return out;
+}
+
+TEST(WireFormatTest, SingleOpRoundTrip) {
+  const auto ops = RoundTrip({MakePut({1, 2, 3}, {9, 8, 7, 6})});
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].opcode, Opcode::kPut);
+  EXPECT_EQ(ops[0].key, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(ops[0].value, (std::vector<uint8_t>{9, 8, 7, 6}));
+}
+
+TEST(WireFormatTest, MixedBatchRoundTrip) {
+  std::vector<KvOperation> in;
+  in.push_back(MakeGet({1, 1, 1}));
+  in.push_back(MakePut({2, 2}, {5}));
+  KvOperation update;
+  update.opcode = Opcode::kUpdateScalar;
+  update.key = {3, 3, 3, 3};
+  update.param = 0xdeadbeef;
+  update.function_id = kFnAddU64;
+  update.element_width = 8;
+  in.push_back(update);
+  KvOperation reduce;
+  reduce.opcode = Opcode::kReduce;
+  reduce.key = {4};
+  reduce.param = 42;
+  reduce.function_id = kFnMaxU64;
+  reduce.element_width = 4;
+  in.push_back(reduce);
+
+  const auto out = RoundTrip(in);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2].param, 0xdeadbeefu);
+  EXPECT_EQ(out[2].function_id, kFnAddU64);
+  EXPECT_EQ(out[3].opcode, Opcode::kReduce);
+  EXPECT_EQ(out[3].param, 42u);
+  EXPECT_EQ(out[3].element_width, 4);
+}
+
+TEST(WireFormatTest, CompressionElidesRepeatedSizes) {
+  // 100 PUTs with identical key/value sizes and identical values.
+  std::vector<KvOperation> same;
+  std::vector<KvOperation> varied;
+  for (int i = 0; i < 100; i++) {
+    same.push_back(MakePut({static_cast<uint8_t>(i), 0, 0, 0, 0, 0, 0, 0},
+                           {42, 42, 42, 42, 42, 42, 42, 42}));
+    varied.push_back(MakePut({static_cast<uint8_t>(i)},
+                             std::vector<uint8_t>(1 + i % 7, static_cast<uint8_t>(i))));
+  }
+  PacketBuilder compressed(65536, true);
+  PacketBuilder uncompressed(65536, false);
+  for (const auto& op : same) {
+    compressed.Add(op);
+    uncompressed.Add(op);
+  }
+  // Compressed: first op full, then 2 B header + 8 B key each.
+  EXPECT_LT(compressed.payload_size(), uncompressed.payload_size() * 6 / 10);
+  // Round trip correctness both ways.
+  const auto out = RoundTrip(same, true);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i].key, same[i].key);
+    EXPECT_EQ(out[i].value, same[i].value);
+  }
+  const auto out_varied = RoundTrip(varied, true);
+  ASSERT_EQ(out_varied.size(), 100u);
+  for (size_t i = 0; i < out_varied.size(); i++) {
+    EXPECT_EQ(out_varied[i].value, varied[i].value);
+  }
+}
+
+TEST(WireFormatTest, BuilderRespectsPayloadBudget) {
+  PacketBuilder builder(128, true);
+  int added = 0;
+  while (builder.Add(MakePut({1, 2, 3, 4}, std::vector<uint8_t>(30, 7)))) {
+    added++;
+  }
+  EXPECT_GT(added, 1);
+  EXPECT_LE(builder.payload_size(), 128u);
+}
+
+TEST(WireFormatTest, EncodedOperationSizeMatchesBuilder) {
+  const KvOperation a = MakePut({1, 2, 3, 4}, std::vector<uint8_t>(16, 9));
+  const KvOperation b = MakePut({5, 6, 7, 8}, std::vector<uint8_t>(16, 9));
+  PacketBuilder builder(65536, true);
+  builder.Add(a);
+  const size_t after_first = builder.payload_size();
+  builder.Add(b);
+  const size_t delta = builder.payload_size() - after_first;
+  EXPECT_EQ(delta, EncodedOperationSize(b, &a, true));
+  EXPECT_EQ(after_first, EncodedOperationSize(a, nullptr, true));
+}
+
+TEST(WireFormatTest, ParserRejectsTruncatedPacket) {
+  PacketBuilder builder(65536, true);
+  builder.Add(MakePut({1, 2, 3}, {4, 5, 6}));
+  std::vector<uint8_t> payload = builder.Finish();
+  payload.resize(payload.size() - 2);  // chop the tail
+  PacketParser parser(std::move(payload));
+  auto r = parser.Next();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireFormatTest, ParserRejectsBadCopyFlags) {
+  // First op cannot copy sizes from a nonexistent predecessor.
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(Opcode::kGet),
+                                  kFlagCopyKeyLen};
+  PacketParser parser(std::move(payload));
+  auto r = parser.Next();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireFormatTest, ResultsRoundTrip) {
+  std::vector<KvResultMessage> in(3);
+  in[0].code = ResultCode::kOk;
+  in[0].value = {1, 2, 3};
+  in[1].code = ResultCode::kNotFound;
+  in[2].code = ResultCode::kOk;
+  in[2].scalar = 0x123456789abcdef0ull;
+  auto decoded = DecodeResults(EncodeResults(in));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].value, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ((*decoded)[1].code, ResultCode::kNotFound);
+  EXPECT_EQ((*decoded)[2].scalar, 0x123456789abcdef0ull);
+}
+
+TEST(NetworkModelTest, DeliveryAfterSerializationPlusLatency) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  SimTime delivered_at = 0;
+  net.SendToServer(912, [&] { delivered_at = sim.Now(); });  // 912+88 = 1000 B
+  sim.RunUntilIdle();
+  // 1000 B at 5 GB/s = 200 ns wire + 60 ns packet processing + 1 us latency.
+  EXPECT_NEAR(static_cast<double>(delivered_at), 1260.0 * kNanosecond,
+              1.0 * kNanosecond);
+}
+
+TEST(NetworkModelTest, DirectionsAreIndependent) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  SimTime up = 0;
+  SimTime down = 0;
+  net.SendToServer(912, [&] { up = sim.Now(); });
+  net.SendToClient(912, [&] { down = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(up, down);  // no shared wire contention
+}
+
+TEST(NetworkModelTest, BackToBackPacketsQueueOnTheWire) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; i++) {
+    net.SendToServer(912, [&] { arrivals.push_back(sim.Now()); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - arrivals[0]), 260.0 * kNanosecond,
+              1.0 * kNanosecond);
+  EXPECT_NEAR(static_cast<double>(arrivals[2] - arrivals[1]), 260.0 * kNanosecond,
+              1.0 * kNanosecond);
+}
+
+TEST(NetworkModelTest, OversizedPayloadSegments) {
+  Simulator sim;
+  NetworkConfig config;
+  config.max_payload_bytes = 1000;
+  NetworkModel net(sim, config);
+  bool done = false;
+  net.SendToClient(2500, [&] { done = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(net.packets_to_client(), 3u);
+  EXPECT_EQ(net.bytes_to_client(), 2500u + 3 * 88);
+}
+
+TEST(NetworkModelTest, ByteAndPacketAccounting) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  net.SendToServer(100, [] {});
+  net.SendToServer(200, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.packets_to_server(), 2u);
+  EXPECT_EQ(net.bytes_to_server(), 300u + 2 * 88);
+}
+
+}  // namespace
+}  // namespace kvd

@@ -1,0 +1,159 @@
+// Tests for the reservation station (paper §3.3.3).
+#include <gtest/gtest.h>
+
+#include "src/ooo/reservation_station.h"
+
+namespace kvd {
+namespace {
+
+using Action = ReservationStation::Action;
+
+OooConfig SmallConfig() {
+  OooConfig config;
+  config.station_slots = 16;
+  config.max_inflight = 8;
+  return config;
+}
+
+TEST(ReservationStationTest, IndependentOpsIssueDirectly) {
+  ReservationStation station(SmallConfig());
+  EXPECT_EQ(station.Admit(1, 0, 100, false), Action::kIssueToPipeline);
+  EXPECT_EQ(station.Admit(2, 1, 200, false), Action::kIssueToPipeline);
+  EXPECT_EQ(station.inflight(), 2u);
+}
+
+TEST(ReservationStationTest, SameKeyParksBehindPipeline) {
+  ReservationStation station(SmallConfig());
+  EXPECT_EQ(station.Admit(1, 3, 100, true), Action::kIssueToPipeline);
+  EXPECT_EQ(station.Admit(2, 3, 100, false), Action::kPark);
+  EXPECT_EQ(station.ParkedCount(3), 1u);
+}
+
+TEST(ReservationStationTest, CompletionForwardsSameKeyChain) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, true);
+  station.Admit(2, 3, 100, false);
+  station.Admit(3, 3, 100, true);
+  const auto fast = station.CompletePipeline(3);
+  EXPECT_EQ(fast, (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(station.inflight(), 0u);
+  EXPECT_EQ(station.stats().fast_path_ops, 2u);
+}
+
+TEST(ReservationStationTest, CachedValueServesFastPathImmediately) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, true);
+  station.CompletePipeline(3);
+  // Slot is now Cached for digest 100: same-key ops retire instantly.
+  EXPECT_EQ(station.Admit(2, 3, 100, false), Action::kFastPath);
+  EXPECT_EQ(station.Admit(3, 3, 100, true), Action::kFastPath);
+  EXPECT_EQ(station.inflight(), 0u);
+}
+
+TEST(ReservationStationTest, WriteMarksDirtyAndWritebackCycleWorks) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, false);  // read in the pipeline
+  station.Admit(2, 3, 100, true);   // parked write: executes via forwarding
+  const auto fast = station.CompletePipeline(3);
+  EXPECT_EQ(fast, (std::vector<uint64_t>{2}));
+  // The forwarded write dirtied the cached value: write-back required.
+  EXPECT_TRUE(station.NeedsWriteback(3));
+  station.BeginWriteback(3);
+  EXPECT_FALSE(station.NeedsWriteback(3));
+  // A write arriving during the write-back re-dirties the slot.
+  EXPECT_EQ(station.Admit(2, 3, 100, true), Action::kFastPath);
+  station.CompleteWriteback(3);
+  EXPECT_TRUE(station.NeedsWriteback(3));
+}
+
+TEST(ReservationStationTest, ReadPipelineOpLeavesSlotCachedAndClean) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, false);
+  station.CompletePipeline(3);
+  EXPECT_FALSE(station.NeedsWriteback(3));
+  EXPECT_EQ(station.TryIssueNext(3), std::nullopt);
+  // The value stays cached for later same-key operations...
+  EXPECT_FALSE(station.SlotIdle(3));
+  EXPECT_EQ(station.Admit(2, 3, 100, false), Action::kFastPath);
+  // ...until a different key claims the slot, which evicts and issues.
+  EXPECT_EQ(station.Admit(3, 3, 999, false), Action::kIssueToPipeline);
+  // After the eviction the old key is a cache miss again.
+  EXPECT_EQ(station.Admit(4, 3, 100, false), Action::kPark);
+}
+
+TEST(ReservationStationTest, FalsePositiveDifferentKeyParksAndReissues) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, false);
+  // Different key, same slot: a false-positive dependency.
+  EXPECT_EQ(station.Admit(2, 3, 999, false), Action::kPark);
+  const auto fast = station.CompletePipeline(3);
+  EXPECT_TRUE(fast.empty());  // different key cannot forward
+  const auto next = station.TryIssueNext(3);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 2u);
+  EXPECT_EQ(station.inflight(), 1u);
+}
+
+TEST(ReservationStationTest, WholeChainScannedOnCompletion) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, true);   // pipeline
+  station.Admit(2, 3, 999, false);  // parked, different key (false positive)
+  station.Admit(3, 3, 100, false);  // same key, behind the false positive
+  // The completion scan forwards every matching-key entry, skipping over the
+  // false positive ("checked one by one ... executed immediately", §3.3.3).
+  const auto fast = station.CompletePipeline(3);
+  EXPECT_EQ(fast, (std::vector<uint64_t>{3}));
+  // The different-key op then issues to the pipeline.
+  EXPECT_FALSE(station.NeedsWriteback(3));
+  const auto next = station.TryIssueNext(3);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 2u);
+}
+
+TEST(ReservationStationTest, FastPathAllowedPastDifferentKeyParked) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 3, 100, false);  // pipeline read of key 100
+  station.Admit(2, 3, 999, false);  // parked false positive
+  station.CompletePipeline(3);      // slot now Cached(100), 999 still parked
+  // A new key-100 arrival has no dependency on the parked 999 op.
+  EXPECT_EQ(station.Admit(4, 3, 100, false), Action::kFastPath);
+  // But an arrival of key 999 queues behind its parked predecessor.
+  EXPECT_EQ(station.Admit(5, 3, 999, false), Action::kPark);
+}
+
+TEST(ReservationStationTest, CapacityRejectsWhenFull) {
+  OooConfig config = SmallConfig();
+  config.max_inflight = 2;
+  ReservationStation station(config);
+  EXPECT_EQ(station.Admit(1, 0, 1, false), Action::kIssueToPipeline);
+  EXPECT_EQ(station.Admit(2, 0, 1, false), Action::kPark);
+  EXPECT_EQ(station.Admit(3, 1, 2, false), Action::kRejectFull);
+  EXPECT_EQ(station.stats().rejected_full, 1u);
+}
+
+TEST(ReservationStationTest, DisabledModeNeverForwards) {
+  OooConfig config = SmallConfig();
+  config.enable_out_of_order = false;
+  ReservationStation station(config);
+  station.Admit(1, 3, 100, true);
+  EXPECT_EQ(station.Admit(2, 3, 100, false), Action::kPark);
+  const auto fast = station.CompletePipeline(3);
+  EXPECT_TRUE(fast.empty());
+  // Parked op re-issues to the pipeline instead (full latency — the stall).
+  // Writes in disabled mode do not use the cached-value machinery.
+  EXPECT_FALSE(station.NeedsWriteback(3));
+  const auto next = station.TryIssueNext(3);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 2u);
+}
+
+TEST(ReservationStationTest, PeakInflightTracked) {
+  ReservationStation station(SmallConfig());
+  station.Admit(1, 0, 1, false);
+  station.Admit(2, 1, 2, false);
+  station.Admit(3, 0, 1, false);  // parked
+  EXPECT_EQ(station.stats().peak_inflight, 3u);
+}
+
+}  // namespace
+}  // namespace kvd

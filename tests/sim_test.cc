@@ -1,0 +1,129 @@
+// Unit tests for the discrete-event simulator and token pools.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/token_pool.h"
+
+namespace kvd {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimestampRunsInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    fired++;
+    if (fired < 5) {
+      sim.Schedule(10, chain);
+    }
+  };
+  sim.Schedule(10, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { fired++; });
+  sim.Schedule(100, [&] { fired++; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(1234);
+  EXPECT_EQ(sim.Now(), 1234u);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(TokenPoolTest, ImmediateGrantWhenAvailable) {
+  TokenPool pool("test", 4);
+  bool granted = false;
+  pool.Acquire(2, [&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(TokenPoolTest, WaitersGrantedFifoOnRelease) {
+  TokenPool pool("test", 2);
+  pool.Acquire(2, [] {});
+  std::vector<int> order;
+  pool.Acquire(1, [&] { order.push_back(1); });
+  pool.Acquire(1, [&] { order.push_back(2); });
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(pool.waiters(), 2u);
+  pool.Release(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TokenPoolTest, FifoFairnessEvenWhenTokensFree) {
+  TokenPool pool("test", 4);
+  pool.Acquire(4, [] {});
+  bool big_granted = false;
+  bool small_granted = false;
+  pool.Acquire(3, [&] { big_granted = true; });
+  pool.Release(2);
+  // Two tokens are free but the 3-token waiter is at the head; a later
+  // 1-token request must not jump the queue.
+  pool.Acquire(1, [&] { small_granted = true; });
+  EXPECT_FALSE(big_granted);
+  EXPECT_FALSE(small_granted);
+  pool.Release(1);  // 3 free: head (3-token) waiter granted, 0 left
+  EXPECT_TRUE(big_granted);
+  EXPECT_FALSE(small_granted);
+  pool.Release(1);  // now the small waiter gets its token
+  EXPECT_TRUE(small_granted);
+}
+
+TEST(TokenPoolTest, TryAcquire) {
+  TokenPool pool("test", 2);
+  EXPECT_TRUE(pool.TryAcquire(2));
+  EXPECT_FALSE(pool.TryAcquire(1));
+  pool.Release(2);
+  EXPECT_TRUE(pool.TryAcquire(1));
+}
+
+TEST(TokenPoolTest, TracksPeakUsage) {
+  TokenPool pool("test", 8);
+  pool.Acquire(5, [] {});
+  pool.Release(3);
+  pool.Acquire(1, [] {});
+  EXPECT_EQ(pool.peak_in_use(), 5u);
+  EXPECT_EQ(pool.total_acquires(), 2u);
+}
+
+}  // namespace
+}  // namespace kvd

@@ -1,0 +1,167 @@
+// Tests for the YCSB workload generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/workload/trace.h"
+#include "src/workload/ycsb.h"
+
+namespace kvd {
+namespace {
+
+TEST(YcsbTest, KeyEncodingStableAndSized) {
+  WorkloadConfig config;
+  config.key_bytes = 10;
+  YcsbWorkload workload(config);
+  const auto key = workload.KeyFor(0x1234);
+  EXPECT_EQ(key.size(), 10u);
+  EXPECT_EQ(key, workload.KeyFor(0x1234));
+  EXPECT_NE(key, workload.KeyFor(0x1235));
+}
+
+TEST(YcsbTest, GetRatioHonored) {
+  WorkloadConfig config = WorkloadConfig::YcsbB();  // 95% GET
+  YcsbWorkload workload(config);
+  int gets = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    gets += workload.NextOp().opcode == Opcode::kGet ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / kOps, 0.95, 0.01);
+}
+
+TEST(YcsbTest, PureWriteMix) {
+  WorkloadConfig config;
+  config.get_ratio = 0.0;
+  config.value_bytes = 32;
+  YcsbWorkload workload(config);
+  for (int i = 0; i < 100; i++) {
+    const KvOperation op = workload.NextOp();
+    EXPECT_EQ(op.opcode, Opcode::kPut);
+    EXPECT_EQ(op.value.size(), 32u);
+  }
+}
+
+TEST(YcsbTest, UniformKeysCoverSpace) {
+  WorkloadConfig config;
+  config.num_keys = 100;
+  YcsbWorkload workload(config);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; i++) {
+    counts[workload.NextKeyId()]++;
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*min_it, 100);
+  EXPECT_LT(*max_it, 350);
+}
+
+TEST(YcsbTest, LongTailIsSkewed) {
+  WorkloadConfig config;
+  config.num_keys = 10000;
+  config.distribution = KeyDistribution::kLongTail;
+  YcsbWorkload workload(config);
+  std::vector<int> counts(10000, 0);
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; i++) {
+    counts[workload.NextKeyId()]++;
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  // Zipf 0.99: the hottest key draws several percent of all traffic and the
+  // top 100 keys a large share.
+  EXPECT_GT(counts[0], kOps / 100);
+  int top100 = 0;
+  for (int i = 0; i < 100; i++) {
+    top100 += counts[i];
+  }
+  EXPECT_GT(top100, kOps / 4);
+}
+
+TEST(YcsbTest, DeterministicForSeed) {
+  WorkloadConfig config = WorkloadConfig::YcsbA();
+  YcsbWorkload a(config);
+  YcsbWorkload b(config);
+  for (int i = 0; i < 100; i++) {
+    const KvOperation op_a = a.NextOp();
+    const KvOperation op_b = b.NextOp();
+    EXPECT_EQ(op_a.opcode, op_b.opcode);
+    EXPECT_EQ(op_a.key, op_b.key);
+  }
+}
+
+TEST(YcsbTest, LoadOpsDeterministic) {
+  WorkloadConfig config;
+  config.value_bytes = 24;
+  YcsbWorkload workload(config);
+  const KvOperation op = workload.LoadOpFor(7);
+  EXPECT_EQ(op.opcode, Opcode::kPut);
+  EXPECT_EQ(op.value.size(), 24u);
+  EXPECT_EQ(op.value, workload.LoadOpFor(7).value);
+}
+
+// --- trace record / replay ---
+
+TEST(TraceTest, EncodeDecodeRoundTrip) {
+  WorkloadConfig config = WorkloadConfig::YcsbA();
+  config.num_keys = 500;
+  config.value_bytes = 24;
+  YcsbWorkload workload(config);
+  std::vector<KvOperation> ops;
+  for (int i = 0; i < 1000; i++) {
+    ops.push_back(workload.NextOp());
+  }
+  auto decoded = DecodeTrace(EncodeTrace(ops));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    EXPECT_EQ((*decoded)[i].opcode, ops[i].opcode) << i;
+    EXPECT_EQ((*decoded)[i].key, ops[i].key) << i;
+    EXPECT_EQ((*decoded)[i].value, ops[i].value) << i;
+  }
+}
+
+TEST(TraceTest, RejectsGarbageAndWrongVersion) {
+  EXPECT_FALSE(DecodeTrace({1, 2, 3}).ok());
+  std::vector<KvOperation> ops(1);
+  ops[0].key = {1};
+  std::vector<uint8_t> bytes = EncodeTrace(ops);
+  bytes[8] = 99;  // version
+  EXPECT_FALSE(DecodeTrace(bytes).ok());
+  std::vector<uint8_t> truncated = EncodeTrace(ops);
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(DecodeTrace(truncated).ok());
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  WorkloadConfig config;
+  config.num_keys = 100;
+  YcsbWorkload workload(config);
+  std::vector<KvOperation> ops;
+  for (int i = 0; i < 200; i++) {
+    ops.push_back(workload.NextOp());
+  }
+  const std::string path = ::testing::TempDir() + "/kvd_trace_test.bin";
+  ASSERT_TRUE(WriteTraceFile(path, ops).ok());
+  auto loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), ops.size());
+  EXPECT_FALSE(ReadTraceFile(path + ".missing").ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, CompressionShrinksRegularTraces) {
+  // Uniform-size PUTs with identical values compress heavily.
+  std::vector<KvOperation> ops;
+  for (int i = 0; i < 500; i++) {
+    KvOperation op;
+    op.opcode = Opcode::kPut;
+    op.key.assign(8, static_cast<uint8_t>(i));
+    op.value.assign(32, 7);
+    ops.push_back(std::move(op));
+  }
+  const size_t encoded = EncodeTrace(ops).size();
+  EXPECT_LT(encoded, ops.size() * (2 + 8 + 32));  // far below raw size
+}
+
+}  // namespace
+}  // namespace kvd
