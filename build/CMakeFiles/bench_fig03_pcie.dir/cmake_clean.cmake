@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_pcie.dir/bench/bench_fig03_pcie.cc.o"
+  "CMakeFiles/bench_fig03_pcie.dir/bench/bench_fig03_pcie.cc.o.d"
+  "bench/bench_fig03_pcie"
+  "bench/bench_fig03_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_inline.dir/bench/bench_fig06_inline.cc.o"
+  "CMakeFiles/bench_fig06_inline.dir/bench/bench_fig06_inline.cc.o.d"
+  "bench/bench_fig06_inline"
+  "bench/bench_fig06_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_hashindex.dir/bench/bench_fig09_hashindex.cc.o"
+  "CMakeFiles/bench_fig09_hashindex.dir/bench/bench_fig09_hashindex.cc.o.d"
+  "bench/bench_fig09_hashindex"
+  "bench/bench_fig09_hashindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_hashindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_ratio.cc" "CMakeFiles/bench_fig10_ratio.dir/bench/bench_fig10_ratio.cc.o" "gcc" "CMakeFiles/bench_fig10_ratio.dir/bench/bench_fig10_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/kvd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/kvd_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kvd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

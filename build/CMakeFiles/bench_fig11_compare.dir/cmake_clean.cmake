@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_compare.dir/bench/bench_fig11_compare.cc.o"
+  "CMakeFiles/bench_fig11_compare.dir/bench/bench_fig11_compare.cc.o.d"
+  "bench/bench_fig11_compare"
+  "bench/bench_fig11_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

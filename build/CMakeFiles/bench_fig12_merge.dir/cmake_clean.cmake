@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_merge.dir/bench/bench_fig12_merge.cc.o"
+  "CMakeFiles/bench_fig12_merge.dir/bench/bench_fig12_merge.cc.o.d"
+  "bench/bench_fig12_merge"
+  "bench/bench_fig12_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ooo.dir/bench/bench_fig13_ooo.cc.o"
+  "CMakeFiles/bench_fig13_ooo.dir/bench/bench_fig13_ooo.cc.o.d"
+  "bench/bench_fig13_ooo"
+  "bench/bench_fig13_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

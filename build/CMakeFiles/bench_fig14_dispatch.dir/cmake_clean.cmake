@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dispatch.dir/bench/bench_fig14_dispatch.cc.o"
+  "CMakeFiles/bench_fig14_dispatch.dir/bench/bench_fig14_dispatch.cc.o.d"
+  "bench/bench_fig14_dispatch"
+  "bench/bench_fig14_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

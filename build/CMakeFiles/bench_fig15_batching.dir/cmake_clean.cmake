@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_batching.dir/bench/bench_fig15_batching.cc.o"
+  "CMakeFiles/bench_fig15_batching.dir/bench/bench_fig15_batching.cc.o.d"
+  "bench/bench_fig15_batching"
+  "bench/bench_fig15_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

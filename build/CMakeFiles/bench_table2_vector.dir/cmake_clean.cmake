@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_vector.dir/bench/bench_table2_vector.cc.o"
+  "CMakeFiles/bench_table2_vector.dir/bench/bench_table2_vector.cc.o.d"
+  "bench/bench_table2_vector"
+  "bench/bench_table2_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cpu.dir/bench/bench_table4_cpu.cc.o"
+  "CMakeFiles/bench_table4_cpu.dir/bench/bench_table4_cpu.cc.o.d"
+  "bench/bench_table4_cpu"
+  "bench/bench_table4_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

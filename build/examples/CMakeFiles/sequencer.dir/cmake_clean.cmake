@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencer.dir/sequencer.cpp.o"
+  "CMakeFiles/sequencer.dir/sequencer.cpp.o.d"
+  "sequencer"
+  "sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_stock.dir/tpcc_stock.cpp.o"
+  "CMakeFiles/tpcc_stock.dir/tpcc_stock.cpp.o.d"
+  "tpcc_stock"
+  "tpcc_stock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_stock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("pcie")
+subdirs("dram")
+subdirs("net")
+subdirs("hash")
+subdirs("alloc")
+subdirs("ooo")
+subdirs("core")
+subdirs("baseline")
+subdirs("workload")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation_bitmap.cc" "src/alloc/CMakeFiles/kvd_alloc.dir/allocation_bitmap.cc.o" "gcc" "src/alloc/CMakeFiles/kvd_alloc.dir/allocation_bitmap.cc.o.d"
+  "/root/repo/src/alloc/dstack.cc" "src/alloc/CMakeFiles/kvd_alloc.dir/dstack.cc.o" "gcc" "src/alloc/CMakeFiles/kvd_alloc.dir/dstack.cc.o.d"
+  "/root/repo/src/alloc/host_daemon.cc" "src/alloc/CMakeFiles/kvd_alloc.dir/host_daemon.cc.o" "gcc" "src/alloc/CMakeFiles/kvd_alloc.dir/host_daemon.cc.o.d"
+  "/root/repo/src/alloc/merger.cc" "src/alloc/CMakeFiles/kvd_alloc.dir/merger.cc.o" "gcc" "src/alloc/CMakeFiles/kvd_alloc.dir/merger.cc.o.d"
+  "/root/repo/src/alloc/slab_allocator.cc" "src/alloc/CMakeFiles/kvd_alloc.dir/slab_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/kvd_alloc.dir/slab_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_alloc.dir/allocation_bitmap.cc.o"
+  "CMakeFiles/kvd_alloc.dir/allocation_bitmap.cc.o.d"
+  "CMakeFiles/kvd_alloc.dir/dstack.cc.o"
+  "CMakeFiles/kvd_alloc.dir/dstack.cc.o.d"
+  "CMakeFiles/kvd_alloc.dir/host_daemon.cc.o"
+  "CMakeFiles/kvd_alloc.dir/host_daemon.cc.o.d"
+  "CMakeFiles/kvd_alloc.dir/merger.cc.o"
+  "CMakeFiles/kvd_alloc.dir/merger.cc.o.d"
+  "CMakeFiles/kvd_alloc.dir/slab_allocator.cc.o"
+  "CMakeFiles/kvd_alloc.dir/slab_allocator.cc.o.d"
+  "libkvd_alloc.a"
+  "libkvd_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_baseline.dir/cpu_kvs.cc.o"
+  "CMakeFiles/kvd_baseline.dir/cpu_kvs.cc.o.d"
+  "CMakeFiles/kvd_baseline.dir/cuckoo_hash_table.cc.o"
+  "CMakeFiles/kvd_baseline.dir/cuckoo_hash_table.cc.o.d"
+  "CMakeFiles/kvd_baseline.dir/hopscotch_hash_table.cc.o"
+  "CMakeFiles/kvd_baseline.dir/hopscotch_hash_table.cc.o.d"
+  "libkvd_baseline.a"
+  "libkvd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_common.dir/hashing.cc.o"
+  "CMakeFiles/kvd_common.dir/hashing.cc.o.d"
+  "CMakeFiles/kvd_common.dir/random.cc.o"
+  "CMakeFiles/kvd_common.dir/random.cc.o.d"
+  "CMakeFiles/kvd_common.dir/stats.cc.o"
+  "CMakeFiles/kvd_common.dir/stats.cc.o.d"
+  "CMakeFiles/kvd_common.dir/status.cc.o"
+  "CMakeFiles/kvd_common.dir/status.cc.o.d"
+  "CMakeFiles/kvd_common.dir/table_printer.cc.o"
+  "CMakeFiles/kvd_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/kvd_common.dir/zipf.cc.o"
+  "CMakeFiles/kvd_common.dir/zipf.cc.o.d"
+  "libkvd_common.a"
+  "libkvd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diagnostics.cc" "src/core/CMakeFiles/kvd_core.dir/diagnostics.cc.o" "gcc" "src/core/CMakeFiles/kvd_core.dir/diagnostics.cc.o.d"
+  "/root/repo/src/core/kv_direct.cc" "src/core/CMakeFiles/kvd_core.dir/kv_direct.cc.o" "gcc" "src/core/CMakeFiles/kvd_core.dir/kv_direct.cc.o.d"
+  "/root/repo/src/core/kv_processor.cc" "src/core/CMakeFiles/kvd_core.dir/kv_processor.cc.o" "gcc" "src/core/CMakeFiles/kvd_core.dir/kv_processor.cc.o.d"
+  "/root/repo/src/core/multi_nic.cc" "src/core/CMakeFiles/kvd_core.dir/multi_nic.cc.o" "gcc" "src/core/CMakeFiles/kvd_core.dir/multi_nic.cc.o.d"
+  "/root/repo/src/core/update_functions.cc" "src/core/CMakeFiles/kvd_core.dir/update_functions.cc.o" "gcc" "src/core/CMakeFiles/kvd_core.dir/update_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/kvd_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/kvd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/kvd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kvd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/kvd_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/kvd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_core.dir/diagnostics.cc.o"
+  "CMakeFiles/kvd_core.dir/diagnostics.cc.o.d"
+  "CMakeFiles/kvd_core.dir/kv_direct.cc.o"
+  "CMakeFiles/kvd_core.dir/kv_direct.cc.o.d"
+  "CMakeFiles/kvd_core.dir/kv_processor.cc.o"
+  "CMakeFiles/kvd_core.dir/kv_processor.cc.o.d"
+  "CMakeFiles/kvd_core.dir/multi_nic.cc.o"
+  "CMakeFiles/kvd_core.dir/multi_nic.cc.o.d"
+  "CMakeFiles/kvd_core.dir/update_functions.cc.o"
+  "CMakeFiles/kvd_core.dir/update_functions.cc.o.d"
+  "libkvd_core.a"
+  "libkvd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

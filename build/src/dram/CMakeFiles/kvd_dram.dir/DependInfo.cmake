@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/dram_cache_store.cc" "src/dram/CMakeFiles/kvd_dram.dir/dram_cache_store.cc.o" "gcc" "src/dram/CMakeFiles/kvd_dram.dir/dram_cache_store.cc.o.d"
+  "/root/repo/src/dram/ecc_metadata.cc" "src/dram/CMakeFiles/kvd_dram.dir/ecc_metadata.cc.o" "gcc" "src/dram/CMakeFiles/kvd_dram.dir/ecc_metadata.cc.o.d"
+  "/root/repo/src/dram/load_dispatcher.cc" "src/dram/CMakeFiles/kvd_dram.dir/load_dispatcher.cc.o" "gcc" "src/dram/CMakeFiles/kvd_dram.dir/load_dispatcher.cc.o.d"
+  "/root/repo/src/dram/nic_dram.cc" "src/dram/CMakeFiles/kvd_dram.dir/nic_dram.cc.o" "gcc" "src/dram/CMakeFiles/kvd_dram.dir/nic_dram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/kvd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_dram.dir/dram_cache_store.cc.o"
+  "CMakeFiles/kvd_dram.dir/dram_cache_store.cc.o.d"
+  "CMakeFiles/kvd_dram.dir/ecc_metadata.cc.o"
+  "CMakeFiles/kvd_dram.dir/ecc_metadata.cc.o.d"
+  "CMakeFiles/kvd_dram.dir/load_dispatcher.cc.o"
+  "CMakeFiles/kvd_dram.dir/load_dispatcher.cc.o.d"
+  "CMakeFiles/kvd_dram.dir/nic_dram.cc.o"
+  "CMakeFiles/kvd_dram.dir/nic_dram.cc.o.d"
+  "libkvd_dram.a"
+  "libkvd_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

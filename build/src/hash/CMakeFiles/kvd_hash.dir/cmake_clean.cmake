@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_hash.dir/hash_index.cc.o"
+  "CMakeFiles/kvd_hash.dir/hash_index.cc.o.d"
+  "libkvd_hash.a"
+  "libkvd_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

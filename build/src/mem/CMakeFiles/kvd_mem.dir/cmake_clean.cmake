@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_mem.dir/host_memory.cc.o"
+  "CMakeFiles/kvd_mem.dir/host_memory.cc.o.d"
+  "libkvd_mem.a"
+  "libkvd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

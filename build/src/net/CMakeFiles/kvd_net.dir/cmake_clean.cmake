@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_net.dir/network_model.cc.o"
+  "CMakeFiles/kvd_net.dir/network_model.cc.o.d"
+  "CMakeFiles/kvd_net.dir/wire_format.cc.o"
+  "CMakeFiles/kvd_net.dir/wire_format.cc.o.d"
+  "libkvd_net.a"
+  "libkvd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

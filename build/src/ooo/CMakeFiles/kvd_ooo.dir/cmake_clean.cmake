@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_ooo.dir/reservation_station.cc.o"
+  "CMakeFiles/kvd_ooo.dir/reservation_station.cc.o.d"
+  "libkvd_ooo.a"
+  "libkvd_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_pcie.dir/dma_engine.cc.o"
+  "CMakeFiles/kvd_pcie.dir/dma_engine.cc.o.d"
+  "CMakeFiles/kvd_pcie.dir/pcie_link.cc.o"
+  "CMakeFiles/kvd_pcie.dir/pcie_link.cc.o.d"
+  "libkvd_pcie.a"
+  "libkvd_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

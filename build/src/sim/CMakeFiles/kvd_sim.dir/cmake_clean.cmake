@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_sim.dir/simulator.cc.o"
+  "CMakeFiles/kvd_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/kvd_sim.dir/token_pool.cc.o"
+  "CMakeFiles/kvd_sim.dir/token_pool.cc.o.d"
+  "libkvd_sim.a"
+  "libkvd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

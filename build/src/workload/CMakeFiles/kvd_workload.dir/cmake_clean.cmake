@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvd_workload.dir/trace.cc.o"
+  "CMakeFiles/kvd_workload.dir/trace.cc.o.d"
+  "CMakeFiles/kvd_workload.dir/ycsb.cc.o"
+  "CMakeFiles/kvd_workload.dir/ycsb.cc.o.d"
+  "libkvd_workload.a"
+  "libkvd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_nic_test.dir/multi_nic_test.cc.o"
+  "CMakeFiles/multi_nic_test.dir/multi_nic_test.cc.o.d"
+  "multi_nic_test"
+  "multi_nic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_test.dir/ooo_test.cc.o"
+  "CMakeFiles/ooo_test.dir/ooo_test.cc.o.d"
+  "ooo_test"
+  "ooo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
