@@ -62,8 +62,9 @@ double AtomicsMops(bool enable_ooo, uint64_t num_keys, uint64_t total_ops) {
   return static_cast<double>(completed) / elapsed_s / 1e6;
 }
 
-void Fig13aAtomics() {
+void Fig13aAtomics(bench::JsonReport& report) {
   std::printf("\n=== Figure 13a — atomics throughput vs number of keys ===\n");
+  report.BeginSeries("atomics_vs_keys");
   RdmaKvsModel rdma;
   TablePrinter table({"keys", "with_OoO_Mops", "without_OoO_Mops",
                       "one_sided_RDMA", "two_sided_RDMA"});
@@ -75,6 +76,11 @@ void Fig13aAtomics() {
                   TablePrinter::Num(without_ooo, 2),
                   TablePrinter::Num(rdma.OneSidedAtomicsMops(keys), 2),
                   TablePrinter::Num(rdma.TwoSidedAtomicsMops(keys), 2)});
+    report.AddRow({{"keys", static_cast<double>(keys)},
+                   {"with_ooo_mops", with_ooo},
+                   {"without_ooo_mops", without_ooo},
+                   {"one_sided_rdma_mops", rdma.OneSidedAtomicsMops(keys)},
+                   {"two_sided_rdma_mops", rdma.TwoSidedAtomicsMops(keys)}});
   }
   table.Print();
   std::printf(
@@ -96,13 +102,19 @@ double LongTailMops(bool enable_ooo, double put_ratio) {
   return bench::Drive(server, workload, options).mops;
 }
 
-void Fig13bLongTail() {
+void Fig13bLongTail(bench::JsonReport& report) {
   std::printf("\n=== Figure 13b — long-tail throughput vs PUT ratio ===\n");
+  report.BeginSeries("longtail_vs_put_ratio");
   TablePrinter table({"put_ratio_%", "with_OoO_Mops", "without_OoO_Mops"});
   for (double put_ratio : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double with_ooo = LongTailMops(true, put_ratio);
+    const double without_ooo = LongTailMops(false, put_ratio);
     table.AddRow({TablePrinter::Num(put_ratio * 100, 0),
-                  TablePrinter::Num(LongTailMops(true, put_ratio), 1),
-                  TablePrinter::Num(LongTailMops(false, put_ratio), 1)});
+                  TablePrinter::Num(with_ooo, 1),
+                  TablePrinter::Num(without_ooo, 1)});
+    report.AddRow({{"put_ratio", put_ratio},
+                   {"with_ooo_mops", with_ooo},
+                   {"without_ooo_mops", without_ooo}});
   }
   table.Print();
   std::printf(
@@ -113,8 +125,9 @@ void Fig13bLongTail() {
 }  // namespace
 }  // namespace kvd
 
-int main() {
-  kvd::Fig13aAtomics();
-  kvd::Fig13bLongTail();
-  return 0;
+int main(int argc, char** argv) {
+  kvd::bench::JsonReport report("fig13_ooo");
+  kvd::Fig13aAtomics(report);
+  kvd::Fig13bLongTail(report);
+  return report.WriteIfRequested(kvd::bench::JsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -16,7 +16,8 @@
 namespace kvd {
 namespace {
 
-double MeasureMops(uint32_t kv_bytes, double get_ratio, bool long_tail) {
+// mops < 0 marks a cell whose preload did not fit (rendered "n/a").
+bench::DriveResult Measure(uint32_t kv_bytes, double get_ratio, bool long_tail) {
   ServerConfig config;
   config.kvs_memory_bytes = 32 * kMiB;
   config.nic_dram.capacity_bytes = 4 * kMiB;  // 1:8, paper is 4:64 GiB = 1:16
@@ -35,7 +36,9 @@ double MeasureMops(uint32_t kv_bytes, double get_ratio, bool long_tail) {
   YcsbWorkload workload(wl);
   const uint64_t loaded = bench::Preload(server, workload, target_keys);
   if (loaded < target_keys / 2) {
-    return -1;
+    bench::DriveResult failed;
+    failed.mops = -1;
+    return failed;
   }
 
   bench::DriveOptions options;
@@ -44,18 +47,23 @@ double MeasureMops(uint32_t kv_bytes, double get_ratio, bool long_tail) {
   options.ops_per_packet = 40;
   // Enough packets in flight to keep the 256-entry reservation station full.
   options.pipeline_depth = 2048;
-  return bench::Drive(server, workload, options).mops;
+  return bench::Drive(server, workload, options);
 }
 
-void Panel(bool long_tail) {
+void Panel(bool long_tail, bench::JsonReport& report) {
   std::printf("\n--- %s ---\n", long_tail ? "(b) long-tail (Zipf 0.99)" : "(a) uniform");
+  report.BeginSeries(long_tail ? "long_tail" : "uniform");
   TablePrinter table({"kv_B", "100%GET_Mops", "95%GET_Mops", "50%GET_Mops",
                       "100%PUT_Mops"});
   for (uint32_t kv : {8u, 13u, 23u, 60u, 124u, 252u}) {
     std::vector<std::string> row = {TablePrinter::Int(kv)};
     for (double get_ratio : {1.0, 0.95, 0.5, 0.0}) {
-      const double mops = MeasureMops(kv, get_ratio, long_tail);
-      row.push_back(mops < 0 ? "n/a" : TablePrinter::Num(mops, 1));
+      const bench::DriveResult result = Measure(kv, get_ratio, long_tail);
+      row.push_back(result.mops < 0 ? "n/a" : TablePrinter::Num(result.mops, 1));
+      if (result.mops >= 0) {
+        bench::AddDriveRow(report, {{"kv_bytes", kv}, {"get_ratio", get_ratio}},
+                           result);
+      }
     }
     table.AddRow(row);
   }
@@ -65,13 +73,14 @@ void Panel(bool long_tail) {
 }  // namespace
 }  // namespace kvd
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("\n=== Figure 16 — YCSB throughput of KV-Direct ===\n");
-  kvd::Panel(false);
-  kvd::Panel(true);
+  kvd::bench::JsonReport report("fig16_throughput");
+  kvd::Panel(false, report);
+  kvd::Panel(true, report);
   std::printf(
       "\npaper: small inline KVs up to 180 Mops (long-tail, read-heavy);\n"
       "uniform PUT-heavy mixes roughly halve throughput; >= 62 B KVs are\n"
       "bounded by the 40 GbE network\n");
-  return 0;
+  return report.WriteIfRequested(kvd::bench::JsonPathArg(argc, argv)) ? 0 : 1;
 }

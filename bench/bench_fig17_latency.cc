@@ -12,12 +12,8 @@
 namespace kvd {
 namespace {
 
-struct LatencyRow {
-  double mean_us;
-  double p95_us;
-};
-
-LatencyRow Measure(uint32_t kv_bytes, bool is_get, bool long_tail, bool batching) {
+bench::DriveResult Measure(uint32_t kv_bytes, bool is_get, bool long_tail,
+                           bool batching) {
   ServerConfig config;
   config.kvs_memory_bytes = 32 * kMiB;
   config.nic_dram.capacity_bytes = 4 * kMiB;
@@ -38,20 +34,27 @@ LatencyRow Measure(uint32_t kv_bytes, bool is_get, bool long_tail, bool batching
   options.ops_per_packet = batching ? 40 : 1;
   // Moderate pipeline: latency at sustainable load, not at saturation knee.
   options.pipeline_depth = batching ? 160 : 64;
-  const bench::DriveResult result = bench::Drive(server, workload, options);
-  return {result.latency_ns.mean() / 1000.0,
-          static_cast<double>(result.latency_ns.Percentile(0.95)) / 1000.0};
+  return bench::Drive(server, workload, options);
 }
 
-void Panel(bool batching) {
+void Panel(bool batching, bench::JsonReport& report) {
   std::printf("\n--- %s batching ---\n", batching ? "(a) with" : "(b) without");
+  report.BeginSeries(batching ? "with_batching" : "without_batching");
   TablePrinter table({"kv_B", "GET_unif_us(p95)", "GET_skew_us(p95)",
                       "PUT_unif_us(p95)", "PUT_skew_us(p95)"});
   for (uint32_t kv : {13u, 23u, 60u, 124u, 252u}) {
     auto cell = [&](bool is_get, bool long_tail) {
-      const LatencyRow row = Measure(kv, is_get, long_tail, batching);
-      return TablePrinter::Num(row.mean_us, 2) + " (" +
-             TablePrinter::Num(row.p95_us, 1) + ")";
+      const bench::DriveResult result = Measure(kv, is_get, long_tail, batching);
+      bench::AddDriveRow(report,
+                         {{"kv_bytes", kv},
+                          {"get_ratio", is_get ? 1.0 : 0.0},
+                          {"long_tail", long_tail ? 1.0 : 0.0}},
+                         result);
+      return TablePrinter::Num(result.latency_ns.mean() / 1000.0, 2) + " (" +
+             TablePrinter::Num(
+                 static_cast<double>(result.latency_ns.Percentile(0.95)) / 1000.0,
+                 1) +
+             ")";
     };
     table.AddRow({TablePrinter::Int(kv), cell(true, false), cell(true, true),
                   cell(false, false), cell(false, true)});
@@ -62,12 +65,13 @@ void Panel(bool batching) {
 }  // namespace
 }  // namespace kvd
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("\n=== Figure 17 — latency under peak YCSB load ===\n");
-  kvd::Panel(true);
-  kvd::Panel(false);
+  kvd::bench::JsonReport report("fig17_latency");
+  kvd::Panel(true, report);
+  kvd::Panel(false, report);
   std::printf(
       "\npaper: non-batched tail 3-9 us; PUT > GET; skewed < uniform;\n"
       "batching costs < 1 us extra per op\n");
-  return 0;
+  return report.WriteIfRequested(kvd::bench::JsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "bench/json_report.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/kv_direct.h"
@@ -122,6 +123,22 @@ inline DriveResult Drive(KvDirectServer& server, YcsbWorkload& workload,
 
 inline void PrintHeader(const char* figure, const char* description) {
   std::printf("\n=== %s — %s ===\n", figure, description);
+}
+
+// One JSON row from sweep parameters plus a DriveResult's throughput and
+// latency percentiles (the record shape EXPERIMENTS.md documents).
+inline void AddDriveRow(JsonReport& report, JsonReport::Fields fields,
+                        const DriveResult& result) {
+  fields.emplace_back("mops", result.mops);
+  fields.emplace_back("elapsed_us", result.elapsed_us);
+  fields.emplace_back("latency_mean_ns", result.latency_ns.mean());
+  fields.emplace_back("latency_p50_ns",
+                      static_cast<double>(result.latency_ns.Percentile(0.50)));
+  fields.emplace_back("latency_p95_ns",
+                      static_cast<double>(result.latency_ns.Percentile(0.95)));
+  fields.emplace_back("latency_p99_ns",
+                      static_cast<double>(result.latency_ns.Percentile(0.99)));
+  report.AddRow(std::move(fields));
 }
 
 }  // namespace bench

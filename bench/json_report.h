@@ -1,0 +1,116 @@
+// Machine-readable benchmark output. Each bench binary accepts
+// `--json <path>` and, when given, writes one JSON record mirroring its
+// printed tables: {"bench": ..., "series": [{"name": ..., "rows": [...]}]}.
+// Rows are flat objects of numeric fields (mops, latency percentiles, sweep
+// parameters), so plotting scripts consume them without screen-scraping.
+//
+// Kept separate from bench_util.h so benches that drive raw hardware models
+// (no KvDirectServer) can emit JSON without linking the full core.
+#ifndef BENCH_JSON_REPORT_H_
+#define BENCH_JSON_REPORT_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/common/status.h"
+#include "src/obs/json_writer.h"
+
+namespace kvd {
+namespace bench {
+
+class JsonReport {
+ public:
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  // Starts a new named series; subsequent AddRow calls append to it.
+  void BeginSeries(std::string name) { series_.push_back({std::move(name), {}}); }
+
+  void AddRow(Fields fields) {
+    KVD_CHECK(!series_.empty());
+    series_.back().rows.push_back(std::move(fields));
+  }
+
+  std::string ToJson() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", bench_);
+    w.Key("series").BeginArray();
+    for (const Series& series : series_) {
+      w.BeginObject();
+      w.Field("name", series.name);
+      w.Key("rows").BeginArray();
+      for (const Fields& row : series.rows) {
+        w.BeginObject();
+        for (const auto& [key, value] : row) {
+          w.Field(key, value);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.TakeString();
+  }
+
+  Status WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return Status::Internal("cannot open json output file: " + path);
+    }
+    const std::string json = ToJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    if (written != json.size()) {
+      return Status::Internal("short write to json output file: " + path);
+    }
+    return Status::Ok();
+  }
+
+  // Writes to `path` when non-null (the parsed --json argument) and reports
+  // the destination — or the error — on stdout. No-op when path is null.
+  // Returns false on a failed write so main() can exit non-zero.
+  bool WriteIfRequested(const char* path) const {
+    if (path == nullptr) {
+      return true;
+    }
+    const Status status = WriteTo(path);
+    if (status.ok()) {
+      std::printf("\njson record written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return status.ok();
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<Fields> rows;
+  };
+
+  std::string bench_;
+  std::vector<Series> series_;
+};
+
+// Returns the value of a `--json <path>` argument, or nullptr.
+inline const char* JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bench
+}  // namespace kvd
+
+#endif  // BENCH_JSON_REPORT_H_

@@ -25,6 +25,9 @@ size_t SlabAllocator::FetchFromHost(uint8_t cls) {
   }
   sync_stats_.sync_dma_reads++;
   sync_stats_.entries_fetched += fetched;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("slab", "sync_fetch", {{"class", cls}, {"entries", fetched}});
+  }
   for (size_t i = 0; i < fetched; i++) {
     nic_stacks_[cls].push_back(batch[i]);
   }
@@ -41,6 +44,9 @@ void SlabAllocator::FlushToHost(uint8_t cls) {
   stack.erase(stack.begin(), stack.begin() + static_cast<long>(count));
   sync_stats_.sync_dma_writes++;
   sync_stats_.entries_flushed += count;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("slab", "sync_flush", {{"class", cls}, {"entries", count}});
+  }
 }
 
 Result<uint64_t> SlabAllocator::Allocate(uint32_t bytes) {
@@ -73,5 +79,25 @@ void SlabAllocator::Free(uint64_t address, uint32_t bytes) {
 }
 
 uint64_t SlabAllocator::FreeBytes() const { return daemon_.FreeBytes(); }
+
+void SlabAllocator::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_slab_allocations_total", "Slab allocations", {},
+                           &sync_stats_.allocations);
+  registry.RegisterCounter("kvd_slab_frees_total", "Slab frees", {},
+                           &sync_stats_.frees);
+  registry.RegisterCounter("kvd_slab_sync_dma_total", "Pool sync DMA batches",
+                           {{"direction", "read"}}, &sync_stats_.sync_dma_reads);
+  registry.RegisterCounter("kvd_slab_sync_dma_total", "Pool sync DMA batches",
+                           {{"direction", "write"}}, &sync_stats_.sync_dma_writes);
+  registry.RegisterCounter("kvd_slab_sync_entries_total", "Pool sync entries moved",
+                           {{"direction", "fetched"}}, &sync_stats_.entries_fetched);
+  registry.RegisterCounter("kvd_slab_sync_entries_total", "Pool sync entries moved",
+                           {{"direction", "flushed"}}, &sync_stats_.entries_flushed);
+  registry.RegisterGauge("kvd_slab_dma_per_op",
+                         "Amortized sync DMAs per allocation/free", {},
+                         [this] { return sync_stats_.AmortizedDmaPerOp(); });
+  registry.RegisterGauge("kvd_slab_free_bytes", "Free bytes in the slab heap", {},
+                         [this] { return static_cast<double>(FreeBytes()); });
+}
 
 }  // namespace kvd

@@ -117,7 +117,14 @@ uint64_t LatencyHistogram::Percentile(double quantile) const {
   if (count_ == 0) {
     return 0;
   }
-  quantile = std::clamp(quantile, 0.0, 1.0);
+  // The scan below finds the bucket holding the target *rank*, which is only
+  // defined for ranks 1..count; the extreme quantiles are the exact extremes.
+  if (quantile <= 0.0) {
+    return min_;
+  }
+  if (quantile >= 1.0) {
+    return max_;
+  }
   const auto target = static_cast<uint64_t>(
       std::ceil(quantile * static_cast<double>(count_)));
   uint64_t seen = 0;

@@ -1,91 +1,16 @@
 #include "src/core/diagnostics.h"
 
-#include <cstdarg>
 #include <cstdio>
 
 namespace kvd {
-namespace {
-
-void Append(std::string& out, const char* format, ...) {
-  char line[512];
-  va_list args;
-  va_start(args, format);
-  std::vsnprintf(line, sizeof(line), format, args);
-  va_end(args);
-  out += line;
-  out += '\n';
-}
-
-}  // namespace
 
 std::string DiagnosticsReport(KvDirectServer& server) {
-  std::string out;
-  Append(out, "=== KV-Direct server diagnostics ===");
-  Append(out, "simulated time: %.3f ms",
-         static_cast<double>(server.simulator().Now()) / kMillisecond);
-
-  const HashIndex& index = server.index();
-  Append(out, "[store]   kvs=%llu  payload=%llu B  utilization=%.1f%%  buckets=%llu",
-         static_cast<unsigned long long>(index.num_kvs()),
-         static_cast<unsigned long long>(index.payload_bytes()),
-         index.Utilization() * 100,
-         static_cast<unsigned long long>(index.num_buckets()));
-  Append(out, "[store]   chained_buckets=%llu  chain_follows=%llu  false_hits=%llu",
-         static_cast<unsigned long long>(index.stats().chained_buckets_live),
-         static_cast<unsigned long long>(index.stats().chain_follows),
-         static_cast<unsigned long long>(index.stats().secondary_false_hits));
-
-  const KvProcessorStats& proc = server.processor().stats();
-  const double fast_share =
-      proc.retired > 0 ? 100.0 * static_cast<double>(proc.fast_path_ops) /
-                             static_cast<double>(proc.retired)
-                       : 0.0;
-  Append(out, "[proc]    submitted=%llu retired=%llu pipeline=%llu fast_path=%.1f%%",
-         static_cast<unsigned long long>(proc.submitted),
-         static_cast<unsigned long long>(proc.retired),
-         static_cast<unsigned long long>(proc.pipeline_ops), fast_share);
-  Append(out, "[proc]    latency_ns: %s", proc.latency_ns.Summary().c_str());
-
-  const OooStats& station = server.processor().station().stats();
-  Append(out, "[station] parked=%llu writebacks=%llu rejected=%llu peak_inflight=%u",
-         static_cast<unsigned long long>(station.parked),
-         static_cast<unsigned long long>(station.writebacks),
-         static_cast<unsigned long long>(station.rejected_full),
-         station.peak_inflight);
-
-  const SyncStats& slab = server.allocator().sync_stats();
-  Append(out, "[slab]    allocs=%llu frees=%llu sync_dma=%llu (%.4f/op) free=%llu B",
-         static_cast<unsigned long long>(slab.allocations),
-         static_cast<unsigned long long>(slab.frees),
-         static_cast<unsigned long long>(slab.sync_dma_reads + slab.sync_dma_writes),
-         slab.AmortizedDmaPerOp(),
-         static_cast<unsigned long long>(server.allocator().FreeBytes()));
-
-  const DispatchStats& dispatch = server.dispatcher().stats();
-  Append(out, "[dram]    pcie=%llu hits=%llu misses=%llu writebacks=%llu hit_rate=%.1f%%",
-         static_cast<unsigned long long>(dispatch.pcie_accesses),
-         static_cast<unsigned long long>(dispatch.dram_hits),
-         static_cast<unsigned long long>(dispatch.dram_misses),
-         static_cast<unsigned long long>(dispatch.writebacks),
-         dispatch.HitRate() * 100);
-
-  for (uint32_t i = 0; i < server.dma().num_links(); i++) {
-    const PcieLink& link = server.dma().link(i);
-    Append(out, "[pcie%u]   read_tlps=%llu write_tlps=%llu up=%llu B down=%llu B", i,
-           static_cast<unsigned long long>(link.read_tlps()),
-           static_cast<unsigned long long>(link.write_tlps()),
-           static_cast<unsigned long long>(link.upstream_bytes()),
-           static_cast<unsigned long long>(link.downstream_bytes()));
-  }
-  Append(out, "[pcie]    read_tags peak=%u/%u", server.dma().tag_pool().peak_in_use(),
-         server.dma().tag_pool().capacity());
-
-  const NetworkModel& network = server.network();
-  Append(out, "[net]     to_server: %llu pkts %llu B | to_client: %llu pkts %llu B",
-         static_cast<unsigned long long>(network.packets_to_server()),
-         static_cast<unsigned long long>(network.bytes_to_server()),
-         static_cast<unsigned long long>(network.packets_to_client()),
-         static_cast<unsigned long long>(network.bytes_to_client()));
+  std::string out = "=== KV-Direct server diagnostics ===\n";
+  char line[64];
+  std::snprintf(line, sizeof(line), "simulated time: %.3f ms\n",
+                static_cast<double>(server.simulator().Now()) / kMillisecond);
+  out += line;
+  out += server.metrics().PlainText();
   return out;
 }
 

@@ -1,6 +1,10 @@
 // Human-readable diagnostics across every component of a KvDirectServer —
 // the operational visibility a deployed store needs: per-subsystem counters,
 // utilization, and the latency distribution, in one report.
+//
+// The report body is rendered from the server's MetricRegistry, so it covers
+// exactly the metrics that Prometheus/JSON exposition covers, sorted by
+// metric name — deterministic for a given system state and golden-testable.
 #ifndef SRC_CORE_DIAGNOSTICS_H_
 #define SRC_CORE_DIAGNOSTICS_H_
 
@@ -10,10 +14,11 @@
 
 namespace kvd {
 
-// Multi-line report covering the store (KVs, utilization), the KV processor
-// (ops, fast-path share, latency percentiles), the reservation station, the
-// slab allocator (sync DMA amortization), the load dispatcher (hit rates),
-// the PCIe links, and the network.
+// Multi-line report: a header (simulated time) followed by one sorted
+// `name{labels} value` line per registered metric — the store (KVs,
+// utilization), the KV processor (ops, fast path, latency), the reservation
+// station, the slab allocator (sync DMA amortization), the load dispatcher
+// (hit rates), the PCIe links, and the network.
 std::string DiagnosticsReport(KvDirectServer& server);
 
 }  // namespace kvd

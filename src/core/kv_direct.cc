@@ -103,6 +103,23 @@ KvDirectServer::KvDirectServer(const ServerConfig& config) : config_(config) {
                                              *dispatcher_, registry_,
                                              config.processor);
   processor_->AttachSlabSyncStats(&allocator_->sync_stats());
+
+  // Observability: every subsystem registers readers over its live stats into
+  // the shared registry and learns about the tracer. Neither changes timing.
+  tracer_.set_enabled(config.enable_tracing);
+  processor_->RegisterMetrics(metrics_);
+  processor_->SetTracer(&tracer_);
+  index_->RegisterMetrics(metrics_);
+  allocator_->RegisterMetrics(metrics_);
+  allocator_->SetTracer(&tracer_);
+  dispatcher_->RegisterMetrics(metrics_);
+  dispatcher_->SetTracer(&tracer_);
+  dma_->RegisterMetrics(metrics_);
+  dma_->SetTracer(&tracer_);
+  nic_dram_->RegisterMetrics(metrics_);
+  nic_dram_->SetTracer(&tracer_);
+  network_->RegisterMetrics(metrics_);
+  network_->SetTracer(&tracer_);
 }
 
 void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done) {

@@ -27,6 +27,8 @@
 #include "src/mem/host_memory.h"
 #include "src/net/network_model.h"
 #include "src/net/wire_format.h"
+#include "src/obs/event_tracer.h"
+#include "src/obs/metric_registry.h"
 #include "src/pcie/dma_engine.h"
 #include "src/sim/simulator.h"
 
@@ -49,6 +51,10 @@ struct ServerConfig {
 
   NetworkConfig network;
   KvProcessorConfig processor;
+
+  // Record simulator events (DMA, dispatch, station, network) for Chrome
+  // trace export. Off by default; costs one branch per hook when disabled.
+  bool enable_tracing = false;
 
   // Tunes hash_index_ratio / inline_threshold / dispatch_ratio for a workload
   // of `kv_bytes` key+value pairs, as §5.2.1 does before each benchmark.
@@ -86,10 +92,18 @@ class KvDirectServer {
   UpdateFunctionRegistry& registry() { return registry_; }
   const ServerConfig& config() const { return config_; }
   const AccessStats& memory_stats() const { return direct_engine_->stats(); }
+  // Every subsystem's counters, gauges, and histograms (Prometheus / JSON /
+  // plain-text exposition).
+  const MetricRegistry& metrics() const { return metrics_; }
+  // Simulator event trace; enable via ServerConfig::enable_tracing or
+  // tracer().set_enabled(true).
+  EventTracer& tracer() { return tracer_; }
 
  private:
   ServerConfig config_;
   Simulator sim_;
+  MetricRegistry metrics_;
+  EventTracer tracer_{sim_};
   UpdateFunctionRegistry registry_;
   std::unique_ptr<HostMemory> memory_;
   std::unique_ptr<DirectEngine> direct_engine_;

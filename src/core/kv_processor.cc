@@ -204,6 +204,15 @@ void KvProcessor::Pump() {
       }
     }
 
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const char* name = action == ReservationStation::Action::kIssueToPipeline
+                             ? "admit"
+                             : action == ReservationStation::Action::kFastPath
+                                   ? "fast_path"
+                                   : "park";
+      tracer_->Instant("station", name, {{"slot", slot}, {"op", id}});
+    }
+
     switch (action) {
       case ReservationStation::Action::kIssueToPipeline: {
         stats_.pipeline_ops++;
@@ -286,6 +295,9 @@ void KvProcessor::AdvanceSlot(uint16_t slot, uint64_t bucket_address) {
   if (station_.NeedsWriteback(slot)) {
     station_.BeginWriteback(slot);
     stats_.writebacks++;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("station", "writeback", {{"slot", slot}});
+    }
     // Cache write-back: one bucket-line write issued to the memory system.
     dispatcher_.Access(AccessKind::kWrite, bucket_address, kBucketBytes,
                        [this, slot, bucket_address] {
@@ -310,9 +322,38 @@ void KvProcessor::Retire(uint64_t id) {
   inflight_.erase(it);
   stats_.retired++;
   stats_.latency_ns.Add((sim_.Now() - inflight.submitted_at) / kNanosecond);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Complete("proc", "op", inflight.submitted_at, sim_.Now(),
+                      {{"op", id}, {"slot", inflight.slot}});
+  }
   if (inflight.done) {
     inflight.done(std::move(inflight.result));
   }
+}
+
+void KvProcessor::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_proc_submitted_total", "Operations submitted",
+                           {}, &stats_.submitted);
+  registry.RegisterCounter("kvd_proc_retired_total", "Operations retired", {},
+                           &stats_.retired);
+  registry.RegisterCounter("kvd_proc_pipeline_ops_total",
+                           "Operations routed through the memory system", {},
+                           &stats_.pipeline_ops);
+  registry.RegisterCounter("kvd_proc_fast_path_total",
+                           "Operations retired via data forwarding", {},
+                           &stats_.fast_path_ops);
+  registry.RegisterCounter("kvd_proc_writebacks_total",
+                           "Reservation-station cache write-backs", {},
+                           &stats_.writebacks);
+  registry.RegisterGauge("kvd_proc_backlog", "Operations waiting for admission",
+                         {}, [this] { return static_cast<double>(waiting_.size()); });
+  registry.RegisterGauge("kvd_proc_inflight",
+                         "Operations admitted and not yet retired", {},
+                         [this] { return static_cast<double>(inflight_.size()); });
+  registry.RegisterHistogram("kvd_proc_latency_ns",
+                             "Submission-to-retirement latency (ns)", {},
+                             [this] { return stats_.latency_ns; });
+  station_.RegisterMetrics(registry);
 }
 
 }  // namespace kvd

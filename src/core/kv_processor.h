@@ -36,6 +36,8 @@
 #include "src/hash/hash_index.h"
 #include "src/mem/access_engine.h"
 #include "src/net/kv_types.h"
+#include "src/obs/event_tracer.h"
+#include "src/obs/metric_registry.h"
 #include "src/ooo/reservation_station.h"
 #include "src/sim/simulator.h"
 
@@ -75,6 +77,11 @@ class KvProcessor {
   // are charged to the operations that trigger them.
   void AttachSlabSyncStats(const SyncStats* stats) { slab_sync_stats_ = stats; }
 
+  // Registers processor and reservation-station counters (readers over the
+  // live stats structs; no behavior change).
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   const KvProcessorStats& stats() const { return stats_; }
   const ReservationStation& station() const { return station_; }
   SimTime cycle() const { return cycle_; }
@@ -110,6 +117,7 @@ class KvProcessor {
   UpdateFunctionRegistry& registry_;
   KvProcessorConfig config_;
   const SyncStats* slab_sync_stats_ = nullptr;
+  EventTracer* tracer_ = nullptr;
   ReservationStation station_;
   SimTime cycle_;
   SimTime next_issue_at_ = 0;

@@ -61,8 +61,12 @@ LoadDispatcher::LineOutcome LoadDispatcher::TouchLine(uint64_t address, bool is_
 void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
                             std::function<void()> done) {
   KVD_CHECK(bytes > 0);
+  const bool trace = tracer_ != nullptr && tracer_->enabled();
   if (!IsCacheable(address)) {
     stats_.pcie_accesses++;
+    if (trace) {
+      tracer_->Instant("dispatch", "pcie", {{"bytes", bytes}});
+    }
     if (kind == AccessKind::kRead) {
       dma_.Read(address, bytes, std::move(done));
     } else {
@@ -92,12 +96,18 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
 
   if (all_hit) {
     stats_.dram_hits++;
+    if (trace) {
+      tracer_->Instant("dispatch", "hit", {{"bytes", bytes}});
+    }
     dram_.Access(bytes, std::move(done));
     return;
   }
 
   stats_.dram_misses++;
   stats_.writebacks += writebacks;
+  if (trace) {
+    tracer_->Instant("dispatch", "miss", {{"bytes", bytes}, {"writebacks", writebacks}});
+  }
   // Dirty evictions drain to host memory in the background (posted writes).
   for (uint32_t i = 0; i < writebacks; i++) {
     dma_.Write(address, kCacheLineBytes, [] {});
@@ -114,6 +124,21 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
     dram_.Access(bytes, [] {});
     done();
   });
+}
+
+void LoadDispatcher::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_dispatch_pcie_total",
+                           "Accesses routed directly to PCIe", {},
+                           &stats_.pcie_accesses);
+  registry.RegisterCounter("kvd_dispatch_dram_hits_total", "NIC DRAM cache hits",
+                           {}, &stats_.dram_hits);
+  registry.RegisterCounter("kvd_dispatch_dram_misses_total",
+                           "Cacheable accesses absent from NIC DRAM", {},
+                           &stats_.dram_misses);
+  registry.RegisterCounter("kvd_dispatch_writebacks_total", "Dirty line evictions",
+                           {}, &stats_.writebacks);
+  registry.RegisterGauge("kvd_dispatch_hit_rate", "Hit rate over cacheable accesses",
+                         {}, [this] { return stats_.HitRate(); });
 }
 
 double LoadDispatcher::OptimalDispatchRatio(double tput_pcie, double tput_dram,

@@ -30,6 +30,8 @@
 #include "src/common/units.h"
 #include "src/dram/nic_dram.h"
 #include "src/mem/access_engine.h"
+#include "src/obs/event_tracer.h"
+#include "src/obs/metric_registry.h"
 #include "src/pcie/dma_engine.h"
 #include "src/sim/simulator.h"
 
@@ -76,6 +78,9 @@ class LoadDispatcher {
   const DispatchStats& stats() const { return stats_; }
   const LoadDispatcherConfig& config() const { return config_; }
 
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Solves the paper's load-balance condition for the optimal dispatch ratio:
   // PCIe demand [(1-l) + l(1-h(l))] / tput_pcie equals DRAM demand
   // [l·h(l) + 2·l·(1-h(l))] / tput_dram, where h(l) is the cache hit rate.
@@ -97,6 +102,7 @@ class LoadDispatcher {
   DmaEngine& dma_;
   NicDram& dram_;
   LoadDispatcherConfig config_;
+  EventTracer* tracer_ = nullptr;
   uint64_t cacheable_threshold_;  // dispatch ratio scaled to the hash range
   uint64_t num_cache_lines_;
 

@@ -22,7 +22,19 @@ void NicDram::Access(uint32_t bytes, std::function<void()> done) {
       std::llround(static_cast<double>(bytes) * picos_per_byte_));
   const SimTime start = std::max(sim_.Now(), channel_free_at_);
   channel_free_at_ = start + occupancy;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Complete("nic_dram", "access", start,
+                      channel_free_at_ + config_.access_latency,
+                      {{"bytes", bytes}});
+  }
   sim_.ScheduleAt(channel_free_at_ + config_.access_latency, std::move(done));
+}
+
+void NicDram::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_nicdram_accesses_total", "NIC DRAM channel accesses",
+                           {}, &accesses_);
+  registry.RegisterCounter("kvd_nicdram_bytes_total", "NIC DRAM bytes transferred",
+                           {}, &bytes_);
 }
 
 }  // namespace kvd

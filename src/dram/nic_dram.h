@@ -12,6 +12,8 @@
 #include <functional>
 
 #include "src/common/units.h"
+#include "src/obs/event_tracer.h"
+#include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
 
 namespace kvd {
@@ -39,9 +41,13 @@ class NicDram {
   uint64_t accesses() const { return accesses_; }
   uint64_t bytes_transferred() const { return bytes_; }
 
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
  private:
   Simulator& sim_;
   NicDramConfig config_;
+  EventTracer* tracer_ = nullptr;
   double picos_per_byte_;
   SimTime channel_free_at_ = 0;
   uint64_t accesses_ = 0;

@@ -479,4 +479,32 @@ bool HashIndex::Contains(std::span<const uint8_t> key) {
   return Find(key).has_value();
 }
 
+void HashIndex::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_store_gets_total", "GET operations", {},
+                           &stats_.gets);
+  registry.RegisterCounter("kvd_store_puts_total", "PUT operations", {},
+                           &stats_.puts);
+  registry.RegisterCounter("kvd_store_deletes_total", "DELETE operations", {},
+                           &stats_.deletes);
+  registry.RegisterCounter("kvd_store_chain_follows_total",
+                           "Extra buckets read on collision chains", {},
+                           &stats_.chain_follows);
+  registry.RegisterCounter("kvd_store_secondary_false_hits_total",
+                           "Secondary-hash matches with key mismatch", {},
+                           &stats_.secondary_false_hits);
+  registry.RegisterGauge("kvd_store_chained_buckets", "Live chained buckets", {},
+                         [this] {
+                           return static_cast<double>(stats_.chained_buckets_live);
+                         });
+  registry.RegisterGauge("kvd_store_kvs", "Live key-value pairs", {},
+                         [this] { return static_cast<double>(num_kvs_); });
+  registry.RegisterGauge("kvd_store_payload_bytes", "Stored key+value bytes", {},
+                         [this] { return static_cast<double>(payload_bytes_); });
+  registry.RegisterGauge("kvd_store_buckets", "Hash index buckets", {},
+                         [this] { return static_cast<double>(num_buckets_); });
+  registry.RegisterGauge("kvd_store_utilization",
+                         "Payload bytes over KVS region size", {},
+                         [this] { return Utilization(); });
+}
+
 }  // namespace kvd

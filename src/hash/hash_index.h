@@ -25,6 +25,7 @@
 #include "src/common/status.h"
 #include "src/hash/hash_index_layout.h"
 #include "src/mem/access_engine.h"
+#include "src/obs/metric_registry.h"
 
 namespace kvd {
 
@@ -91,6 +92,8 @@ class HashIndex {
   }
   const HashIndexStats& stats() const { return stats_; }
   const HashIndexConfig& config() const { return config_; }
+
+  void RegisterMetrics(MetricRegistry& registry) const;
 
   // Size limits for validation.
   static constexpr uint32_t kMaxKeyBytes = 255;

@@ -13,8 +13,8 @@ NetworkModel::NetworkModel(Simulator& sim, const NetworkConfig& config)
       config_(config),
       picos_per_byte_(PicosPerByte(config.bandwidth_bytes_per_sec)) {}
 
-void NetworkModel::Send(uint32_t payload_bytes, SimTime& wire_free_at,
-                        uint64_t& packets, uint64_t& bytes,
+void NetworkModel::Send(const char* direction, uint32_t payload_bytes,
+                        SimTime& wire_free_at, uint64_t& packets, uint64_t& bytes,
                         std::function<void()> delivered) {
   // Payloads above the MTU budget are segmented into multiple wire packets,
   // each paying the per-packet overhead; delivery fires when the last
@@ -33,19 +33,34 @@ void NetworkModel::Send(uint32_t payload_bytes, SimTime& wire_free_at,
   wire_free_at = start + occupancy;
   packets += num_packets;
   bytes += wire_bytes;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Complete("net", direction, start, wire_free_at + config_.one_way_latency,
+                      {{"payload_bytes", payload_bytes}, {"packets", num_packets}});
+  }
   sim_.ScheduleAt(wire_free_at + config_.one_way_latency, std::move(delivered));
 }
 
 void NetworkModel::SendToServer(uint32_t payload_bytes,
                                 std::function<void()> delivered) {
-  Send(payload_bytes, to_server_free_at_, to_server_packets_, to_server_bytes_,
-       std::move(delivered));
+  Send("to_server", payload_bytes, to_server_free_at_, to_server_packets_,
+       to_server_bytes_, std::move(delivered));
 }
 
 void NetworkModel::SendToClient(uint32_t payload_bytes,
                                 std::function<void()> delivered) {
-  Send(payload_bytes, to_client_free_at_, to_client_packets_, to_client_bytes_,
-       std::move(delivered));
+  Send("to_client", payload_bytes, to_client_free_at_, to_client_packets_,
+       to_client_bytes_, std::move(delivered));
+}
+
+void NetworkModel::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_net_packets_total", "Wire packets sent",
+                           {{"direction", "to_server"}}, &to_server_packets_);
+  registry.RegisterCounter("kvd_net_packets_total", "Wire packets sent",
+                           {{"direction", "to_client"}}, &to_client_packets_);
+  registry.RegisterCounter("kvd_net_bytes_total", "Wire bytes (incl. overhead)",
+                           {{"direction", "to_server"}}, &to_server_bytes_);
+  registry.RegisterCounter("kvd_net_bytes_total", "Wire bytes (incl. overhead)",
+                           {{"direction", "to_client"}}, &to_client_bytes_);
 }
 
 }  // namespace kvd

@@ -11,6 +11,8 @@
 #include <functional>
 
 #include "src/common/units.h"
+#include "src/obs/event_tracer.h"
+#include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
 
 namespace kvd {
@@ -42,12 +44,16 @@ class NetworkModel {
   uint64_t bytes_to_server() const { return to_server_bytes_; }   // incl. overhead
   uint64_t bytes_to_client() const { return to_client_bytes_; }
 
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
  private:
-  void Send(uint32_t payload_bytes, SimTime& wire_free_at, uint64_t& packets,
-            uint64_t& bytes, std::function<void()> delivered);
+  void Send(const char* direction, uint32_t payload_bytes, SimTime& wire_free_at,
+            uint64_t& packets, uint64_t& bytes, std::function<void()> delivered);
 
   Simulator& sim_;
   NetworkConfig config_;
+  EventTracer* tracer_ = nullptr;
   double picos_per_byte_;
   SimTime to_server_free_at_ = 0;
   SimTime to_client_free_at_ = 0;

@@ -1,0 +1,110 @@
+#include "src/obs/event_tracer.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/common/assert.h"
+#include "src/obs/json_writer.h"
+
+namespace kvd {
+
+void EventTracer::Record(TraceEvent event) {
+  if (events_.size() >= max_events_) {
+    dropped_++;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void EventTracer::Instant(std::string category, std::string name, Args args) {
+  if (!enabled_) {
+    return;
+  }
+  Record({'i', sim_.Now(), 0, std::move(category), std::move(name),
+          std::move(args)});
+}
+
+void EventTracer::Complete(std::string category, std::string name, SimTime start,
+                           SimTime end, Args args) {
+  if (!enabled_) {
+    return;
+  }
+  KVD_DCHECK(end >= start);
+  Record({'X', start, end - start, std::move(category), std::move(name),
+          std::move(args)});
+}
+
+void EventTracer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string EventTracer::ToChromeTraceJson() const {
+  // One track (tid) per category, numbered in first-appearance order; named
+  // via thread_name metadata events so Perfetto shows readable lanes.
+  std::map<std::string, int> track_of;
+  for (const TraceEvent& e : events_) {
+    track_of.emplace(e.category, 0);
+  }
+  int next_track = 1;
+  for (auto& [category, track] : track_of) {
+    track = next_track++;
+  }
+
+  JsonWriter json;
+  json.BeginObject().Key("traceEvents").BeginArray();
+  for (const auto& [category, track] : track_of) {
+    json.BeginObject();
+    json.Field("name", std::string_view("thread_name"));
+    json.Field("ph", std::string_view("M"));
+    json.Field("pid", uint64_t{0});
+    json.Field("tid", static_cast<uint64_t>(track));
+    json.Key("args").BeginObject().Field("name", std::string_view(category));
+    json.EndObject().EndObject();
+  }
+  constexpr double kPicosPerMicro = 1e6;
+  for (const TraceEvent& e : events_) {
+    json.BeginObject();
+    json.Field("name", std::string_view(e.name));
+    json.Field("cat", std::string_view(e.category));
+    char phase[2] = {e.phase, '\0'};
+    json.Field("ph", std::string_view(phase));
+    json.Field("ts", static_cast<double>(e.start) / kPicosPerMicro);
+    if (e.phase == 'X') {
+      json.Field("dur", static_cast<double>(e.duration) / kPicosPerMicro);
+    }
+    if (e.phase == 'i') {
+      json.Field("s", std::string_view("t"));  // thread-scoped instant
+    }
+    json.Field("pid", uint64_t{0});
+    json.Field("tid", static_cast<uint64_t>(track_of.at(e.category)));
+    if (!e.args.empty()) {
+      json.Key("args").BeginObject();
+      for (const auto& [key, value] : e.args) {
+        json.Field(key, value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("displayTimeUnit", std::string_view("ns"));
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status EventTracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  const std::string json = ToChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kvd

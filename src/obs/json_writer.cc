@@ -1,0 +1,161 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    KVD_CHECK_MSG(out_.empty(), "only one top-level JSON value allowed");
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.kind == 'o') {
+    KVD_CHECK_MSG(top.key_pending, "object value requires a preceding Key()");
+    top.key_pending = false;
+  } else {
+    if (top.has_items) {
+      out_ += ',';
+    }
+  }
+  top.has_items = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back({'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  KVD_CHECK(!stack_.empty() && stack_.back().kind == 'o' &&
+            !stack_.back().key_pending);
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back({'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  KVD_CHECK(!stack_.empty() && stack_.back().kind == 'a');
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  KVD_CHECK(!stack_.empty() && stack_.back().kind == 'o' &&
+            !stack_.back().key_pending);
+  if (stack_.back().has_items) {
+    out_ += ',';
+  }
+  stack_.back().key_pending = true;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) {
+    return Null();
+  }
+  BeforeValue();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, std::string_view value) {
+  return Key(key).String(value);
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, uint64_t value) {
+  return Key(key).Uint(value);
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, double value) {
+  return Key(key).Number(value);
+}
+
+}  // namespace kvd

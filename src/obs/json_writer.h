@@ -1,0 +1,60 @@
+// Minimal streaming JSON emitter shared by the metric registry's JSON
+// exposition, the Chrome trace exporter, and the benchmarks' --json output.
+// No external dependencies; the writer tracks nesting and inserts commas so
+// callers cannot produce structurally invalid documents.
+#ifndef SRC_OBS_JSON_WRITER_H_
+#define SRC_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvd {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value; valid only directly inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  // Non-finite doubles (JSON has no NaN/Inf) are emitted as null.
+  JsonWriter& Number(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Shorthand for Key(k) followed by the value.
+  JsonWriter& Field(std::string_view key, std::string_view value);
+  JsonWriter& Field(std::string_view key, uint64_t value);
+  JsonWriter& Field(std::string_view key, double value);
+
+  // The finished document; valid once every Begin has been End-ed.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: 'o' / 'a', plus whether it has items and
+  // (objects) whether a key is pending.
+  struct Frame {
+    char kind;
+    bool has_items = false;
+    bool key_pending = false;
+  };
+  std::vector<Frame> stack_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_OBS_JSON_WRITER_H_

@@ -1,0 +1,54 @@
+#include "src/obs/time_series_sampler.h"
+
+#include "src/common/assert.h"
+#include "src/obs/json_writer.h"
+
+namespace kvd {
+
+TimeSeriesSampler::TimeSeriesSampler(Simulator& sim, const MetricRegistry& registry,
+                                     SamplerConfig config)
+    : sim_(sim), registry_(registry), config_(config) {
+  KVD_CHECK(config.interval > 0);
+}
+
+void TimeSeriesSampler::Start() {
+  KVD_CHECK_MSG(!running_, "sampler already running");
+  series_names_ = registry_.ScalarNames();
+  running_ = true;
+  sim_.Schedule(config_.interval, [this] { Tick(); });
+}
+
+void TimeSeriesSampler::Stop() { running_ = false; }
+
+void TimeSeriesSampler::Tick() {
+  if (!running_ || samples_.size() >= config_.max_samples) {
+    return;
+  }
+  samples_.push_back({sim_.Now(), registry_.ScalarValues()});
+  // Metrics registered after Start() would desynchronize names and values.
+  KVD_DCHECK(samples_.back().values.size() == series_names_.size());
+  if (samples_.size() < config_.max_samples) {
+    sim_.Schedule(config_.interval, [this] { Tick(); });
+  }
+}
+
+std::string TimeSeriesSampler::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("interval_ps", static_cast<uint64_t>(config_.interval));
+  json.Key("series").BeginObject();
+  for (size_t s = 0; s < series_names_.size(); s++) {
+    json.Key(series_names_[s]).BeginArray();
+    for (const Sample& sample : samples_) {
+      json.BeginArray()
+          .Uint(static_cast<uint64_t>(sample.when))
+          .Number(sample.values[s])
+          .EndArray();
+    }
+    json.EndArray();
+  }
+  json.EndObject().EndObject();
+  return json.TakeString();
+}
+
+}  // namespace kvd

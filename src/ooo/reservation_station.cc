@@ -203,4 +203,27 @@ size_t ReservationStation::ParkedCount(uint16_t slot_idx) const {
   return slots_[slot_idx].parked.size();
 }
 
+void ReservationStation::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_station_issued_total",
+                           "Operations issued to the main pipeline", {},
+                           &stats_.issued_to_pipeline);
+  registry.RegisterCounter("kvd_station_parked_total",
+                           "Operations parked behind a slot hazard", {},
+                           &stats_.parked);
+  registry.RegisterCounter("kvd_station_fast_path_total",
+                           "Operations retired via data forwarding", {},
+                           &stats_.fast_path_ops);
+  registry.RegisterCounter("kvd_station_rejected_full_total",
+                           "Admissions rejected at capacity", {},
+                           &stats_.rejected_full);
+  registry.RegisterCounter("kvd_station_writebacks_total",
+                           "Dirty cached values written back", {},
+                           &stats_.writebacks);
+  registry.RegisterGauge("kvd_station_inflight", "Operations currently in flight",
+                         {}, [this] { return static_cast<double>(inflight_); });
+  registry.RegisterGauge("kvd_station_peak_inflight", "Peak in-flight operations",
+                         {},
+                         [this] { return static_cast<double>(stats_.peak_inflight); });
+}
+
 }  // namespace kvd

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/assert.h"
+#include "src/obs/metric_registry.h"
 
 namespace kvd {
 
@@ -90,6 +91,10 @@ class ReservationStation {
   uint32_t inflight() const { return inflight_; }
   const OooStats& stats() const { return stats_; }
   const OooConfig& config() const { return config_; }
+
+  // Counters backed by stats_; occupancy gauges. Timing-level station events
+  // (admit/forward/retire) are emitted by the KvProcessor, which owns time.
+  void RegisterMetrics(MetricRegistry& registry) const;
 
   // Test/introspection helpers.
   bool SlotIdle(uint16_t slot) const;

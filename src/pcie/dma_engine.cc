@@ -76,6 +76,29 @@ void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> do
   }
 }
 
+void DmaEngine::RegisterMetrics(MetricRegistry& registry) const {
+  registry.RegisterCounter("kvd_dma_reads_total", "DMA read requests", {},
+                           &reads_issued_);
+  registry.RegisterCounter("kvd_dma_writes_total", "DMA write requests", {},
+                           &writes_issued_);
+  registry.RegisterGauge("kvd_dma_read_tags_in_use", "DMA read tags currently held",
+                         {}, [this] {
+                           return static_cast<double>(read_tags_.capacity() -
+                                                      read_tags_.available());
+                         });
+  registry.RegisterGauge("kvd_dma_read_tags_peak", "Peak DMA read tags held", {},
+                         [this] { return static_cast<double>(read_tags_.peak_in_use()); });
+  for (const auto& link : links_) {
+    link->RegisterMetrics(registry);
+  }
+}
+
+void DmaEngine::SetTracer(EventTracer* tracer) {
+  for (auto& link : links_) {
+    link->SetTracer(tracer);
+  }
+}
+
 LatencyHistogram DmaEngine::AggregateReadLatency() const {
   LatencyHistogram out;
   for (const auto& link : links_) {

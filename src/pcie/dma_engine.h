@@ -38,6 +38,12 @@ class DmaEngine {
   void Write(uint64_t address, uint32_t bytes, std::function<void()> done);
 
   const DmaEngineConfig& config() const { return config_; }
+
+  // Registers engine-level counters plus every link's metrics; forwards the
+  // tracer to the links.
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(EventTracer* tracer);
+
   PcieLink& link(uint32_t i) { return *links_[i]; }
   uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
 

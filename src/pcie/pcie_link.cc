@@ -67,8 +67,13 @@ void PcieLink::SubmitRead(uint32_t payload_bytes, bool random_access,
                                done = std::move(done)]() mutable {
       const SimTime completion_arrival =
           SerializeDownstream(config_.tlp_header_bytes + payload_bytes);
-      sim_.ScheduleAt(completion_arrival, [this, issue_time, done = std::move(done)] {
+      sim_.ScheduleAt(completion_arrival, [this, payload_bytes, issue_time,
+                                           done = std::move(done)] {
         read_latency_.Add((sim_.Now() - issue_time) / kNanosecond);
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->Complete("pcie", name_ + "/dma_read", issue_time, sim_.Now(),
+                            {{"bytes", payload_bytes}});
+        }
         done();
       });
     });
@@ -79,12 +84,34 @@ void PcieLink::SubmitWrite(uint32_t payload_bytes, std::function<void()> done) {
   KVD_CHECK(payload_bytes > 0 && payload_bytes <= config_.max_payload_bytes);
   posted_credits_.Acquire(1, [this, payload_bytes, done = std::move(done)]() mutable {
     write_tlps_++;
+    const SimTime issue_time = sim_.Now();
     const SimTime on_wire = SerializeUpstream(config_.tlp_header_bytes + payload_bytes);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Complete("pcie", name_ + "/dma_write", issue_time, on_wire,
+                        {{"bytes", payload_bytes}});
+    }
     // Posted semantics: complete at the requester once the TLP is sent.
     sim_.ScheduleAt(on_wire, std::move(done));
     sim_.ScheduleAt(on_wire + config_.host_consume_latency,
                     [this] { posted_credits_.Release(1); });
   });
+}
+
+void PcieLink::RegisterMetrics(MetricRegistry& registry) const {
+  const MetricLabels labels = {{"link", name_}};
+  registry.RegisterCounter("kvd_pcie_read_tlps_total", "Read TLPs issued", labels,
+                           &read_tlps_);
+  registry.RegisterCounter("kvd_pcie_write_tlps_total", "Write TLPs issued", labels,
+                           &write_tlps_);
+  registry.RegisterCounter("kvd_pcie_upstream_bytes_total",
+                           "Bytes NIC -> host (incl. TLP headers)", labels,
+                           &upstream_bytes_);
+  registry.RegisterCounter("kvd_pcie_downstream_bytes_total",
+                           "Bytes host -> NIC (incl. TLP headers)", labels,
+                           &downstream_bytes_);
+  registry.RegisterHistogram("kvd_pcie_read_latency_ns",
+                             "DMA read latency, issue to completion", labels,
+                             [this] { return read_latency_; });
 }
 
 }  // namespace kvd

@@ -220,6 +220,92 @@ TEST(LatencyHistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.max(), 300u);
 }
 
+TEST(LatencyHistogramTest, PercentileExtremeQuantiles) {
+  LatencyHistogram h;
+  h.Add(123);
+  h.Add(456);
+  h.Add(789);
+  // The extreme quantiles are the exact extremes, not bucket bounds.
+  EXPECT_EQ(h.Percentile(0.0), 123u);
+  EXPECT_EQ(h.Percentile(-0.5), 123u);
+  EXPECT_EQ(h.Percentile(1.0), 789u);
+  EXPECT_EQ(h.Percentile(1.5), 789u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(LatencyHistogramTest, SingleValuePercentilesCollapse) {
+  LatencyHistogram h;
+  h.Add(777);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), 777u) << "quantile " << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedPercentiles) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  Rng rng(17);
+  for (int i = 0; i < 20000; i++) {
+    const uint64_t v = 50 + rng.NextBelow(100000);
+    (i % 3 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), all.Percentile(q)) << "quantile " << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyPreservesExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Add(42);
+  b.Add(9000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 9000u);
+  a.Merge(LatencyHistogram());  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 9000u);
+}
+
+TEST(LatencyHistogramTest, CdfRoundTripsPercentiles) {
+  LatencyHistogram h;
+  Rng rng(23);
+  for (int i = 0; i < 5000; i++) {
+    h.Add(1 + rng.NextBelow(1u << 20));
+  }
+  const auto cdf = h.Cdf();
+  ASSERT_GE(cdf.size(), 2u);
+  // A quantile strictly inside (p_{i-1}, p_i] must land in bucket i: its
+  // Percentile is bucket i's upper bound (the CDF point value), capped at the
+  // observed max. Probing midpoints keeps the check clear of floating-point
+  // rank rounding at the bucket boundaries.
+  double prev_p = 0.0;
+  for (const auto& [value, p] : cdf) {
+    const double mid = (prev_p + p) / 2;
+    EXPECT_EQ(h.Percentile(mid), std::min(value, h.max()))
+        << "cdf point (" << value << ", " << p << ")";
+    prev_p = p;
+  }
+}
+
 TEST(HashingTest, DeterministicAndSeedSensitive) {
   const uint8_t data[] = {1, 2, 3, 4, 5};
   EXPECT_EQ(HashBytes(data, 5), HashBytes(data, 5));

@@ -93,12 +93,55 @@ TEST(DiagnosticsTest, ReportCoversEveryComponent) {
     ASSERT_TRUE(client.Get(Key(i)).ok());
   }
   const std::string report = DiagnosticsReport(server);
-  for (const char* section : {"[store]", "[proc]", "[station]", "[slab]", "[dram]",
-                              "[pcie0]", "[pcie1]", "[net]"}) {
-    EXPECT_NE(report.find(section), std::string::npos) << section;
+  // One representative metric per subsystem: the report renders the whole
+  // registry, so a missing prefix means a component never registered.
+  for (const char* metric :
+       {"kvd_store_kvs", "kvd_proc_retired_total", "kvd_proc_latency_ns",
+        "kvd_station_parked_total", "kvd_slab_allocations_total",
+        "kvd_dispatch_hit_rate", "kvd_pcie_read_tlps_total{link=\"pcie0\"}",
+        "kvd_pcie_read_tlps_total{link=\"pcie1\"}", "kvd_dma_read_tags_peak",
+        "kvd_nicdram_accesses_total",
+        "kvd_net_packets_total{direction=\"to_server\"}"}) {
+    EXPECT_NE(report.find(metric), std::string::npos) << metric;
   }
-  EXPECT_NE(report.find("kvs=100"), std::string::npos);
-  EXPECT_NE(report.find("retired=200"), std::string::npos);
+  // Exact values for the 100 PUT + 100 GET run above.
+  EXPECT_NE(report.find("kvd_store_kvs 100\n"), std::string::npos);
+  EXPECT_NE(report.find("kvd_proc_retired_total 200\n"), std::string::npos);
+  EXPECT_NE(report.find("kvd_proc_submitted_total 200\n"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ReportIsDeterministicAndSorted) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 4 * kMiB;
+  config.nic_dram.capacity_bytes = 512 * kKiB;
+  auto run = [&config] {
+    KvDirectServer server(config);
+    Client client(server);
+    for (uint64_t i = 0; i < 50; i++) {
+      EXPECT_TRUE(client.Put(Key(i), std::vector<uint8_t>(16, 2)).ok());
+    }
+    return DiagnosticsReport(server);
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+
+  // The body (everything after the two header lines) is sorted by metric name.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < first.size()) {
+    size_t end = first.find('\n', start);
+    if (end == std::string::npos) {
+      end = first.size();
+    }
+    lines.push_back(first.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GT(lines.size(), 3u);
+  for (size_t i = 3; i < lines.size(); i++) {
+    EXPECT_LE(lines[i - 1].substr(0, lines[i - 1].find(' ')),
+              lines[i].substr(0, lines[i].find(' ')))
+        << "line " << i;
+  }
 }
 
 }  // namespace
