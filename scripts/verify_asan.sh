@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the test suite. The fault-injection tests (ctest -L fault) exercise the
+# retry/replay/ECC paths under sanitizers, which is where use-after-free bugs
+# in completion callbacks would surface (late duplicate responses arriving
+# after a flush completes).
+#
+# Usage: scripts/verify_asan.sh [build-dir]    (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKVD_SANITIZE=address,undefined
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
+echo "sanitizer run clean"

@@ -78,6 +78,7 @@ KvDirectServer::KvDirectServer(const ServerConfig& config) : config_(config) {
 
   index_ = std::make_unique<HashIndex>(*trace_engine_, *allocator_, index_config);
 
+  fault_ = std::make_unique<FaultInjector>(config.faults);
   dma_ = std::make_unique<DmaEngine>(sim_, config.pcie);
   nic_dram_ = std::make_unique<NicDram>(sim_, config.nic_dram);
 
@@ -104,9 +105,26 @@ KvDirectServer::KvDirectServer(const ServerConfig& config) : config_(config) {
                                              config.processor);
   processor_->AttachSlabSyncStats(&allocator_->sync_stats());
 
+  // Fault wiring: one injector shared by every site so the plan's per-site
+  // streams stay independent of which subsystems are active.
+  dma_->SetFaultInjector(fault_.get());
+  nic_dram_->SetFaultInjector(fault_.get());
+  network_->SetFaultInjector(fault_.get());
+
   // Observability: every subsystem registers readers over its live stats into
   // the shared registry and learns about the tracer. Neither changes timing.
   tracer_.set_enabled(config.enable_tracing);
+  fault_->RegisterMetrics(metrics_);
+  fault_->SetTracer(&tracer_);
+  metrics_.RegisterCounter("kvd_server_replayed_responses_total",
+                           "Retransmitted requests answered from the replay cache",
+                           {}, &replayed_responses_);
+  metrics_.RegisterCounter("kvd_server_corrupt_frames_total",
+                           "Request frames dropped on checksum failure", {},
+                           &corrupt_frames_);
+  metrics_.RegisterCounter("kvd_server_stale_retransmits_total",
+                           "Retransmits dropped while the original executes", {},
+                           &stale_retransmits_);
   processor_->RegisterMetrics(metrics_);
   processor_->SetTracer(&tracer_);
   index_->RegisterMetrics(metrics_);
@@ -168,6 +186,56 @@ void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
   }
 }
 
+void KvDirectServer::DeliverFrame(std::vector<uint8_t> packet,
+                                  std::function<void(std::vector<uint8_t>)> respond) {
+  Result<Frame> parsed = ParseFrame(packet);
+  if (!parsed.ok()) {
+    // Corrupted or truncated in flight: drop silently; the client's
+    // retransmission timer covers it.
+    corrupt_frames_++;
+    return;
+  }
+  Frame frame = std::move(*parsed);
+  if (const auto it = replay_.find(frame.sequence); it != replay_.end()) {
+    if (it->second.done) {
+      // Idempotent replay: the original executed, its response was lost.
+      replayed_responses_++;
+      respond(it->second.response);
+    } else {
+      // The original is still executing; its eventual response (or the next
+      // retransmission) resolves this sequence.
+      stale_retransmits_++;
+    }
+    return;
+  }
+  // Admit the new sequence, evicting the oldest *completed* entries beyond
+  // the cache budget (an in-flight entry must survive until it responds).
+  while (replay_order_.size() >= config_.replay_cache_entries) {
+    const uint64_t victim = replay_order_.front();
+    const auto vit = replay_.find(victim);
+    if (vit != replay_.end() && !vit->second.done) {
+      break;
+    }
+    replay_order_.pop_front();
+    if (vit != replay_.end()) {
+      replay_.erase(vit);
+    }
+  }
+  replay_.emplace(frame.sequence, ReplayEntry{});
+  replay_order_.push_back(frame.sequence);
+  const uint64_t sequence = frame.sequence;
+  DeliverPacket(std::move(frame.payload),
+                [this, sequence, respond = std::move(respond)](
+                    std::vector<uint8_t> response) {
+                  std::vector<uint8_t> framed = FramePacket(sequence, response);
+                  if (const auto it = replay_.find(sequence); it != replay_.end()) {
+                    it->second.done = true;
+                    it->second.response = framed;
+                  }
+                  respond(std::move(framed));
+                });
+}
+
 KvResultMessage KvDirectServer::Execute(const KvOperation& op) {
   return processor_->ExecuteFunctional(op);
 }
@@ -178,7 +246,9 @@ Status KvDirectServer::Load(std::span<const uint8_t> key,
 }
 
 Client::Client(KvDirectServer& server, Options options)
-    : server_(server), options_(options) {}
+    : server_(server),
+      options_(options),
+      next_sequence_(server.AcquireClientSequenceBase()) {}
 
 
 KvResultMessage Client::Call(KvOperation op) {
@@ -300,6 +370,178 @@ size_t Client::Enqueue(KvOperation op) {
 std::vector<KvResultMessage> Client::Flush() {
   std::vector<KvOperation> ops = std::move(pending_);
   pending_.clear();
+  if (ops.empty()) {
+    return {};
+  }
+  return options_.retry.enabled ? FlushReliable(std::move(ops))
+                                : FlushUnreliable(std::move(ops));
+}
+
+// Per-flush state. Lives in a shared_ptr because injected duplicates can
+// deliver a response *after* the flush loop has already drained — such late
+// arrivals must find live state, not a dead stack frame.
+struct Client::FlushState {
+  std::vector<KvResultMessage> results;
+  size_t outstanding = 0;
+};
+
+// Per-packet state shared by the transmission chain, the retransmission
+// timer, and (possibly duplicated) response deliveries.
+struct Client::PacketCtx {
+  uint64_t sequence = 0;
+  std::vector<uint8_t> frame;       // full framed bytes, re-sent verbatim
+  std::vector<size_t> op_indices;   // result slots, in packet order
+  uint32_t attempts = 0;
+  bool completed = false;
+  std::shared_ptr<FlushState> flush;
+};
+
+void Client::RunFor(SimTime duration) {
+  Simulator& sim = server_.simulator();
+  bool fired = false;
+  sim.ScheduleAt(sim.Now() + duration, [&fired] { fired = true; });
+  while (!fired) {
+    KVD_CHECK(sim.Step());
+  }
+}
+
+void Client::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
+  Simulator& sim = server_.simulator();
+  ctx->attempts++;
+  if (ctx->attempts > 1) {
+    stats_.retransmits++;
+  }
+  std::vector<uint8_t> copy = ctx->frame;
+  server_.network().SendPayloadToServer(
+      std::move(copy), [this, ctx](std::vector<uint8_t> request) {
+        server_.DeliverFrame(
+            std::move(request), [this, ctx](std::vector<uint8_t> response) {
+              server_.network().SendPayloadToClient(
+                  std::move(response), [this, ctx](std::vector<uint8_t> delivered) {
+                    OnResponse(ctx, std::move(delivered));
+                  });
+            });
+      });
+  // Retransmission timer for this attempt; exponential backoff. A timer that
+  // fires after completion (or after a newer attempt took over) is a no-op.
+  const uint32_t attempt = ctx->attempts;
+  const SimTime timeout = options_.retry.timeout
+                          << std::min(attempt - 1, uint32_t{20});
+  sim.ScheduleAt(sim.Now() + timeout, [this, ctx, attempt] {
+    if (ctx->completed || ctx->attempts != attempt) {
+      return;
+    }
+    KVD_CHECK_MSG(attempt < options_.retry.max_attempts,
+                  "request retransmissions exhausted");
+    TransmitPacket(ctx);
+  });
+}
+
+void Client::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
+                        std::vector<uint8_t> packet) {
+  if (ctx->completed) {
+    stats_.duplicate_responses++;  // injected duplicate or late retransmit
+    return;
+  }
+  Result<Frame> parsed = ParseFrame(packet);
+  if (!parsed.ok() || parsed->sequence != ctx->sequence) {
+    // Bit-flipped in flight (or a foreign frame): await the timer.
+    stats_.corrupt_responses++;
+    return;
+  }
+  Result<std::vector<KvResultMessage>> decoded = DecodeResults(parsed->payload);
+  if (!decoded.ok()) {
+    stats_.corrupt_responses++;
+    return;
+  }
+  std::vector<KvResultMessage>& results = ctx->flush->results;
+  if (decoded->size() == ctx->op_indices.size()) {
+    for (size_t i = 0; i < decoded->size(); i++) {
+      results[ctx->op_indices[i]] = std::move((*decoded)[i]);
+    }
+  } else if (decoded->size() == 1 &&
+             (*decoded)[0].code == ResultCode::kInvalidArgument) {
+    // The server rejected the whole packet as malformed.
+    for (const size_t idx : ctx->op_indices) {
+      results[idx] = (*decoded)[0];
+    }
+  } else {
+    stats_.corrupt_responses++;  // checksum-valid but inconsistent: re-ask
+    return;
+  }
+  ctx->completed = true;
+  ctx->flush->outstanding--;
+}
+
+void Client::SendBatch(const std::vector<KvOperation>& ops,
+                       const std::vector<size_t>& indices,
+                       const std::shared_ptr<FlushState>& flush) {
+  // The frame header rides inside the packet budget, so a full batch still
+  // fits one wire MTU instead of spilling into a second segment.
+  const uint32_t budget =
+      options_.batch_payload_bytes > kFrameHeaderBytes
+          ? options_.batch_payload_bytes - static_cast<uint32_t>(kFrameHeaderBytes)
+          : options_.batch_payload_bytes;
+  size_t next = 0;
+  while (next < indices.size()) {
+    PacketBuilder builder(budget, options_.enable_compression);
+    const size_t first = next;
+    while (next < indices.size() && next - first < options_.max_ops_per_packet &&
+           builder.Add(ops[indices[next]])) {
+      next++;
+    }
+    KVD_CHECK_MSG(next > first, "operation exceeds packet payload budget");
+    auto ctx = std::make_shared<PacketCtx>();
+    ctx->sequence = next_sequence_++;
+    ctx->op_indices.assign(indices.begin() + first, indices.begin() + next);
+    ctx->frame = FramePacket(ctx->sequence, builder.Finish());
+    ctx->flush = flush;
+    flush->outstanding++;
+    stats_.packets_sent++;
+    TransmitPacket(ctx);
+  }
+}
+
+std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops) {
+  Simulator& sim = server_.simulator();
+  auto flush = std::make_shared<FlushState>();
+  flush->results.resize(ops.size());
+
+  std::vector<size_t> indices(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    indices[i] = i;
+  }
+  uint32_t busy_round = 0;
+  while (true) {
+    SendBatch(ops, indices, flush);
+    while (flush->outstanding > 0) {
+      KVD_CHECK_MSG(sim.Step(), "simulation idle with packets outstanding");
+    }
+    // Operations bounced with kBusy are re-sent — and only those, under new
+    // sequences: their effects did not happen, while the rest of the packet
+    // already executed and must not run twice.
+    std::vector<size_t> busy;
+    for (const size_t idx : indices) {
+      if (flush->results[idx].code == ResultCode::kBusy) {
+        busy.push_back(idx);
+      }
+    }
+    if (busy.empty()) {
+      break;
+    }
+    KVD_CHECK_MSG(busy_round < options_.retry.max_busy_retries,
+                  "kBusy retries exhausted");
+    const SimTime backoff = options_.retry.busy_backoff
+                            << std::min(busy_round, uint32_t{20});
+    busy_round++;
+    stats_.busy_retries += busy.size();
+    RunFor(backoff);
+    indices = std::move(busy);
+  }
+  return std::move(flush->results);
+}
+
+std::vector<KvResultMessage> Client::FlushUnreliable(std::vector<KvOperation> ops) {
   std::vector<KvResultMessage> results(ops.size());
   size_t packets_outstanding = 0;
 
@@ -321,7 +563,7 @@ std::vector<KvResultMessage> Client::Flush() {
     KVD_CHECK_MSG(next_op > first, "operation exceeds packet payload budget");
     const size_t count = next_op - first;
     std::vector<uint8_t> payload = builder.Finish();
-    packets_sent_++;
+    stats_.packets_sent++;
     packets_outstanding++;
 
     const size_t base = result_base;

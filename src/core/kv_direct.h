@@ -12,8 +12,10 @@
 #define SRC_CORE_KV_DIRECT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/alloc/slab_allocator.h"
@@ -22,6 +24,7 @@
 #include "src/core/update_functions.h"
 #include "src/dram/load_dispatcher.h"
 #include "src/dram/nic_dram.h"
+#include "src/fault/fault_injector.h"
 #include "src/hash/hash_index.h"
 #include "src/mem/access_engine.h"
 #include "src/mem/host_memory.h"
@@ -56,6 +59,14 @@ struct ServerConfig {
   // trace export. Off by default; costs one branch per hook when disabled.
   bool enable_tracing = false;
 
+  // Deterministic fault injection across the network, PCIe, and NIC DRAM
+  // models (src/fault). All-zero probabilities (the default) inject nothing.
+  FaultPlan faults;
+  // Server-side idempotent-replay cache for the framed request path: the
+  // most recent N responses are kept so a retransmitted request is answered
+  // from the cache instead of re-executing its (non-idempotent) operations.
+  uint32_t replay_cache_entries = 4096;
+
   // Tunes hash_index_ratio / inline_threshold / dispatch_ratio for a workload
   // of `kv_bytes` key+value pairs, as §5.2.1 does before each benchmark.
   void AutoTune(uint32_t kv_bytes, bool long_tail);
@@ -75,6 +86,13 @@ class KvDirectServer {
   // response payload once every operation in the packet has retired.
   void DeliverPacket(std::vector<uint8_t> payload,
                      std::function<void(std::vector<uint8_t>)> respond);
+  // Delivers a *framed* request ([sequence | checksum | payload]). Frames
+  // that fail the checksum are dropped (the client retransmits on timeout);
+  // a sequence seen before is answered from the replay cache without
+  // re-executing, making retransmission idempotent. `respond` fires with the
+  // framed response echoing the request sequence.
+  void DeliverFrame(std::vector<uint8_t> packet,
+                    std::function<void(std::vector<uint8_t>)> respond);
 
   // --- untimed convenience (warm-up fills, tests) ---
   KvResultMessage Execute(const KvOperation& op);
@@ -90,7 +108,14 @@ class KvDirectServer {
   NicDram& nic_dram() { return *nic_dram_; }
   NetworkModel& network() { return *network_; }
   UpdateFunctionRegistry& registry() { return registry_; }
+  FaultInjector& faults() { return *fault_; }
   const ServerConfig& config() const { return config_; }
+  uint64_t replayed_responses() const { return replayed_responses_; }
+  uint64_t corrupt_frames() const { return corrupt_frames_; }
+  uint64_t stale_retransmits() const { return stale_retransmits_; }
+  // Hands each client a disjoint 2^40-sequence space so frames from
+  // different clients never collide in the replay cache.
+  uint64_t AcquireClientSequenceBase() { return ++next_client_id_ << 40; }
   const AccessStats& memory_stats() const { return direct_engine_->stats(); }
   // Every subsystem's counters, gauges, and histograms (Prometheus / JSON /
   // plain-text exposition).
@@ -110,11 +135,24 @@ class KvDirectServer {
   std::unique_ptr<TraceRecordingEngine> trace_engine_;
   std::unique_ptr<SlabAllocator> allocator_;
   std::unique_ptr<HashIndex> index_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<DmaEngine> dma_;
   std::unique_ptr<NicDram> nic_dram_;
   std::unique_ptr<LoadDispatcher> dispatcher_;
   std::unique_ptr<NetworkModel> network_;
   std::unique_ptr<KvProcessor> processor_;
+
+  // Replay-dedup cache: framed responses by sequence, evicted FIFO.
+  struct ReplayEntry {
+    bool done = false;
+    std::vector<uint8_t> response;  // framed, ready to resend
+  };
+  std::unordered_map<uint64_t, ReplayEntry> replay_;
+  std::deque<uint64_t> replay_order_;
+  uint64_t next_client_id_ = 0;
+  uint64_t replayed_responses_ = 0;
+  uint64_t corrupt_frames_ = 0;
+  uint64_t stale_retransmits_ = 0;
 };
 
 // A client endpoint on the simulated network. Synchronous calls advance the
@@ -122,11 +160,34 @@ class KvDirectServer {
 // key-value code while every microsecond is accounted for.
 class Client {
  public:
+  // End-to-end reliability: sequence-numbered, checksummed frames with
+  // per-packet timeouts, exponential-backoff retransmission (same sequence,
+  // deduplicated server-side), and op-level backoff/retry on kBusy.
+  struct RetryPolicy {
+    // Disable to send raw unframed packets and assume a lossless wire (the
+    // pre-reliability behavior; required when faults are enabled == false
+    // only for byte-exact wire accounting in benchmarks).
+    bool enabled = true;
+    SimTime timeout = 500 * kMicrosecond;  // doubles per retransmission
+    uint32_t max_attempts = 8;             // transmissions per frame; then fatal
+    SimTime busy_backoff = 10 * kMicrosecond;  // doubles per kBusy round
+    uint32_t max_busy_retries = 16;            // kBusy re-send rounds; then fatal
+  };
+
+  struct Stats {
+    uint64_t packets_sent = 0;         // distinct frames (first transmissions)
+    uint64_t retransmits = 0;          // timeout-driven re-sends
+    uint64_t busy_retries = 0;         // ops re-sent after a kBusy response
+    uint64_t corrupt_responses = 0;    // responses failing checksum/decode
+    uint64_t duplicate_responses = 0;  // responses for already-completed frames
+  };
+
   struct Options {
     uint32_t batch_payload_bytes = 4096;  // packet budget for batched calls
     // 1 disables client-side batching entirely (Figure 15/17 ablation).
     uint32_t max_ops_per_packet = 0xffffffff;
     bool enable_compression = true;
+    RetryPolicy retry;
   };
 
   explicit Client(KvDirectServer& server) : Client(server, Options()) {}
@@ -162,15 +223,32 @@ class Client {
   // enqueue order.
   std::vector<KvResultMessage> Flush();
 
-  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_sent() const { return stats_.packets_sent; }
+  const Stats& stats() const { return stats_; }
 
  private:
+  struct FlushState;
+  struct PacketCtx;
+
   KvResultMessage Call(KvOperation op);
+  std::vector<KvResultMessage> FlushReliable(std::vector<KvOperation> ops);
+  std::vector<KvResultMessage> FlushUnreliable(std::vector<KvOperation> ops);
+  // Packs ops[indices...] into framed packets and transmits each.
+  void SendBatch(const std::vector<KvOperation>& ops,
+                 const std::vector<size_t>& indices,
+                 const std::shared_ptr<FlushState>& flush);
+  // One transmission attempt plus its retransmission timer.
+  void TransmitPacket(const std::shared_ptr<PacketCtx>& ctx);
+  void OnResponse(const std::shared_ptr<PacketCtx>& ctx,
+                  std::vector<uint8_t> packet);
+  // Advances the simulator by `duration` (backoff waits).
+  void RunFor(SimTime duration);
 
   KvDirectServer& server_;
   Options options_;
   std::vector<KvOperation> pending_;
-  uint64_t packets_sent_ = 0;
+  uint64_t next_sequence_;
+  Stats stats_;
 };
 
 }  // namespace kvd

@@ -149,6 +149,21 @@ SimTime KvProcessor::NextCycleTime() {
 }
 
 void KvProcessor::Submit(KvOperation op, Completion done) {
+  if (config_.max_backlog > 0 && waiting_.size() >= config_.max_backlog) {
+    // Decode-stage backpressure: the operation is bounced with kBusy after
+    // one decode cycle instead of queueing without bound; clients back off
+    // and retry (graceful degradation, not silent unbounded latency).
+    stats_.busy_rejected++;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("proc", "busy_reject", {{"backlog", waiting_.size()}});
+    }
+    sim_.ScheduleAt(NextCycleTime(), [done = std::move(done)]() mutable {
+      KvResultMessage result;
+      result.code = ResultCode::kBusy;
+      done(std::move(result));
+    });
+    return;
+  }
   stats_.submitted++;
   waiting_.emplace_back(std::move(op), std::move(done));
   Pump();
@@ -345,6 +360,9 @@ void KvProcessor::RegisterMetrics(MetricRegistry& registry) const {
   registry.RegisterCounter("kvd_proc_writebacks_total",
                            "Reservation-station cache write-backs", {},
                            &stats_.writebacks);
+  registry.RegisterCounter("kvd_proc_busy_rejected_total",
+                           "Submissions bounced with kBusy at the admission queue",
+                           {}, &stats_.busy_rejected);
   registry.RegisterGauge("kvd_proc_backlog", "Operations waiting for admission",
                          {}, [this] { return static_cast<double>(waiting_.size()); });
   registry.RegisterGauge("kvd_proc_inflight",

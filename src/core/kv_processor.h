@@ -48,6 +48,10 @@ struct KvProcessorConfig {
   OooConfig ooo;
   // Synthetic trace entries for slab-pool syncs: entries_per_batch * 5 B.
   uint32_t slab_sync_bytes = 160;
+  // Admission-queue depth beyond the reservation station; once full, new
+  // submissions bounce with kBusy instead of queueing without bound.
+  // 0 = unbounded (the seed behavior).
+  uint32_t max_backlog = 0;
 };
 
 struct KvProcessorStats {
@@ -56,6 +60,7 @@ struct KvProcessorStats {
   uint64_t pipeline_ops = 0;   // ops that went through the memory system
   uint64_t fast_path_ops = 0;  // retired from the reservation station
   uint64_t writebacks = 0;
+  uint64_t busy_rejected = 0;  // bounced with kBusy at the admission queue
   LatencyHistogram latency_ns;  // submission -> retirement
 };
 

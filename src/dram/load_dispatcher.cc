@@ -76,6 +76,20 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
   }
 
   if (config_.policy == DispatchPolicy::kFixedPartition) {
+    if (kind == AccessKind::kRead &&
+        dram_.CheckLineRead(address) == EccReadOutcome::kUncorrectable) {
+      // Uncorrectable ECC on the pinned copy: serve from host memory and
+      // refill the DRAM line from there.
+      stats_.ecc_demotions++;
+      if (trace) {
+        tracer_->Instant("dispatch", "ecc_demote", {{"bytes", bytes}});
+      }
+      dma_.Read(address, bytes, [this, bytes, done = std::move(done)]() mutable {
+        dram_.Access(bytes, [] {});
+        done();
+      });
+      return;
+    }
     // Pinned data: always a DRAM hit, never a fill or writeback.
     stats_.dram_hits++;
     dram_.Access(bytes, std::move(done));
@@ -95,6 +109,28 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
   }
 
   if (all_hit) {
+    if (!is_write &&
+        dram_.CheckLineRead(address) == EccReadOutcome::kUncorrectable) {
+      // Uncorrectable ECC on a cached line: the cached copy is dead.
+      // Demote — clear the dirty flags (the content is being replaced by
+      // the host copy) and re-read over PCIe with a DRAM refill, exactly
+      // like a read miss. Functional data lives in the processor model;
+      // this charges the degradation's timing cost.
+      stats_.ecc_demotions++;
+      if (trace) {
+        tracer_->Instant("dispatch", "ecc_demote", {{"bytes", bytes}});
+      }
+      for (uint64_t offset = 0; offset < bytes; offset += kCacheLineBytes) {
+        const uint64_t slot =
+            ((address + offset) / kCacheLineBytes) % num_cache_lines_;
+        line_dirty_[slot] = false;
+      }
+      dma_.Read(address, bytes, [this, bytes, done = std::move(done)]() mutable {
+        dram_.Access(bytes, [] {});
+        done();
+      });
+      return;
+    }
     stats_.dram_hits++;
     if (trace) {
       tracer_->Instant("dispatch", "hit", {{"bytes", bytes}});
@@ -137,6 +173,9 @@ void LoadDispatcher::RegisterMetrics(MetricRegistry& registry) const {
                            &stats_.dram_misses);
   registry.RegisterCounter("kvd_dispatch_writebacks_total", "Dirty line evictions",
                            {}, &stats_.writebacks);
+  registry.RegisterCounter("kvd_dispatch_ecc_demotions_total",
+                           "Lines demoted to host memory after uncorrectable ECC",
+                           {}, &stats_.ecc_demotions);
   registry.RegisterGauge("kvd_dispatch_hit_rate", "Hit rate over cacheable accesses",
                          {}, [this] { return stats_.HitRate(); });
 }

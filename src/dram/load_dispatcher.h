@@ -56,6 +56,7 @@ struct DispatchStats {
   uint64_t dram_hits = 0;
   uint64_t dram_misses = 0;   // cacheable but absent: PCIe fetch + fill
   uint64_t writebacks = 0;    // dirty evictions
+  uint64_t ecc_demotions = 0; // uncorrectable ECC: line dropped, host re-read
 
   uint64_t total() const { return pcie_accesses + dram_hits + dram_misses; }
   double HitRate() const {

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/common/units.h"
+#include "src/fault/fault_injector.h"
 #include "src/obs/event_tracer.h"
 #include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
@@ -30,6 +31,13 @@ struct NicDramConfig {
   SimTime access_latency = 120 * kNanosecond;  // controller + DDR3 latency
 };
 
+// What the ECC lane reported for a line read under fault injection.
+enum class EccReadOutcome : uint8_t {
+  kClean,          // no flip injected
+  kCorrected,      // single-bit flip repaired by Hamming(71,64)
+  kUncorrectable,  // multi-bit flip detected; line content is untrustworthy
+};
+
 class NicDram {
  public:
   NicDram(Simulator& sim, const NicDramConfig& config);
@@ -37,21 +45,36 @@ class NicDram {
   // Performs a timed access of `bytes`; `done` fires when complete.
   void Access(uint32_t bytes, std::function<void()> done);
 
+  // Consults the fault injector for a bit flip on a line read at `address`
+  // and, if one fires, pushes it through the real ECC codec
+  // (src/dram/ecc_metadata): a single-bit flip must come back corrected
+  // with data and metadata intact; a double-bit flip in one word must be
+  // detected-but-uncorrectable. Callers demote uncorrectable lines.
+  EccReadOutcome CheckLineRead(uint64_t address);
+
   const NicDramConfig& config() const { return config_; }
   uint64_t accesses() const { return accesses_; }
   uint64_t bytes_transferred() const { return bytes_; }
+  uint64_t ecc_correctable_injected() const { return correctable_injected_; }
+  uint64_t ecc_corrected_words() const { return corrected_words_; }
+  uint64_t ecc_uncorrectable_injected() const { return uncorrectable_injected_; }
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
  private:
   Simulator& sim_;
   NicDramConfig config_;
   EventTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   double picos_per_byte_;
   SimTime channel_free_at_ = 0;
   uint64_t accesses_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t correctable_injected_ = 0;
+  uint64_t corrected_words_ = 0;
+  uint64_t uncorrectable_injected_ = 0;
 };
 
 }  // namespace kvd

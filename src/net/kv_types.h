@@ -38,6 +38,50 @@ enum class ResultCode : uint8_t {
   kBusy = 4,
 };
 
+// Highest wire-legal bytes; decoders reject anything above instead of
+// silently mapping unknown bytes onto the `default:` arms below.
+inline constexpr uint8_t kMaxOpcodeByte = static_cast<uint8_t>(Opcode::kFilter);
+inline constexpr uint8_t kMaxResultCodeByte = static_cast<uint8_t>(ResultCode::kBusy);
+
+// Stable human-readable names for logs, traces, and error messages.
+constexpr const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kGet:
+      return "GET";
+    case Opcode::kPut:
+      return "PUT";
+    case Opcode::kDelete:
+      return "DELETE";
+    case Opcode::kUpdateScalar:
+      return "UPDATE_SCALAR";
+    case Opcode::kUpdateScalarVector:
+      return "UPDATE_SCALAR_VECTOR";
+    case Opcode::kUpdateVector:
+      return "UPDATE_VECTOR";
+    case Opcode::kReduce:
+      return "REDUCE";
+    case Opcode::kFilter:
+      return "FILTER";
+  }
+  return "UNKNOWN_OPCODE";
+}
+
+constexpr const char* ResultCodeName(ResultCode code) {
+  switch (code) {
+    case ResultCode::kOk:
+      return "OK";
+    case ResultCode::kNotFound:
+      return "NOT_FOUND";
+    case ResultCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case ResultCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ResultCode::kBusy:
+      return "BUSY";
+  }
+  return "UNKNOWN_RESULT";
+}
+
 // Identifiers of pre-registered update functions (paper §3.2: user-defined λ
 // are compiled to hardware logic before execution; clients reference them by
 // id). The builtin set covers the paper's workloads; applications register

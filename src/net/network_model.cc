@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "src/common/assert.h"
@@ -52,6 +53,63 @@ void NetworkModel::SendToClient(uint32_t payload_bytes,
        to_client_bytes_, std::move(delivered));
 }
 
+void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
+                               PayloadHandler delivered) {
+  const char* direction = to_server ? "to_server" : "to_client";
+  SimTime& free_at = to_server ? to_server_free_at_ : to_client_free_at_;
+  uint64_t& packets = to_server ? to_server_packets_ : to_client_packets_;
+  uint64_t& bytes = to_server ? to_server_bytes_ : to_client_bytes_;
+  const auto size = static_cast<uint32_t>(payload.size());
+  if (fault_ != nullptr) {
+    // At most one fault per packet, decided in fixed order so that each
+    // site's event stream stays deterministic.
+    const FaultSite drop = to_server ? FaultSite::kNetDropToServer
+                                     : FaultSite::kNetDropToClient;
+    const FaultSite duplicate = to_server ? FaultSite::kNetDuplicateToServer
+                                          : FaultSite::kNetDuplicateToClient;
+    const FaultSite corrupt = to_server ? FaultSite::kNetCorruptToServer
+                                        : FaultSite::kNetCorruptToClient;
+    if (fault_->ShouldInject(drop)) {
+      // The packet occupies the wire like any other, then vanishes.
+      dropped_++;
+      Send(direction, size, free_at, packets, bytes, [] {});
+      return;
+    }
+    if (fault_->ShouldInject(duplicate)) {
+      // Two independent transmissions, both delivered; receivers dedup on
+      // the frame sequence number.
+      duplicated_++;
+      auto handler = std::make_shared<PayloadHandler>(std::move(delivered));
+      std::vector<uint8_t> copy = payload;
+      Send(direction, size, free_at, packets, bytes,
+           [handler, copy = std::move(copy)]() mutable { (*handler)(std::move(copy)); });
+      Send(direction, size, free_at, packets, bytes,
+           [handler, payload = std::move(payload)]() mutable {
+             (*handler)(std::move(payload));
+           });
+      return;
+    }
+    if (fault_->ShouldInject(corrupt)) {
+      corrupted_++;
+      fault_->CorruptBytes(payload, corrupt);
+    }
+  }
+  Send(direction, size, free_at, packets, bytes,
+       [payload = std::move(payload), delivered = std::move(delivered)]() mutable {
+         delivered(std::move(payload));
+       });
+}
+
+void NetworkModel::SendPayloadToServer(std::vector<uint8_t> payload,
+                                       PayloadHandler delivered) {
+  SendPayload(true, std::move(payload), std::move(delivered));
+}
+
+void NetworkModel::SendPayloadToClient(std::vector<uint8_t> payload,
+                                       PayloadHandler delivered) {
+  SendPayload(false, std::move(payload), std::move(delivered));
+}
+
 void NetworkModel::RegisterMetrics(MetricRegistry& registry) const {
   registry.RegisterCounter("kvd_net_packets_total", "Wire packets sent",
                            {{"direction", "to_server"}}, &to_server_packets_);
@@ -61,6 +119,14 @@ void NetworkModel::RegisterMetrics(MetricRegistry& registry) const {
                            {{"direction", "to_server"}}, &to_server_bytes_);
   registry.RegisterCounter("kvd_net_bytes_total", "Wire bytes (incl. overhead)",
                            {{"direction", "to_client"}}, &to_client_bytes_);
+  registry.RegisterCounter("kvd_net_dropped_total", "Packets lost to injected faults",
+                           {}, &dropped_);
+  registry.RegisterCounter("kvd_net_duplicated_total",
+                           "Packets duplicated by injected faults", {},
+                           &duplicated_);
+  registry.RegisterCounter("kvd_net_corrupted_total",
+                           "Packets bit-flipped by injected faults", {},
+                           &corrupted_);
 }
 
 }  // namespace kvd

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/common/units.h"
+#include "src/fault/fault_injector.h"
 #include "src/obs/event_tracer.h"
 #include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
@@ -33,27 +35,45 @@ class NetworkModel {
  public:
   NetworkModel(Simulator& sim, const NetworkConfig& config);
 
-  // Client -> server direction; `delivered` fires at arrival.
+  using PayloadHandler = std::function<void(std::vector<uint8_t>)>;
+
+  // Client -> server direction; `delivered` fires at arrival. The byte-count
+  // overloads model a lossless wire (timing only); benches use them directly.
   void SendToServer(uint32_t payload_bytes, std::function<void()> delivered);
   // Server -> client direction.
   void SendToClient(uint32_t payload_bytes, std::function<void()> delivered);
+
+  // Payload-carrying sends: the wire that can fail. When a FaultInjector is
+  // attached, packets may be dropped (delivered never fires; the wire is
+  // still occupied), duplicated (delivered fires twice, two transmissions),
+  // or corrupted (bits flipped in flight — the framing checksum catches it at
+  // the receiver). The retry/timeout layer in Client/KvDirectServer recovers.
+  void SendPayloadToServer(std::vector<uint8_t> payload, PayloadHandler delivered);
+  void SendPayloadToClient(std::vector<uint8_t> payload, PayloadHandler delivered);
 
   const NetworkConfig& config() const { return config_; }
   uint64_t packets_to_server() const { return to_server_packets_; }
   uint64_t packets_to_client() const { return to_client_packets_; }
   uint64_t bytes_to_server() const { return to_server_bytes_; }   // incl. overhead
   uint64_t bytes_to_client() const { return to_client_bytes_; }
+  uint64_t packets_dropped() const { return dropped_; }
+  uint64_t packets_duplicated() const { return duplicated_; }
+  uint64_t packets_corrupted() const { return corrupted_; }
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
  private:
   void Send(const char* direction, uint32_t payload_bytes, SimTime& wire_free_at,
             uint64_t& packets, uint64_t& bytes, std::function<void()> delivered);
+  void SendPayload(bool to_server, std::vector<uint8_t> payload,
+                   PayloadHandler delivered);
 
   Simulator& sim_;
   NetworkConfig config_;
   EventTracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   double picos_per_byte_;
   SimTime to_server_free_at_ = 0;
   SimTime to_client_free_at_ = 0;
@@ -61,6 +81,9 @@ class NetworkModel {
   uint64_t to_client_packets_ = 0;
   uint64_t to_server_bytes_ = 0;
   uint64_t to_client_bytes_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t corrupted_ = 0;
 };
 
 }  // namespace kvd

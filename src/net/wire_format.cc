@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/assert.h"
+#include "src/common/hashing.h"
 
 namespace kvd {
 namespace {
@@ -144,8 +145,8 @@ Result<std::optional<KvOperation>> PacketParser::Next() {
   if (!take(&opcode_byte, 1) || !take(&flags, 1)) {
     return Status::InvalidArgument("truncated op header");
   }
-  if (opcode_byte > static_cast<uint8_t>(Opcode::kFilter)) {
-    return Status::InvalidArgument("unknown opcode");
+  if (opcode_byte > kMaxOpcodeByte) {
+    return Status::InvalidArgument("unknown opcode byte");
   }
   op.opcode = static_cast<Opcode>(opcode_byte);
   op.return_value = (flags & kFlagNoReturn) == 0;
@@ -177,6 +178,11 @@ Result<std::optional<KvOperation>> PacketParser::Next() {
     }
   }
 
+  // Validate claimed lengths against the remaining bytes BEFORE allocating:
+  // a corrupted length field must produce an error, not a multi-GiB resize.
+  if (key_len > payload_.size() - offset_) {
+    return Status::InvalidArgument("truncated key");
+  }
   op.key.resize(key_len);
   if (key_len > 0 && !take(op.key.data(), key_len)) {
     return Status::InvalidArgument("truncated key");
@@ -187,6 +193,9 @@ Result<std::optional<KvOperation>> PacketParser::Next() {
     }
     op.value = prev_value_;
   } else {
+    if (value_len > payload_.size() - offset_) {
+      return Status::InvalidArgument("truncated value");
+    }
     op.value.resize(value_len);
     if (value_len > 0 && !take(op.value.data(), value_len)) {
       return Status::InvalidArgument("truncated value");
@@ -217,6 +226,9 @@ Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& p
     if (offset + 13 > payload.size()) {
       return Status::InvalidArgument("truncated result header");
     }
+    if (payload[offset] > kMaxResultCodeByte) {
+      return Status::InvalidArgument("unknown result code");
+    }
     KvResultMessage result;
     result.code = static_cast<ResultCode>(payload[offset]);
     uint32_t value_len;
@@ -232,6 +244,42 @@ Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& p
     results.push_back(std::move(result));
   }
   return results;
+}
+
+namespace {
+
+// 32-bit payload checksum keyed by the sequence number, so a flip anywhere in
+// the frame (sequence, checksum, or payload) breaks verification.
+uint32_t FrameChecksum(uint64_t sequence, std::span<const uint8_t> payload) {
+  return static_cast<uint32_t>(
+      HashBytes(payload.data(), payload.size(), Mix64(sequence) ^ 0xf4a3e));
+}
+
+}  // namespace
+
+std::vector<uint8_t> FramePacket(uint64_t sequence, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU64(out, sequence);
+  AppendU32(out, FrameChecksum(sequence, payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Frame> ParseFrame(std::span<const uint8_t> packet) {
+  if (packet.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  Frame frame;
+  uint32_t checksum;
+  std::memcpy(&frame.sequence, packet.data(), 8);
+  std::memcpy(&checksum, packet.data() + 8, 4);
+  const std::span<const uint8_t> payload = packet.subspan(kFrameHeaderBytes);
+  if (checksum != FrameChecksum(frame.sequence, payload)) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
 }
 
 }  // namespace kvd

@@ -49,9 +49,47 @@ void DmaEngine::Read(uint64_t address, uint32_t bytes, std::function<void()> don
     offset += chunk;
     // Each in-flight read TLP needs a unique tag to match its completion.
     read_tags_.Acquire(1, [this, chunk, chunk_address, random_access, on_tlp_done] {
-      PickLink(chunk_address).SubmitRead(chunk, random_access, on_tlp_done);
+      SubmitReadTlp(chunk_address, chunk, random_access, 1, on_tlp_done);
     });
   }
+}
+
+void DmaEngine::SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_access,
+                              uint32_t attempt, std::function<void()> on_done) {
+  PickLink(address).SubmitRead(
+      bytes, random_access,
+      [this, address, bytes, random_access, attempt,
+       on_done = std::move(on_done)]() mutable {
+        if (fault_ != nullptr &&
+            fault_->ShouldInject(FaultSite::kPcieReadCompletion)) {
+          // Transient completion error: replay the TLP. The tag stays held
+          // for the whole transaction, exactly as the hardware would keep it
+          // allocated until a good completion arrives.
+          KVD_CHECK_MSG(attempt < config_.max_tlp_attempts,
+                        "PCIe read TLP failed after retry budget");
+          read_retries_++;
+          SubmitReadTlp(address, bytes, random_access, attempt + 1,
+                        std::move(on_done));
+          return;
+        }
+        on_done();
+      });
+}
+
+void DmaEngine::SubmitWriteTlp(uint64_t address, uint32_t bytes, uint32_t attempt,
+                               std::function<void()> on_done) {
+  PickLink(address).SubmitWrite(
+      bytes, [this, address, bytes, attempt, on_done = std::move(on_done)]() mutable {
+        if (fault_ != nullptr &&
+            fault_->ShouldInject(FaultSite::kPcieWriteCompletion)) {
+          KVD_CHECK_MSG(attempt < config_.max_tlp_attempts,
+                        "PCIe write TLP failed after retry budget");
+          write_retries_++;
+          SubmitWriteTlp(address, bytes, attempt + 1, std::move(on_done));
+          return;
+        }
+        on_done();
+      });
 }
 
 void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> done) {
@@ -72,7 +110,7 @@ void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> do
     const uint32_t chunk = std::min(max_payload, bytes - offset);
     const uint64_t chunk_address = address + offset;
     offset += chunk;
-    PickLink(chunk_address).SubmitWrite(chunk, on_tlp_done);
+    SubmitWriteTlp(chunk_address, chunk, 1, on_tlp_done);
   }
 }
 
@@ -81,6 +119,12 @@ void DmaEngine::RegisterMetrics(MetricRegistry& registry) const {
                            &reads_issued_);
   registry.RegisterCounter("kvd_dma_writes_total", "DMA write requests", {},
                            &writes_issued_);
+  registry.RegisterCounter("kvd_dma_retries_total",
+                           "TLPs replayed after transient completion errors",
+                           {{"kind", "read"}}, &read_retries_);
+  registry.RegisterCounter("kvd_dma_retries_total",
+                           "TLPs replayed after transient completion errors",
+                           {{"kind", "write"}}, &write_retries_);
   registry.RegisterGauge("kvd_dma_read_tags_in_use", "DMA read tags currently held",
                          {}, [this] {
                            return static_cast<double>(read_tags_.capacity() -

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/pcie/pcie_link.h"
 #include "src/sim/simulator.h"
 #include "src/sim/token_pool.h"
@@ -22,6 +23,10 @@ namespace kvd {
 struct DmaEngineConfig {
   uint32_t num_links = 2;
   uint32_t read_tags = 64;  // shared across links
+  // Transient completion errors (injected via FaultInjector) are replayed up
+  // to this many transmissions per TLP; exhausting the budget is fatal, the
+  // model's equivalent of a PCIe AER uncorrectable error.
+  uint32_t max_tlp_attempts = 8;
   PcieLinkConfig link;
 };
 
@@ -43,12 +48,17 @@ class DmaEngine {
   // tracer to the links.
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer);
+  // Attaches fault injection for transient completion errors; each failed
+  // TLP re-runs through the link (holding its tag) with a bounded budget.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
   PcieLink& link(uint32_t i) { return *links_[i]; }
   uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
 
   uint64_t reads_issued() const { return reads_issued_; }
   uint64_t writes_issued() const { return writes_issued_; }
+  uint64_t read_retries() const { return read_retries_; }
+  uint64_t write_retries() const { return write_retries_; }
   const TokenPool& tag_pool() const { return read_tags_; }
 
   // Aggregate read latency over all links, in nanoseconds.
@@ -56,13 +66,22 @@ class DmaEngine {
 
  private:
   PcieLink& PickLink(uint64_t address);
+  // One TLP transmission; on an injected transient completion error, re-runs
+  // itself with `attempt + 1` until the budget is spent.
+  void SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_access,
+                     uint32_t attempt, std::function<void()> on_done);
+  void SubmitWriteTlp(uint64_t address, uint32_t bytes, uint32_t attempt,
+                      std::function<void()> on_done);
 
   Simulator& sim_;
   DmaEngineConfig config_;
+  FaultInjector* fault_ = nullptr;
   std::vector<std::unique_ptr<PcieLink>> links_;
   TokenPool read_tags_;
   uint64_t reads_issued_ = 0;
   uint64_t writes_issued_ = 0;
+  uint64_t read_retries_ = 0;
+  uint64_t write_retries_ = 0;
 };
 
 }  // namespace kvd
