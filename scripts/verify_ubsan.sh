@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the full tree with UndefinedBehaviorSanitizer only and runs the test
+# suite. Pure-UBSan builds are much faster than the combined ASan run
+# (scripts/verify_asan.sh) and catch a disjoint bug class: signed overflow in
+# simulated-time arithmetic, misaligned loads in the wire codecs, and invalid
+# enum values decoded from (fault-injected) corrupt frames. The replication
+# tests (ctest -L replica) drive the epoch/log-index arithmetic through
+# failover, where an overflow would silently reorder the log.
+#
+# Usage: scripts/verify_ubsan.sh [build-dir]    (default: build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKVD_SANITIZE=undefined
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
+echo "ubsan run clean"

@@ -1,0 +1,34 @@
+// Stable hash partitioning of the key space across N owners.
+//
+// Both deployment layers route by key hash: MultiNicClient picks the NIC that
+// owns a key's partition (paper §1, Table 3 — sharding across 10 NICs), and
+// ReplicatedClient picks the shard whose replication group serves the key.
+// They must agree byte-for-byte, so the logic lives here instead of being
+// re-derived privately in each client.
+//
+// The seed is distinct from the in-server bucket hash, keeping the partition
+// choice independent of bucket placement inside the owning server.
+#ifndef SRC_COMMON_KEY_ROUTER_H_
+#define SRC_COMMON_KEY_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+
+namespace kvd {
+
+class KeyRouter {
+ public:
+  explicit KeyRouter(uint32_t num_partitions);
+
+  // The partition owning `key`; stable across calls and processes.
+  uint32_t PartitionOf(std::span<const uint8_t> key) const;
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+ private:
+  uint32_t num_partitions_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_COMMON_KEY_ROUTER_H_

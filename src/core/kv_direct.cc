@@ -55,7 +55,10 @@ void ServerConfig::AutoTune(uint32_t kv_bytes, bool long_tail) {
       static_cast<double>(kvs_memory_bytes) / std::max<uint32_t>(kv_bytes, 1));
 }
 
-KvDirectServer::KvDirectServer(const ServerConfig& config) : config_(config) {
+KvDirectServer::KvDirectServer(const ServerConfig& config, Simulator* external_sim)
+    : config_(config),
+      owned_sim_(external_sim != nullptr ? nullptr : std::make_unique<Simulator>()),
+      sim_(external_sim != nullptr ? *external_sim : *owned_sim_) {
   HashIndexConfig index_config;
   index_config.memory_base = 0;
   index_config.memory_size = config.kvs_memory_bytes;
@@ -209,11 +212,17 @@ void KvDirectServer::DeliverFrame(std::vector<uint8_t> packet,
     return;
   }
   // Admit the new sequence, evicting the oldest *completed* entries beyond
-  // the cache budget (an in-flight entry must survive until it responds).
+  // the cache budget. An in-flight entry must survive until it responds, and
+  // a recently completed one must outlive any retransmission still in flight
+  // (the client may have re-sent just before the response landed); both stop
+  // eviction, letting the cache run over budget rather than break
+  // exactly-once execution.
   while (replay_order_.size() >= config_.replay_cache_entries) {
     const uint64_t victim = replay_order_.front();
     const auto vit = replay_.find(victim);
-    if (vit != replay_.end() && !vit->second.done) {
+    if (vit != replay_.end() &&
+        (!vit->second.done ||
+         sim_.Now() < vit->second.done_at + config_.replay_retain_time)) {
       break;
     }
     replay_order_.pop_front();
@@ -230,6 +239,7 @@ void KvDirectServer::DeliverFrame(std::vector<uint8_t> packet,
                   std::vector<uint8_t> framed = FramePacket(sequence, response);
                   if (const auto it = replay_.find(sequence); it != replay_.end()) {
                     it->second.done = true;
+                    it->second.done_at = sim_.Now();
                     it->second.response = framed;
                   }
                   respond(std::move(framed));

@@ -66,6 +66,11 @@ struct ServerConfig {
   // most recent N responses are kept so a retransmitted request is answered
   // from the cache instead of re-executing its (non-idempotent) operations.
   uint32_t replay_cache_entries = 4096;
+  // Completed replay entries younger than this are never evicted, even when
+  // the cache is over budget: a retransmission of a just-answered frame may
+  // still be in flight, and evicting its entry would re-execute the ops.
+  // The cache may temporarily exceed `replay_cache_entries` to honor this.
+  SimTime replay_retain_time = 100 * kMillisecond;
 
   // Tunes hash_index_ratio / inline_threshold / dispatch_ratio for a workload
   // of `kv_bytes` key+value pairs, as §5.2.1 does before each benchmark.
@@ -74,7 +79,11 @@ struct ServerConfig {
 
 class KvDirectServer {
  public:
-  explicit KvDirectServer(const ServerConfig& config);
+  // By default the server owns its simulator. Passing `external_sim` puts
+  // several servers on one clock — required when they exchange messages
+  // (MultiNicServer shards, src/replica replication groups).
+  explicit KvDirectServer(const ServerConfig& config,
+                          Simulator* external_sim = nullptr);
 
   KvDirectServer(const KvDirectServer&) = delete;
   KvDirectServer& operator=(const KvDirectServer&) = delete;
@@ -126,7 +135,11 @@ class KvDirectServer {
 
  private:
   ServerConfig config_;
-  Simulator sim_;
+  // Null when running on an external (shared) simulator; sim_ aliases either
+  // the owned instance or the external one. Declared before every member
+  // that captures Simulator& at construction.
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator& sim_;
   MetricRegistry metrics_;
   EventTracer tracer_{sim_};
   UpdateFunctionRegistry registry_;
@@ -142,9 +155,12 @@ class KvDirectServer {
   std::unique_ptr<NetworkModel> network_;
   std::unique_ptr<KvProcessor> processor_;
 
-  // Replay-dedup cache: framed responses by sequence, evicted FIFO.
+  // Replay-dedup cache: framed responses by sequence, evicted FIFO — except
+  // that in-flight entries and entries completed less than
+  // `replay_retain_time` ago are never evicted (see ServerConfig).
   struct ReplayEntry {
     bool done = false;
+    SimTime done_at = 0;            // completion time, valid when done
     std::vector<uint8_t> response;  // framed, ready to resend
   };
   std::unordered_map<uint64_t, ReplayEntry> replay_;

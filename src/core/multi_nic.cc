@@ -3,22 +3,20 @@
 #include <algorithm>
 
 #include "src/common/assert.h"
-#include "src/common/hashing.h"
 
 namespace kvd {
 
-MultiNicServer::MultiNicServer(uint32_t num_nics, const ServerConfig& per_nic_config) {
+MultiNicServer::MultiNicServer(uint32_t num_nics, const ServerConfig& per_nic_config,
+                               Simulator* shared_sim)
+    : router_(num_nics) {
   KVD_CHECK(num_nics >= 1);
   for (uint32_t i = 0; i < num_nics; i++) {
-    nics_.push_back(std::make_unique<KvDirectServer>(per_nic_config));
+    nics_.push_back(std::make_unique<KvDirectServer>(per_nic_config, shared_sim));
   }
 }
 
 uint32_t MultiNicServer::OwnerOf(std::span<const uint8_t> key) const {
-  // A seed distinct from the bucket hash keeps NIC choice independent of the
-  // in-NIC bucket placement.
-  return static_cast<uint32_t>(HashBytes(key.data(), key.size(), /*seed=*/0x9c1c) %
-                               nics_.size());
+  return router_.PartitionOf(key);
 }
 
 Status MultiNicServer::Load(std::span<const uint8_t> key,

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/key_router.h"
 #include "src/core/kv_direct.h"
 
 namespace kvd {
@@ -27,8 +28,12 @@ namespace kvd {
 class MultiNicServer {
  public:
   // `per_nic_config` applies to every NIC; kvs_memory_bytes is the size of
-  // each NIC's partition (total capacity = num_nics x partition).
-  MultiNicServer(uint32_t num_nics, const ServerConfig& per_nic_config);
+  // each NIC's partition (total capacity = num_nics x partition). Passing
+  // `shared_sim` runs every NIC on one clock instead of one simulator per
+  // NIC — needed when the shards are composed with subsystems that exchange
+  // messages across them (src/replica).
+  MultiNicServer(uint32_t num_nics, const ServerConfig& per_nic_config,
+                 Simulator* shared_sim = nullptr);
 
   uint32_t num_nics() const { return static_cast<uint32_t>(nics_.size()); }
   KvDirectServer& nic(uint32_t i) { return *nics_[i]; }
@@ -47,6 +52,7 @@ class MultiNicServer {
   SimTime MaxSimTime() const;
 
  private:
+  KeyRouter router_;
   std::vector<std::unique_ptr<KvDirectServer>> nics_;
 };
 

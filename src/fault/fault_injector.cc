@@ -29,6 +29,8 @@ const char* FaultSiteName(FaultSite site) {
       return "dram_correctable_flip";
     case FaultSite::kDramUncorrectableFlip:
       return "dram_uncorrectable_flip";
+    case FaultSite::kReplicaCrash:
+      return "replica_crash";
   }
   return "unknown";
 }

@@ -43,9 +43,11 @@ enum class FaultSite : uint8_t {
   kPcieWriteCompletion,       // transient DMA write acceptance error (replayed)
   kDramCorrectableFlip,       // single-bit NIC DRAM error (ECC corrects)
   kDramUncorrectableFlip,     // double-bit NIC DRAM error (ECC detects only)
+  kReplicaCrash,              // whole-node fail-stop (replication groups);
+                              // consulted once per replica per group tick
 };
 inline constexpr size_t kNumFaultSites =
-    static_cast<size_t>(FaultSite::kDramUncorrectableFlip) + 1;
+    static_cast<size_t>(FaultSite::kReplicaCrash) + 1;
 
 // Stable human-readable site name, e.g. "net_drop_to_server".
 const char* FaultSiteName(FaultSite site);

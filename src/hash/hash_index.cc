@@ -54,8 +54,10 @@ std::vector<uint8_t> BuildSlabImage(std::span<const uint8_t> key,
   std::memcpy(slab.data(), &klen, 2);
   std::memcpy(slab.data() + 2, &vlen, 2);
   std::memcpy(slab.data() + HashIndex::kSlabHeaderBytes, key.data(), key.size());
-  std::memcpy(slab.data() + HashIndex::kSlabHeaderBytes + key.size(), value.data(),
-              value.size());
+  if (!value.empty()) {  // an empty span's data() may be null
+    std::memcpy(slab.data() + HashIndex::kSlabHeaderBytes + key.size(),
+                value.data(), value.size());
+  }
   return slab;
 }
 
@@ -66,7 +68,10 @@ std::vector<uint8_t> BuildInlineImage(std::span<const uint8_t> key,
   data[0] = static_cast<uint8_t>(key.size());
   data[1] = static_cast<uint8_t>(value.size());
   std::memcpy(data.data() + kInlineHeaderBytes, key.data(), key.size());
-  std::memcpy(data.data() + kInlineHeaderBytes + key.size(), value.data(), value.size());
+  if (!value.empty()) {  // an empty span's data() may be null
+    std::memcpy(data.data() + kInlineHeaderBytes + key.size(), value.data(),
+                value.size());
+  }
   return data;
 }
 

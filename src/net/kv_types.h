@@ -43,6 +43,12 @@ enum class ResultCode : uint8_t {
 inline constexpr uint8_t kMaxOpcodeByte = static_cast<uint8_t>(Opcode::kFilter);
 inline constexpr uint8_t kMaxResultCodeByte = static_cast<uint8_t>(ResultCode::kBusy);
 
+// Highest server epoch a result may carry on the wire. Epochs count primary
+// failovers, so legitimate values stay tiny; anything above this is a
+// corrupted frame that slipped past the checksum and must be rejected rather
+// than believed.
+inline constexpr uint32_t kMaxWireEpoch = (1u << 24) - 1;
+
 // Stable human-readable names for logs, traces, and error messages.
 constexpr const char* OpcodeName(Opcode opcode) {
   switch (opcode) {
@@ -118,6 +124,10 @@ struct KvResultMessage {
   std::vector<uint8_t> value;
   // Original scalar (updates) or reduction result.
   uint64_t scalar = 0;
+  // Server epoch at execution time. 0 for an unreplicated server; a
+  // replication group stamps its current epoch so clients detect responses
+  // from a deposed primary (src/replica). Bounded by kMaxWireEpoch.
+  uint32_t epoch = 0;
 };
 
 // True for operations that mutate the stored value.

@@ -211,7 +211,9 @@ Result<std::optional<KvOperation>> PacketParser::Next() {
 std::vector<uint8_t> EncodeResults(const std::vector<KvResultMessage>& results) {
   std::vector<uint8_t> out;
   for (const KvResultMessage& result : results) {
+    KVD_CHECK(result.epoch <= kMaxWireEpoch);
     out.push_back(static_cast<uint8_t>(result.code));
+    AppendU32(out, result.epoch);
     AppendU32(out, static_cast<uint32_t>(result.value.size()));
     AppendU64(out, result.scalar);
     out.insert(out.end(), result.value.begin(), result.value.end());
@@ -223,7 +225,7 @@ Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& p
   std::vector<KvResultMessage> results;
   size_t offset = 0;
   while (offset < payload.size()) {
-    if (offset + 13 > payload.size()) {
+    if (offset + kResultHeaderBytes > payload.size()) {
       return Status::InvalidArgument("truncated result header");
     }
     if (payload[offset] > kMaxResultCodeByte) {
@@ -232,9 +234,13 @@ Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& p
     KvResultMessage result;
     result.code = static_cast<ResultCode>(payload[offset]);
     uint32_t value_len;
-    std::memcpy(&value_len, payload.data() + offset + 1, 4);
-    std::memcpy(&result.scalar, payload.data() + offset + 5, 8);
-    offset += 13;
+    std::memcpy(&result.epoch, payload.data() + offset + 1, 4);
+    if (result.epoch > kMaxWireEpoch) {
+      return Status::InvalidArgument("result epoch out of range");
+    }
+    std::memcpy(&value_len, payload.data() + offset + 5, 4);
+    std::memcpy(&result.scalar, payload.data() + offset + 9, 8);
+    offset += kResultHeaderBytes;
     if (offset + value_len > payload.size()) {
       return Status::InvalidArgument("truncated result value");
     }

@@ -81,7 +81,11 @@ class PacketParser {
 };
 
 // Response packet: a sequence of results mirroring the request order.
-// Layout per result: u8 code | u32 value_len | u64 scalar | value bytes.
+// Layout per result:
+//   u8 code | u32 epoch | u32 value_len | u64 scalar | value bytes.
+// `epoch` is the server epoch at execution (0 unreplicated); the decoder
+// rejects values above kMaxWireEpoch as corruption.
+inline constexpr size_t kResultHeaderBytes = 17;
 std::vector<uint8_t> EncodeResults(const std::vector<KvResultMessage>& results);
 Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& payload);
 

@@ -1,0 +1,270 @@
+#include "src/replica/replica_wire.h"
+
+#include <cstring>
+
+namespace kvd {
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  const size_t at = out.size();
+  out.resize(at + 2);
+  std::memcpy(out.data() + at, &v, 2);
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  const size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  const size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+void PutBytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Bounds-checked little-endian reader; every take reports truncation.
+struct Reader {
+  const std::vector<uint8_t>& in;
+  size_t offset = 0;
+
+  bool Take(void* out, size_t n) {
+    if (offset + n > in.size()) {
+      return false;
+    }
+    std::memcpy(out, in.data() + offset, n);
+    offset += n;
+    return true;
+  }
+  bool TakeBytes(std::vector<uint8_t>& out, size_t n) {
+    if (n > in.size() - offset) {
+      return false;
+    }
+    out.assign(in.begin() + static_cast<long>(offset),
+               in.begin() + static_cast<long>(offset + n));
+    offset += n;
+    return true;
+  }
+  bool Done() const { return offset == in.size(); }
+};
+
+void EncodeEntry(std::vector<uint8_t>& out, const LogEntry& entry) {
+  PutU64(out, entry.epoch);
+  PutU64(out, entry.client_sequence);
+  PutU16(out, entry.slot);
+  out.push_back(static_cast<uint8_t>(entry.op.opcode));
+  out.push_back(entry.op.element_width);
+  out.push_back(entry.op.return_value ? 1 : 0);
+  PutU16(out, entry.op.function_id);
+  PutU64(out, entry.op.param);
+  PutU16(out, static_cast<uint16_t>(entry.op.key.size()));
+  PutU32(out, static_cast<uint32_t>(entry.op.value.size()));
+  PutBytes(out, entry.op.key);
+  PutBytes(out, entry.op.value);
+  out.push_back(static_cast<uint8_t>(entry.result.code));
+  PutU64(out, entry.result.scalar);
+  PutU32(out, static_cast<uint32_t>(entry.result.value.size()));
+  PutBytes(out, entry.result.value);
+}
+
+bool DecodeEntry(Reader& reader, LogEntry& entry) {
+  uint8_t opcode_byte, return_value, code_byte;
+  uint16_t key_len;
+  uint32_t value_len, result_len;
+  if (!reader.Take(&entry.epoch, 8) || !reader.Take(&entry.client_sequence, 8) ||
+      !reader.Take(&entry.slot, 2) || !reader.Take(&opcode_byte, 1) ||
+      !reader.Take(&entry.op.element_width, 1) || !reader.Take(&return_value, 1) ||
+      !reader.Take(&entry.op.function_id, 2) || !reader.Take(&entry.op.param, 8) ||
+      !reader.Take(&key_len, 2) || !reader.Take(&value_len, 4)) {
+    return false;
+  }
+  if (opcode_byte > kMaxOpcodeByte) {
+    return false;
+  }
+  entry.op.opcode = static_cast<Opcode>(opcode_byte);
+  entry.op.return_value = return_value != 0;
+  if (!reader.TakeBytes(entry.op.key, key_len) ||
+      !reader.TakeBytes(entry.op.value, value_len) ||
+      !reader.Take(&code_byte, 1) || !reader.Take(&entry.result.scalar, 8) ||
+      !reader.Take(&result_len, 4)) {
+    return false;
+  }
+  if (code_byte > kMaxResultCodeByte) {
+    return false;
+  }
+  entry.result.code = static_cast<ResultCode>(code_byte);
+  return reader.TakeBytes(entry.result.value, result_len);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeReplicaMessage(const ReplicaMessage& msg) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(msg.type));
+  PutU64(out, msg.epoch);
+  PutU32(out, msg.sender);
+  switch (msg.type) {
+    case ReplicaMessageType::kAppend:
+      PutU64(out, msg.first_index);
+      PutU64(out, msg.prev_epoch);
+      PutU64(out, msg.commit_index);
+      PutU64(out, msg.leader_end);
+      PutU32(out, static_cast<uint32_t>(msg.entries.size()));
+      for (const LogEntry& entry : msg.entries) {
+        EncodeEntry(out, entry);
+      }
+      break;
+    case ReplicaMessageType::kAppendAck:
+      PutU64(out, msg.ack_index);
+      break;
+    case ReplicaMessageType::kPromoteQuery:
+      break;
+    case ReplicaMessageType::kPromoteReply:
+    case ReplicaMessageType::kCatchupRequest:
+      PutU64(out, msg.last_epoch);
+      PutU64(out, msg.last_index);
+      break;
+    case ReplicaMessageType::kPromote:
+      PutU64(out, msg.new_epoch);
+      break;
+    case ReplicaMessageType::kStateChunk:
+      PutU64(out, msg.snapshot_epoch);
+      PutU64(out, msg.snapshot_index);
+      PutU32(out, msg.chunk_seq);
+      out.push_back(msg.chunk_flags);
+      PutU32(out, static_cast<uint32_t>(msg.kvs.size()));
+      for (const auto& [key, value] : msg.kvs) {
+        PutU16(out, static_cast<uint16_t>(key.size()));
+        PutU32(out, static_cast<uint32_t>(value.size()));
+        PutBytes(out, key);
+        PutBytes(out, value);
+      }
+      break;
+  }
+  return out;
+}
+
+Result<ReplicaMessage> DecodeReplicaMessage(const std::vector<uint8_t>& payload) {
+  Reader reader{payload};
+  ReplicaMessage msg;
+  uint8_t type_byte;
+  if (!reader.Take(&type_byte, 1) || !reader.Take(&msg.epoch, 8) ||
+      !reader.Take(&msg.sender, 4)) {
+    return Status::InvalidArgument("truncated replica message header");
+  }
+  if (type_byte > kMaxReplicaMessageType) {
+    return Status::InvalidArgument("unknown replica message type");
+  }
+  msg.type = static_cast<ReplicaMessageType>(type_byte);
+  switch (msg.type) {
+    case ReplicaMessageType::kAppend: {
+      uint32_t count;
+      if (!reader.Take(&msg.first_index, 8) || !reader.Take(&msg.prev_epoch, 8) ||
+          !reader.Take(&msg.commit_index, 8) || !reader.Take(&msg.leader_end, 8) ||
+          !reader.Take(&count, 4)) {
+        return Status::InvalidArgument("truncated append header");
+      }
+      msg.entries.reserve(count);
+      for (uint32_t i = 0; i < count; i++) {
+        LogEntry entry;
+        if (!DecodeEntry(reader, entry)) {
+          return Status::InvalidArgument("truncated append entry");
+        }
+        msg.entries.push_back(std::move(entry));
+      }
+      break;
+    }
+    case ReplicaMessageType::kAppendAck:
+      if (!reader.Take(&msg.ack_index, 8)) {
+        return Status::InvalidArgument("truncated append ack");
+      }
+      break;
+    case ReplicaMessageType::kPromoteQuery:
+      break;
+    case ReplicaMessageType::kPromoteReply:
+    case ReplicaMessageType::kCatchupRequest:
+      if (!reader.Take(&msg.last_epoch, 8) || !reader.Take(&msg.last_index, 8)) {
+        return Status::InvalidArgument("truncated log position");
+      }
+      break;
+    case ReplicaMessageType::kPromote:
+      if (!reader.Take(&msg.new_epoch, 8)) {
+        return Status::InvalidArgument("truncated promote");
+      }
+      break;
+    case ReplicaMessageType::kStateChunk: {
+      uint32_t count;
+      if (!reader.Take(&msg.snapshot_epoch, 8) ||
+          !reader.Take(&msg.snapshot_index, 8) ||
+          !reader.Take(&msg.chunk_seq, 4) || !reader.Take(&msg.chunk_flags, 1) ||
+          !reader.Take(&count, 4)) {
+        return Status::InvalidArgument("truncated state chunk header");
+      }
+      msg.kvs.reserve(count);
+      for (uint32_t i = 0; i < count; i++) {
+        uint16_t key_len;
+        uint32_t value_len;
+        std::vector<uint8_t> key, value;
+        if (!reader.Take(&key_len, 2) || !reader.Take(&value_len, 4) ||
+            !reader.TakeBytes(key, key_len) || !reader.TakeBytes(value, value_len)) {
+          return Status::InvalidArgument("truncated state chunk kv");
+        }
+        msg.kvs.emplace_back(std::move(key), std::move(value));
+      }
+      break;
+    }
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes in replica message");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> EncodeGroupRequest(const GroupRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + request.ops_payload.size());
+  PutU64(out, request.required_index);
+  PutBytes(out, request.ops_payload);
+  return out;
+}
+
+Result<GroupRequest> DecodeGroupRequest(const std::vector<uint8_t>& payload) {
+  Reader reader{payload};
+  GroupRequest request;
+  if (!reader.Take(&request.required_index, 8)) {
+    return Status::InvalidArgument("truncated group request header");
+  }
+  request.ops_payload.assign(payload.begin() + static_cast<long>(reader.offset),
+                             payload.end());
+  return request;
+}
+
+std::vector<uint8_t> EncodeGroupResponse(const GroupResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(21 + response.results_payload.size());
+  out.push_back(response.flags);
+  PutU64(out, response.epoch);
+  PutU32(out, response.primary_id);
+  PutU64(out, response.assigned_index);
+  PutBytes(out, response.results_payload);
+  return out;
+}
+
+Result<GroupResponse> DecodeGroupResponse(const std::vector<uint8_t>& payload) {
+  Reader reader{payload};
+  GroupResponse response;
+  if (!reader.Take(&response.flags, 1) || !reader.Take(&response.epoch, 8) ||
+      !reader.Take(&response.primary_id, 4) ||
+      !reader.Take(&response.assigned_index, 8)) {
+    return Status::InvalidArgument("truncated group response header");
+  }
+  response.results_payload.assign(
+      payload.begin() + static_cast<long>(reader.offset), payload.end());
+  return response;
+}
+
+}  // namespace kvd

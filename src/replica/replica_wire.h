@@ -1,0 +1,123 @@
+// Wire formats of the replication subsystem (DESIGN.md §9).
+//
+// Two separate vocabularies share this header:
+//
+//   - replica <-> replica messages (ReplicaMessage): log propagation,
+//     cumulative acks, failover elections, catch-up, and bounded-rate state
+//     transfer. All ride inside the PR 2 checksummed framing over the group's
+//     replication NetworkModel links; the protocol is idempotent by design
+//     (cumulative indices), so loss is healed by the next heartbeat window
+//     rather than per-message retransmission timers.
+//
+//   - client <-> group messages (GroupRequest/GroupResponse): a thin routing
+//     header around the existing batched-operation payload. Requests carry
+//     the client's read watermark (read-your-writes), responses carry the
+//     epoch, the responder's view of the primary (for redirects), and the log
+//     index covering the request's writes.
+#ifndef SRC_REPLICA_REPLICA_WIRE_H_
+#define SRC_REPLICA_REPLICA_WIRE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/kv_types.h"
+
+namespace kvd {
+
+// One replicated operation: an effective write exactly as executed at the
+// primary, together with the result the primary computed. Shipping the result
+// lets every replica store an identical session-result record (for
+// exactly-once retransmission handling across failover) without re-deriving
+// it from its own execution.
+struct LogEntry {
+  uint64_t epoch = 0;
+  uint64_t client_sequence = 0;  // frame sequence of the originating request
+  uint16_t slot = 0;             // op position within that frame
+  KvOperation op;
+  KvResultMessage result;
+};
+
+enum class ReplicaMessageType : uint8_t {
+  kAppend = 0,          // log replication; empty entry list == heartbeat
+  kAppendAck = 1,       // cumulative: "my log (and state) reach ack_index"
+  kPromoteQuery = 2,    // election coordinator asks for log tail positions
+  kPromoteReply = 3,
+  kPromote = 4,         // install the most-caught-up replica at new_epoch
+  kCatchupRequest = 5,  // backup asks to be resynced past (last_epoch, last_index)
+  kStateChunk = 6,      // bounded-rate full-partition state transfer
+};
+
+inline constexpr uint8_t kMaxReplicaMessageType =
+    static_cast<uint8_t>(ReplicaMessageType::kStateChunk);
+
+inline constexpr uint8_t kStateChunkFirst = 1u << 0;  // wipe target state first
+inline constexpr uint8_t kStateChunkLast = 1u << 1;   // snapshot complete
+
+struct ReplicaMessage {
+  ReplicaMessageType type = ReplicaMessageType::kAppend;
+  uint64_t epoch = 0;   // sender's epoch
+  uint32_t sender = 0;  // sender's replica id
+
+  // kAppend
+  uint64_t first_index = 0;  // index of entries[0]
+  uint64_t prev_epoch = 0;   // epoch of the sender's entry at first_index - 1
+  uint64_t commit_index = 0;
+  // The sender's log end. A backup whose log extends past it holds a
+  // divergent tail (it was a deposed primary) and must be state-transferred:
+  // applied state cannot be rolled back entry-wise.
+  uint64_t leader_end = 0;
+  std::vector<LogEntry> entries;
+
+  // kAppendAck
+  uint64_t ack_index = 0;
+
+  // kPromoteReply / kCatchupRequest: the sender's log tail position
+  uint64_t last_epoch = 0;
+  uint64_t last_index = 0;
+
+  // kPromote
+  uint64_t new_epoch = 0;
+
+  // kStateChunk
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_index = 0;
+  uint32_t chunk_seq = 0;
+  uint8_t chunk_flags = 0;
+  std::vector<std::pair<std::vector<uint8_t>, std::vector<uint8_t>>> kvs;
+};
+
+std::vector<uint8_t> EncodeReplicaMessage(const ReplicaMessage& msg);
+Result<ReplicaMessage> DecodeReplicaMessage(const std::vector<uint8_t>& payload);
+
+// --- client <-> group messages (ride inside the PR 2 reliable framing) ---
+
+// The read watermark the serving replica must have applied before answering,
+// then the standard batched-operation payload (PacketBuilder format).
+struct GroupRequest {
+  uint64_t required_index = 0;
+  std::vector<uint8_t> ops_payload;
+};
+
+inline constexpr uint8_t kGroupRedirect = 1u << 0;   // not primary: go there
+inline constexpr uint8_t kGroupStaleRead = 1u << 1;  // replica behind watermark
+
+// Routing header, then an EncodeResults payload (empty when a flag rejects
+// the request without executing it).
+struct GroupResponse {
+  uint8_t flags = 0;
+  uint64_t epoch = 0;
+  uint32_t primary_id = 0;      // the responder's belief, for redirects
+  uint64_t assigned_index = 0;  // log index covering the request's writes
+  std::vector<uint8_t> results_payload;
+};
+
+std::vector<uint8_t> EncodeGroupRequest(const GroupRequest& request);
+Result<GroupRequest> DecodeGroupRequest(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeGroupResponse(const GroupResponse& response);
+Result<GroupResponse> DecodeGroupResponse(const std::vector<uint8_t>& payload);
+
+}  // namespace kvd
+
+#endif  // SRC_REPLICA_REPLICA_WIRE_H_

@@ -1,0 +1,297 @@
+#include "src/replica/replicated_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/net/wire_format.h"
+
+namespace kvd {
+
+struct ReplicatedClient::FlushState {
+  std::vector<KvResultMessage> results;
+  size_t outstanding = 0;
+};
+
+struct ReplicatedClient::PacketCtx {
+  uint64_t sequence = 0;
+  std::vector<uint8_t> ops_payload;  // PacketBuilder output
+  std::vector<uint8_t> framed;       // FramePacket(sequence, GroupRequest)
+  std::vector<size_t> op_indices;    // flush-result slots, packet order
+  std::vector<std::vector<uint8_t>> write_keys;
+  uint64_t required = 0;  // max watermark over the packet's keys
+  bool is_write = false;
+  uint32_t target = 0;
+  uint32_t attempts = 0;
+  uint32_t attempts_at_target = 0;
+  bool completed = false;
+  std::shared_ptr<FlushState> flush;
+};
+
+ReplicatedClient::ReplicatedClient(ReplicationGroup& group, Options options)
+    : group_(group),
+      options_(options),
+      next_sequence_(group.AcquireClientSequenceBase()),
+      believed_primary_(group.primary_id()) {
+  KVD_CHECK_MSG(options_.batch_payload_bytes > kFrameHeaderBytes + 8 + 64,
+                "packet budget too small for the framing and routing headers");
+}
+
+size_t ReplicatedClient::Enqueue(KvOperation op) {
+  pending_.push_back(std::move(op));
+  return pending_.size() - 1;
+}
+
+void ReplicatedClient::BeginFlush() {
+  KVD_CHECK_MSG(flush_ == nullptr || flush_->outstanding == 0,
+                "previous flush still in progress");
+  flush_ = std::make_shared<FlushState>();
+  flush_->results.resize(pending_.size());
+  std::vector<KvOperation> ops = std::move(pending_);
+  pending_.clear();
+  if (ops.empty()) {
+    return;
+  }
+
+  // Pack greedily in enqueue order; the op budget leaves room for the frame
+  // header and the GroupRequest watermark.
+  const uint32_t budget = options_.batch_payload_bytes -
+                          static_cast<uint32_t>(kFrameHeaderBytes) - 8;
+  PacketBuilder builder(budget, options_.enable_compression);
+  std::vector<std::shared_ptr<PacketCtx>> packets;
+  auto ctx = std::make_shared<PacketCtx>();
+  ctx->flush = flush_;
+  for (size_t i = 0; i < ops.size(); i++) {
+    if (!builder.Add(ops[i])) {
+      KVD_CHECK_MSG(!ctx->op_indices.empty(),
+                    "operation exceeds the packet budget");
+      ctx->ops_payload = builder.Finish();
+      packets.push_back(std::move(ctx));
+      ctx = std::make_shared<PacketCtx>();
+      ctx->flush = flush_;
+      KVD_CHECK(builder.Add(ops[i]));
+    }
+    ctx->op_indices.push_back(i);
+    auto mark = watermarks_.find(ops[i].key);
+    if (mark != watermarks_.end()) {
+      ctx->required = std::max(ctx->required, mark->second);
+    }
+    if (IsWriteOpcode(ops[i].opcode)) {
+      ctx->is_write = true;
+      ctx->write_keys.push_back(ops[i].key);
+    }
+  }
+  if (!ctx->op_indices.empty()) {
+    ctx->ops_payload = builder.Finish();
+    packets.push_back(std::move(ctx));
+  }
+
+  flush_->outstanding = packets.size();
+  for (const auto& packet : packets) {
+    packet->sequence = next_sequence_++;
+    GroupRequest request;
+    request.required_index = packet->required;
+    request.ops_payload = packet->ops_payload;
+    packet->framed = FramePacket(packet->sequence, EncodeGroupRequest(request));
+    if (packet->is_write) {
+      packet->target = believed_primary_;
+    } else {
+      packet->target = next_read_target_ % group_.num_replicas();
+      next_read_target_++;
+    }
+    stats_.packets_sent++;
+    TransmitPacket(packet);
+  }
+}
+
+bool ReplicatedClient::flush_done() const {
+  return flush_ == nullptr || flush_->outstanding == 0;
+}
+
+std::vector<KvResultMessage> ReplicatedClient::TakeResults() {
+  KVD_CHECK_MSG(flush_ != nullptr && flush_->outstanding == 0,
+                "flush not complete");
+  std::vector<KvResultMessage> results = std::move(flush_->results);
+  flush_.reset();
+  return results;
+}
+
+std::vector<KvResultMessage> ReplicatedClient::Flush() {
+  BeginFlush();
+  Simulator& sim = group_.simulator();
+  while (!flush_done()) {
+    KVD_CHECK(sim.Step());  // the group's heartbeat keeps the queue non-empty
+  }
+  return TakeResults();
+}
+
+void ReplicatedClient::Retarget(const std::shared_ptr<PacketCtx>& ctx,
+                                uint32_t target) {
+  ctx->target = target % group_.num_replicas();
+  ctx->attempts_at_target = 0;
+}
+
+void ReplicatedClient::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
+  KVD_CHECK_MSG(ctx->attempts < options_.max_attempts,
+                "replicated request exhausted its attempts");
+  ctx->attempts++;
+  ctx->attempts_at_target++;
+  const uint32_t target = ctx->target;
+  group_.client_network(target).SendPayloadToServer(
+      ctx->framed, [this, ctx, target](std::vector<uint8_t> packet) {
+        group_.DeliverClientFrame(
+            target, std::move(packet),
+            [this, ctx, target](std::vector<uint8_t> response) {
+              group_.client_network(target).SendPayloadToClient(
+                  std::move(response), [this, ctx](std::vector<uint8_t> bytes) {
+                    OnResponse(ctx, std::move(bytes));
+                  });
+            });
+      });
+
+  const uint32_t shift = std::min(ctx->attempts - 1, 6u);
+  const uint32_t seen = ctx->attempts;
+  group_.simulator().Schedule(options_.timeout << shift, [this, ctx, seen] {
+    if (ctx->completed || ctx->attempts != seen) {
+      return;  // answered, or a bounce already re-sent it
+    }
+    stats_.retransmits++;
+    if (ctx->attempts_at_target >= options_.attempts_per_target) {
+      Retarget(ctx, ctx->target + 1);  // this replica may be crashed
+    }
+    TransmitPacket(ctx);
+  });
+}
+
+void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
+                                  std::vector<uint8_t> packet) {
+  if (ctx->completed) {
+    stats_.duplicate_responses++;
+    return;
+  }
+  Result<Frame> frame = ParseFrame(packet);
+  if (!frame.ok() || frame.value().sequence != ctx->sequence) {
+    stats_.corrupt_responses++;
+    return;
+  }
+  Result<GroupResponse> decoded = DecodeGroupResponse(frame.value().payload);
+  if (!decoded.ok()) {
+    stats_.corrupt_responses++;
+    return;
+  }
+  const GroupResponse& response = decoded.value();
+  if ((response.flags & (kGroupRedirect | kGroupStaleRead)) != 0) {
+    if ((response.flags & kGroupRedirect) != 0) {
+      stats_.redirects_followed++;
+    } else {
+      stats_.stale_retries++;
+    }
+    // Chase the responder's view of the primary: it always satisfies the
+    // watermark, and writes only land there anyway. Back off a beat so the
+    // group converges instead of being hammered mid-failover.
+    believed_primary_ = response.primary_id;
+    Retarget(ctx, response.primary_id);
+    group_.simulator().Schedule(options_.redirect_backoff, [this, ctx] {
+      if (!ctx->completed) {
+        TransmitPacket(ctx);
+      }
+    });
+    return;
+  }
+
+  Result<std::vector<KvResultMessage>> results =
+      DecodeResults(response.results_payload);
+  if (!results.ok()) {
+    stats_.corrupt_responses++;
+    return;  // retransmission timer recovers
+  }
+  std::vector<KvResultMessage>& slots = results.value();
+  if (slots.size() == 1 && slots[0].code == ResultCode::kInvalidArgument &&
+      ctx->op_indices.size() != 1) {
+    // The server rejected the whole packet with a single error result.
+    for (size_t index : ctx->op_indices) {
+      ctx->flush->results[index] = slots[0];
+    }
+  } else if (slots.size() == ctx->op_indices.size()) {
+    for (size_t i = 0; i < slots.size(); i++) {
+      ctx->flush->results[ctx->op_indices[i]] = std::move(slots[i]);
+    }
+  } else {
+    stats_.corrupt_responses++;
+    return;
+  }
+  ctx->completed = true;
+  believed_primary_ = response.primary_id;
+  for (const auto& key : ctx->write_keys) {
+    uint64_t& mark = watermarks_[key];
+    mark = std::max(mark, response.assigned_index);
+  }
+  ctx->flush->outstanding--;
+}
+
+// --- sharded-and-replicated cluster ---
+
+ReplicatedCluster::ReplicatedCluster(uint32_t num_shards,
+                                     const ReplicationConfig& per_shard)
+    : router_(num_shards) {
+  KVD_CHECK(num_shards >= 1);
+  for (uint32_t i = 0; i < num_shards; i++) {
+    ReplicationConfig config = per_shard;
+    // Decorrelate the shards' fault streams while keeping each deterministic.
+    config.faults.seed ^= 0x9e3779b97f4a7c15ULL * (i + 1);
+    shards_.push_back(std::make_unique<ReplicationGroup>(config, &sim_));
+  }
+}
+
+Status ReplicatedCluster::Load(std::span<const uint8_t> key,
+                               std::span<const uint8_t> value) {
+  return shards_[OwnerOf(key)]->Load(key, value);
+}
+
+ClusterClient::ClusterClient(ReplicatedCluster& cluster,
+                             ReplicatedClient::Options options)
+    : cluster_(cluster) {
+  for (uint32_t i = 0; i < cluster.num_shards(); i++) {
+    shard_clients_.push_back(
+        std::make_unique<ReplicatedClient>(cluster.shard(i), options));
+  }
+}
+
+size_t ClusterClient::Enqueue(KvOperation op) {
+  const uint32_t shard = cluster_.OwnerOf(op.key);
+  const size_t within = shard_clients_[shard]->Enqueue(std::move(op));
+  placements_.emplace_back(shard, within);
+  return placements_.size() - 1;
+}
+
+std::vector<KvResultMessage> ClusterClient::Flush() {
+  for (const auto& client : shard_clients_) {
+    client->BeginFlush();
+  }
+  Simulator& sim = cluster_.simulator();
+  auto all_done = [this] {
+    for (const auto& client : shard_clients_) {
+      if (!client->flush_done()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_done()) {
+    KVD_CHECK(sim.Step());
+  }
+  std::vector<std::vector<KvResultMessage>> per_shard;
+  per_shard.reserve(shard_clients_.size());
+  for (const auto& client : shard_clients_) {
+    per_shard.push_back(client->TakeResults());
+  }
+  std::vector<KvResultMessage> merged;
+  merged.reserve(placements_.size());
+  for (const auto& [shard, index] : placements_) {
+    merged.push_back(std::move(per_shard[shard][index]));
+  }
+  placements_.clear();
+  return merged;
+}
+
+}  // namespace kvd

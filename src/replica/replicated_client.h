@@ -1,0 +1,145 @@
+// Client endpoints for replication groups and for sharded-and-replicated
+// clusters (DESIGN.md §9.5).
+//
+// ReplicatedClient routes writes to the primary it currently believes in and
+// follows redirects through epoch changes; it load-balances read-only packets
+// round-robin across all replicas, attaching a per-key log-index watermark so
+// a lagging backup rejects the read instead of serving stale data
+// (read-your-writes across flushes). Retransmission reuses the PR 2 frame
+// sequence, so a retried request is answered exactly once — from the replay
+// cache on the same primary, or from the replicated session records after a
+// failover.
+//
+// ReplicatedCluster composes a KeyRouter with one ReplicationGroup per shard
+// on a single shared simulator; ClusterClient partitions a batch across the
+// shards, drives all of their flushes on the one clock, and merges results
+// back into enqueue order.
+#ifndef SRC_REPLICA_REPLICATED_CLIENT_H_
+#define SRC_REPLICA_REPLICATED_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/key_router.h"
+#include "src/replica/replication_group.h"
+
+namespace kvd {
+
+class ReplicatedClient {
+ public:
+  struct Options {
+    uint32_t batch_payload_bytes = 4096;
+    bool enable_compression = true;
+    SimTime timeout = 500 * kMicrosecond;  // doubles per retransmission
+    // Transmissions of one packet before giving up (fatal): sized to ride
+    // out a failover (detection + election) under the doubling timeout.
+    uint32_t max_attempts = 24;
+    // After this many attempts at one replica, rotate to the next — the
+    // current target may be crashed.
+    uint32_t attempts_per_target = 3;
+    // Wait before re-sending after a redirect or stale-read bounce, giving
+    // the group a beat to converge instead of hammering it.
+    SimTime redirect_backoff = 50 * kMicrosecond;
+  };
+
+  struct Stats {
+    uint64_t packets_sent = 0;        // first transmissions
+    uint64_t retransmits = 0;         // timeout-driven re-sends
+    uint64_t redirects_followed = 0;  // kGroupRedirect bounces
+    uint64_t stale_retries = 0;       // kGroupStaleRead bounces
+    uint64_t corrupt_responses = 0;
+    uint64_t duplicate_responses = 0;
+  };
+
+  explicit ReplicatedClient(ReplicationGroup& group)
+      : ReplicatedClient(group, Options()) {}
+  ReplicatedClient(ReplicationGroup& group, Options options);
+
+  // Queues an operation for the next flush; returns its result index.
+  size_t Enqueue(KvOperation op);
+
+  // Sends every queued operation and drives the group's simulator until all
+  // responses arrive. Results are in enqueue order.
+  std::vector<KvResultMessage> Flush();
+
+  // Split-phase flush for multi-shard composition: BeginFlush() transmits
+  // without stepping the simulator; the caller steps the (shared) clock until
+  // flush_done(), then TakeResults().
+  void BeginFlush();
+  bool flush_done() const;
+  std::vector<KvResultMessage> TakeResults();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FlushState;
+  struct PacketCtx;
+
+  void TransmitPacket(const std::shared_ptr<PacketCtx>& ctx);
+  void Retarget(const std::shared_ptr<PacketCtx>& ctx, uint32_t target);
+  void OnResponse(const std::shared_ptr<PacketCtx>& ctx,
+                  std::vector<uint8_t> packet);
+
+  ReplicationGroup& group_;
+  Options options_;
+  std::vector<KvOperation> pending_;
+  uint64_t next_sequence_;
+  uint32_t believed_primary_ = 0;
+  uint32_t next_read_target_ = 0;  // round-robin cursor for read packets
+  // Per-key quorum-committed index of this client's acknowledged writes: the
+  // watermark a replica must have applied before serving the key back
+  // (read-your-writes). std::map for deterministic iteration.
+  std::map<std::vector<uint8_t>, uint64_t> watermarks_;
+  std::shared_ptr<FlushState> flush_;
+  Stats stats_;
+};
+
+// One ReplicationGroup per shard, all on one owned simulator, with the same
+// KeyRouter MultiNicClient uses — a replicated cluster behaves like a
+// MultiNicServer whose shards survive crashes.
+class ReplicatedCluster {
+ public:
+  ReplicatedCluster(uint32_t num_shards, const ReplicationConfig& per_shard);
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t OwnerOf(std::span<const uint8_t> key) const {
+    return router_.PartitionOf(key);
+  }
+  ReplicationGroup& shard(uint32_t index) { return *shards_[index]; }
+  Simulator& simulator() { return sim_; }
+
+  // Loads into the owning shard (every replica of it).
+  Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
+
+ private:
+  Simulator sim_;
+  KeyRouter router_;
+  std::vector<std::unique_ptr<ReplicationGroup>> shards_;
+};
+
+// Batches across shards: partitions by key, flushes every shard client on the
+// shared clock concurrently, and merges results in enqueue order.
+class ClusterClient {
+ public:
+  explicit ClusterClient(ReplicatedCluster& cluster)
+      : ClusterClient(cluster, ReplicatedClient::Options()) {}
+  ClusterClient(ReplicatedCluster& cluster, ReplicatedClient::Options options);
+
+  size_t Enqueue(KvOperation op);
+  std::vector<KvResultMessage> Flush();
+
+  ReplicatedClient& shard_client(uint32_t index) { return *shard_clients_[index]; }
+
+ private:
+  ReplicatedCluster& cluster_;
+  std::vector<std::unique_ptr<ReplicatedClient>> shard_clients_;
+  // (shard, index within that shard's flush) per enqueued op, enqueue order.
+  std::vector<std::pair<uint32_t, size_t>> placements_;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_REPLICA_REPLICATED_CLIENT_H_

@@ -1,0 +1,1167 @@
+#include "src/replica/replication_group.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/net/wire_format.h"
+
+namespace kvd {
+namespace {
+
+constexpr char kTraceCategory[] = "replica";
+
+ReplicaMessage MakeMessage(ReplicaMessageType type, uint64_t epoch, uint32_t sender) {
+  ReplicaMessage msg;
+  msg.type = type;
+  msg.epoch = epoch;
+  msg.sender = sender;
+  return msg;
+}
+
+}  // namespace
+
+ReplicationGroup::ReplicationGroup(const ReplicationConfig& config,
+                                   Simulator* external_sim)
+    : config_(config),
+      owned_sim_(external_sim != nullptr ? nullptr : std::make_unique<Simulator>()),
+      sim_(external_sim != nullptr ? *external_sim : *owned_sim_) {
+  KVD_CHECK_MSG(config_.num_replicas >= 1, "a group needs at least one replica");
+  KVD_CHECK_MSG(config_.EffectiveQuorum() >= 1 &&
+                    config_.EffectiveQuorum() <= config_.num_replicas,
+                "quorum must fit the replica count");
+  tracer_.set_enabled(config_.enable_tracing);
+  fault_ = std::make_unique<FaultInjector>(config_.faults);
+  fault_->SetTracer(&tracer_);
+
+  ServerConfig server_config = config_.server;
+  // Backups apply log entries strictly in log order; a bounded backlog would
+  // bounce entries with kBusy and break that.
+  server_config.processor.max_backlog = 0;
+  for (uint32_t id = 0; id < config_.num_replicas; id++) {
+    auto rep = std::make_unique<Replica>();
+    rep->id = id;
+    rep->server = std::make_unique<KvDirectServer>(server_config, &sim_);
+    rep->repl_net =
+        std::make_unique<NetworkModel>(sim_, config_.replication_network);
+    rep->repl_net->SetFaultInjector(fault_.get());
+    rep->repl_net->SetTracer(&tracer_);
+    rep->match.assign(config_.num_replicas, 0);
+    rep->next.assign(config_.num_replicas, 1);
+    replicas_.push_back(std::move(rep));
+  }
+  replicas_[0]->is_primary = true;
+  RegisterMetrics();
+  fault_->RegisterMetrics(metrics_);
+
+  std::shared_ptr<bool> alive = liveness_;
+  sim_.ScheduleAt(sim_.Now() + config_.heartbeat_interval, [this, alive] {
+    if (*alive) {
+      Tick();
+    }
+  });
+}
+
+ReplicationGroup::~ReplicationGroup() { *liveness_ = false; }
+
+NetworkModel& ReplicationGroup::client_network(uint32_t replica_id) {
+  return replicas_[replica_id]->server->network();
+}
+
+uint64_t ReplicationGroup::epoch() const {
+  return replicas_[primary_view_]->current_epoch;
+}
+
+uint64_t ReplicationGroup::commit_index() const {
+  return replicas_[primary_view_]->commit;
+}
+
+uint64_t ReplicationGroup::applied_index(uint32_t id) const {
+  // Entries are submitted to the processor in log order through a FIFO
+  // admission queue, so everything at or below log end is ordered before any
+  // later read on the same replica.
+  return replicas_[id]->log.end();
+}
+
+uint64_t ReplicationGroup::log_end(uint32_t id) const {
+  return replicas_[id]->log.end();
+}
+
+Status ReplicationGroup::Load(std::span<const uint8_t> key,
+                              std::span<const uint8_t> value) {
+  for (const auto& rep : replicas_) {
+    if (rep->crashed) {
+      return Status::InvalidArgument("cannot load while a replica is crashed");
+    }
+  }
+  for (const auto& rep : replicas_) {
+    Status status = rep->server->Load(key, value);
+    if (!status.ok()) {
+      return status;
+    }
+    rep->keys.insert(std::vector<uint8_t>(key.begin(), key.end()));
+  }
+  return Status::Ok();
+}
+
+KvResultMessage ReplicationGroup::Execute(const KvOperation& op) {
+  KVD_CHECK_MSG(!IsWriteOpcode(op.opcode),
+                "group Execute is read-only; writes go through the log");
+  return Primary().server->Execute(op);
+}
+
+void ReplicationGroup::CrashReplica(uint32_t id) {
+  Replica& rep = *replicas_[id];
+  if (rep.crashed) {
+    return;
+  }
+  rep.crashed = true;
+  stats_.crashes++;
+  tracer_.Instant(kTraceCategory, "crash",
+                  {{"replica", id}, {"epoch", rep.current_epoch}});
+  if (rep.is_primary) {
+    failover_started_at_ = sim_.Now();
+    failover_pending_ = true;
+  }
+  DropInFlight(rep);
+  rep.election_active = false;
+  rep.election_replies.clear();
+  rep.sending_snapshot = false;
+  if (rep.receiving_snapshot) {
+    // A partial snapshot is unusable; restart from a clean slate on rejoin.
+    WipeState(rep);
+    rep.receiving_snapshot = false;
+    rep.expected_chunk = 0;
+  }
+}
+
+void ReplicationGroup::RestartReplica(uint32_t id) {
+  Replica& rep = *replicas_[id];
+  if (!rep.crashed) {
+    return;
+  }
+  rep.crashed = false;
+  rep.is_primary = false;
+  rep.election_active = false;
+  rep.election_replies.clear();
+  // Grace period: don't suspect the primary before hearing from it once.
+  rep.last_primary_contact = sim_.Now();
+  stats_.restarts++;
+  tracer_.Instant(kTraceCategory, "restart",
+                  {{"replica", id}, {"log_end", rep.log.end()}});
+}
+
+// --- client path ---
+
+void ReplicationGroup::DeliverClientFrame(
+    uint32_t replica_id, std::vector<uint8_t> packet,
+    std::function<void(std::vector<uint8_t>)> respond) {
+  Replica& rep = *replicas_[replica_id];
+  if (rep.crashed) {
+    return;  // the client's retransmission timer covers it
+  }
+  Result<Frame> frame = ParseFrame(packet);
+  if (!frame.ok()) {
+    stats_.corrupt_client_frames++;
+    return;
+  }
+  const uint64_t sequence = frame.value().sequence;
+  auto replayed = rep.replay.find(sequence);
+  if (replayed != rep.replay.end()) {
+    if (replayed->second.done) {
+      stats_.replayed_responses++;
+      respond(replayed->second.response);
+    } else {
+      stats_.stale_retransmits++;
+    }
+    return;
+  }
+  Result<GroupRequest> request = DecodeGroupRequest(frame.value().payload);
+  if (!request.ok()) {
+    AdmitReplay(rep, sequence);
+    KvResultMessage err;
+    err.code = ResultCode::kInvalidArgument;
+    err.epoch = static_cast<uint32_t>(rep.current_epoch);
+    GroupResponse bad;
+    bad.epoch = rep.current_epoch;
+    bad.primary_id = rep.believed_primary;
+    bad.results_payload = EncodeResults({err});
+    FinishResponse(rep, sequence, std::move(bad), respond, true);
+    return;
+  }
+  HandleClientRequest(rep, sequence, std::move(request.value()),
+                      std::move(respond));
+}
+
+void ReplicationGroup::HandleClientRequest(
+    Replica& rep, uint64_t sequence, GroupRequest request,
+    std::function<void(std::vector<uint8_t>)> respond) {
+  std::vector<KvOperation> ops;
+  bool malformed = false;
+  PacketParser parser(std::move(request.ops_payload));
+  while (true) {
+    auto next = parser.Next();
+    if (!next.ok()) {
+      malformed = true;
+      break;
+    }
+    if (!next.value().has_value()) {
+      break;
+    }
+    ops.push_back(std::move(*next.value()));
+  }
+  if (malformed || ops.empty()) {
+    AdmitReplay(rep, sequence);
+    KvResultMessage err;
+    err.code = ResultCode::kInvalidArgument;
+    err.epoch = static_cast<uint32_t>(rep.current_epoch);
+    GroupResponse bad;
+    bad.epoch = rep.current_epoch;
+    bad.primary_id = rep.believed_primary;
+    bad.results_payload = EncodeResults({err});
+    FinishResponse(rep, sequence, std::move(bad), respond, true);
+    return;
+  }
+
+  bool any_write = false;
+  for (const KvOperation& op : ops) {
+    any_write = any_write || IsWriteOpcode(op.opcode);
+  }
+  if (any_write) {
+    if (!rep.is_primary) {
+      stats_.redirects++;
+      tracer_.Instant(kTraceCategory, "redirect",
+                      {{"replica", rep.id}, {"primary", rep.believed_primary}});
+      GroupResponse resp;
+      resp.flags = kGroupRedirect;
+      resp.epoch = rep.current_epoch;
+      resp.primary_id = rep.believed_primary;
+      // Control responses are never cached: the next retransmission must be
+      // re-evaluated against the then-current role.
+      FinishResponse(rep, sequence, std::move(resp), respond, false);
+      return;
+    }
+    ServeWrites(rep, sequence, std::move(ops), std::move(respond));
+    return;
+  }
+  if (rep.receiving_snapshot || rep.log.end() < request.required_index) {
+    stats_.stale_reads++;
+    tracer_.Instant(kTraceCategory, "stale_read",
+                    {{"replica", rep.id},
+                     {"required", request.required_index},
+                     {"applied", rep.log.end()}});
+    GroupResponse resp;
+    resp.flags = kGroupStaleRead;
+    resp.epoch = rep.current_epoch;
+    resp.primary_id = rep.believed_primary;
+    FinishResponse(rep, sequence, std::move(resp), respond, false);
+    return;
+  }
+  ServeReads(rep, sequence, std::move(ops), std::move(respond));
+}
+
+void ReplicationGroup::ServeReads(
+    Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
+    std::function<void(std::vector<uint8_t>)> respond) {
+  AdmitReplay(rep, sequence);
+  struct ReadState {
+    std::vector<KvResultMessage> results;
+    size_t remaining = 0;
+    std::function<void(std::vector<uint8_t>)> respond;
+  };
+  auto state = std::make_shared<ReadState>();
+  state->results.resize(ops.size());
+  state->remaining = ops.size();
+  state->respond = std::move(respond);
+  Replica* rp = &rep;
+  for (size_t i = 0; i < ops.size(); i++) {
+    rep.server->Submit(
+        std::move(ops[i]), [this, rp, state, sequence, i](KvResultMessage result) {
+          state->results[i] = std::move(result);
+          if (--state->remaining > 0) {
+            return;
+          }
+          if (rp->crashed) {
+            return;  // response died with the replica
+          }
+          GroupResponse resp;
+          resp.epoch = rp->current_epoch;
+          resp.primary_id = rp->believed_primary;
+          for (KvResultMessage& r : state->results) {
+            r.epoch = static_cast<uint32_t>(rp->current_epoch);
+          }
+          resp.results_payload = EncodeResults(state->results);
+          FinishResponse(*rp, sequence, std::move(resp), state->respond, true);
+        });
+  }
+}
+
+void ReplicationGroup::ServeWrites(
+    Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
+    std::function<void(std::vector<uint8_t>)> respond) {
+  AdmitReplay(rep, sequence);
+  struct WriteState {
+    std::vector<KvResultMessage> results;
+    size_t remaining = 0;
+    uint64_t needed_index = 0;
+    bool appended = false;
+    std::function<void(std::vector<uint8_t>)> respond;
+  };
+  auto state = std::make_shared<WriteState>();
+  state->results.resize(ops.size());
+  state->respond = std::move(respond);
+
+  // Replicated session records answer write slots that already executed —
+  // possibly under a previous primary — without re-executing them. That is
+  // what makes retransmission across failover exactly-once.
+  std::vector<size_t> submit;
+  auto session = rep.sessions.find(sequence);
+  bool session_hit = false;
+  for (size_t i = 0; i < ops.size(); i++) {
+    if (IsWriteOpcode(ops[i].opcode) && session != rep.sessions.end()) {
+      auto stored = session->second.find(static_cast<uint16_t>(i));
+      if (stored != session->second.end()) {
+        state->results[i] = stored->second;
+        stats_.session_dedup_hits++;
+        session_hit = true;
+        continue;
+      }
+    }
+    submit.push_back(i);
+  }
+  if (session_hit) {
+    // The stored entries sit at or below the current log end; wait for the
+    // whole present log to commit (conservative, but simple and safe).
+    state->needed_index = rep.log.end();
+  }
+
+  Replica* rp = &rep;
+  auto finish = [this, rp, sequence, state] {
+    if (state->appended) {
+      TryAdvanceCommit(*rp);  // a quorum of one commits immediately
+    }
+    if (rp->commit >= state->needed_index) {
+      RespondWrite(*rp, sequence, state->needed_index,
+                   std::move(state->results), state->respond);
+    } else {
+      PendingAck pending;
+      pending.needed_index = state->needed_index;
+      pending.sequence = sequence;
+      pending.results = std::move(state->results);
+      pending.respond = state->respond;
+      rp->pending.push_back(std::move(pending));
+    }
+    if (state->appended) {
+      PushAppends(*rp);
+    }
+  };
+
+  if (submit.empty()) {
+    finish();
+    return;
+  }
+  state->remaining = submit.size();
+  for (size_t i : submit) {
+    KvOperation op = ops[i];
+    const bool is_write = IsWriteOpcode(op.opcode);
+    if (is_write) {
+      rep.inflight_ops++;
+    }
+    rep.server->Submit(
+        ops[i], [this, rp, state, sequence, i, is_write, finish,
+                 op = std::move(op)](KvResultMessage result) {
+          if (is_write) {
+            rp->inflight_ops--;
+          }
+          if (is_write && result.code == ResultCode::kOk) {
+            AppendEffectiveWrite(*rp, sequence, static_cast<uint16_t>(i), op,
+                                 result);
+            state->needed_index = rp->log.end();
+            state->appended = true;
+          }
+          state->results[i] = std::move(result);
+          if (--state->remaining > 0) {
+            return;
+          }
+          if (rp->crashed || !rp->is_primary) {
+            return;  // crashed or deposed mid-request; the client retries
+          }
+          finish();
+        });
+  }
+}
+
+void ReplicationGroup::RespondWrite(
+    Replica& rep, uint64_t sequence, uint64_t needed_index,
+    std::vector<KvResultMessage> results,
+    const std::function<void(std::vector<uint8_t>)>& respond) {
+  GroupResponse resp;
+  resp.epoch = rep.current_epoch;
+  resp.primary_id = rep.id;
+  resp.assigned_index = needed_index;
+  for (KvResultMessage& r : results) {
+    r.epoch = static_cast<uint32_t>(rep.current_epoch);
+  }
+  resp.results_payload = EncodeResults(results);
+  FinishResponse(rep, sequence, std::move(resp), respond, true);
+}
+
+void ReplicationGroup::AppendEffectiveWrite(Replica& rep, uint64_t sequence,
+                                            uint16_t slot, const KvOperation& op,
+                                            const KvResultMessage& result) {
+  LogEntry entry;
+  entry.epoch = rep.current_epoch;
+  entry.client_sequence = sequence;
+  entry.slot = slot;
+  entry.op = op;
+  entry.result = result;
+  rep.log.Append(std::move(entry));
+  rep.append_time[rep.log.end()] = sim_.Now();
+  rep.match[rep.id] = rep.log.end();
+  rep.next[rep.id] = rep.log.end() + 1;
+  TrackKey(rep, op);
+  RecordSession(rep, sequence, slot, result);
+  rep.log.Trim(config_.max_log_entries);
+}
+
+void ReplicationGroup::RecordSession(Replica& rep, uint64_t sequence,
+                                     uint16_t slot,
+                                     const KvResultMessage& result) {
+  auto [it, inserted] = rep.sessions.try_emplace(sequence);
+  it->second[slot] = result;
+  if (inserted) {
+    rep.session_order.push_back(sequence);
+    while (rep.session_order.size() > config_.session_entries) {
+      rep.sessions.erase(rep.session_order.front());
+      rep.session_order.pop_front();
+    }
+  }
+}
+
+void ReplicationGroup::TrackKey(Replica& rep, const KvOperation& op) {
+  if (op.opcode == Opcode::kDelete) {
+    rep.keys.erase(op.key);
+  } else {
+    rep.keys.insert(op.key);
+  }
+}
+
+void ReplicationGroup::FinishResponse(
+    Replica& rep, uint64_t sequence, GroupResponse response,
+    const std::function<void(std::vector<uint8_t>)>& respond, bool cache) {
+  std::vector<uint8_t> framed =
+      FramePacket(sequence, EncodeGroupResponse(response));
+  if (cache) {
+    auto [it, inserted] = rep.replay.try_emplace(sequence);
+    if (inserted) {
+      rep.replay_order.push_back(sequence);
+    }
+    it->second.done = true;
+    it->second.done_at = sim_.Now();
+    it->second.response = framed;
+  }
+  respond(std::move(framed));
+}
+
+void ReplicationGroup::AdmitReplay(Replica& rep, uint64_t sequence) {
+  EvictReplay(rep);
+  rep.replay.try_emplace(sequence);
+  rep.replay_order.push_back(sequence);
+}
+
+void ReplicationGroup::EvictReplay(Replica& rep) {
+  while (rep.replay_order.size() > config_.replay_cache_entries) {
+    const uint64_t oldest = rep.replay_order.front();
+    auto it = rep.replay.find(oldest);
+    if (it == rep.replay.end()) {
+      rep.replay_order.pop_front();  // already dropped (DropInFlight)
+      continue;
+    }
+    if (!it->second.done ||
+        sim_.Now() < it->second.done_at + config_.replay_retain_time) {
+      break;  // in flight, or a retransmission may still be on the wire
+    }
+    rep.replay.erase(it);
+    rep.replay_order.pop_front();
+  }
+}
+
+void ReplicationGroup::DropInFlight(Replica& rep) {
+  rep.pending.clear();
+  rep.append_time.clear();
+  std::vector<uint64_t> in_flight;
+  for (const auto& [sequence, entry] : rep.replay) {
+    if (!entry.done) {
+      in_flight.push_back(sequence);
+    }
+  }
+  // The erased set is order-independent; replay_order keeps stale sequences
+  // that the eviction loop skips over.
+  for (uint64_t sequence : in_flight) {
+    rep.replay.erase(sequence);
+  }
+}
+
+// --- replication path ---
+
+void ReplicationGroup::SendReplicaMessage(uint32_t from, uint32_t to,
+                                          const ReplicaMessage& msg) {
+  if (replicas_[from]->crashed) {
+    return;
+  }
+  std::vector<uint8_t> frame =
+      FramePacket(++next_repl_sequence_, EncodeReplicaMessage(msg));
+  std::shared_ptr<bool> alive = liveness_;
+  replicas_[to]->repl_net->SendPayloadToServer(
+      std::move(frame), [this, alive, to](std::vector<uint8_t> packet) {
+        if (*alive) {
+          OnReplicaFrame(to, std::move(packet));
+        }
+      });
+}
+
+void ReplicationGroup::OnReplicaFrame(uint32_t to, std::vector<uint8_t> packet) {
+  Replica& rep = *replicas_[to];
+  if (rep.crashed) {
+    return;
+  }
+  Result<Frame> frame = ParseFrame(packet);
+  if (!frame.ok()) {
+    stats_.corrupt_replica_frames++;
+    return;
+  }
+  Result<ReplicaMessage> decoded = DecodeReplicaMessage(frame.value().payload);
+  if (!decoded.ok()) {
+    stats_.corrupt_replica_frames++;
+    return;
+  }
+  const ReplicaMessage& msg = decoded.value();
+  switch (msg.type) {
+    case ReplicaMessageType::kAppend:
+      OnAppend(rep, msg);
+      break;
+    case ReplicaMessageType::kAppendAck:
+      OnAppendAck(rep, msg);
+      break;
+    case ReplicaMessageType::kPromoteQuery:
+      OnPromoteQuery(rep, msg);
+      break;
+    case ReplicaMessageType::kPromoteReply:
+      OnPromoteReply(rep, msg);
+      break;
+    case ReplicaMessageType::kPromote:
+      OnPromote(rep, msg);
+      break;
+    case ReplicaMessageType::kCatchupRequest:
+      OnCatchupRequest(rep, msg);
+      break;
+    case ReplicaMessageType::kStateChunk:
+      OnStateChunk(rep, msg);
+      break;
+  }
+}
+
+void ReplicationGroup::OnAppend(Replica& rep, const ReplicaMessage& msg) {
+  if (msg.epoch < rep.current_epoch) {
+    // Depose the stale primary: an ack carrying a higher epoch does it.
+    ReplicaMessage ack = MakeMessage(ReplicaMessageType::kAppendAck,
+                                     rep.current_epoch, rep.id);
+    SendReplicaMessage(rep.id, msg.sender, ack);
+    return;
+  }
+  AdoptEpoch(rep, msg.epoch, msg.sender);
+  rep.last_primary_contact = sim_.Now();
+  if (rep.receiving_snapshot) {
+    return;  // the log is meaningless mid-transfer
+  }
+  if (rep.log.end() > msg.leader_end) {
+    // Divergent tail: we were the deposed primary and applied entries the
+    // new history will overwrite. Applied state cannot be rolled back
+    // entry-wise, so ask for resync; the primary sees a position it cannot
+    // validate and falls back to state transfer.
+    RequestCatchup(rep, msg.sender);
+    return;
+  }
+  const uint64_t prev = msg.first_index - 1;
+  if (prev > rep.log.end()) {
+    RequestCatchup(rep, msg.sender);  // gap: we missed earlier windows
+    return;
+  }
+  if (prev >= rep.log.base() && rep.log.EpochAt(prev) != msg.prev_epoch) {
+    RequestCatchup(rep, msg.sender);
+    return;
+  }
+  for (size_t i = 0; i < msg.entries.size(); i++) {
+    const uint64_t index = msg.first_index + i;
+    if (rep.log.Contains(index) &&
+        rep.log.EpochAt(index) != msg.entries[i].epoch) {
+      RequestCatchup(rep, msg.sender);
+      return;
+    }
+  }
+  ApplyEntries(rep, msg.entries, msg.first_index);
+  rep.commit = std::max(rep.commit, std::min(msg.commit_index, rep.log.end()));
+  ReplicaMessage ack =
+      MakeMessage(ReplicaMessageType::kAppendAck, rep.current_epoch, rep.id);
+  ack.ack_index = rep.log.end();
+  SendReplicaMessage(rep.id, msg.sender, ack);
+}
+
+void ReplicationGroup::OnAppendAck(Replica& rep, const ReplicaMessage& msg) {
+  if (msg.epoch > rep.current_epoch) {
+    // We were deposed while our append was in flight. The acker knows the
+    // newer epoch; point redirects at it until the new primary's heartbeat
+    // arrives.
+    rep.current_epoch = msg.epoch;
+    rep.believed_primary = msg.sender;
+    if (rep.is_primary) {
+      StepDown(rep);
+    }
+    return;
+  }
+  if (!rep.is_primary || msg.epoch < rep.current_epoch) {
+    return;
+  }
+  stats_.append_acks++;
+  rep.match[msg.sender] = std::max(rep.match[msg.sender], msg.ack_index);
+  rep.next[msg.sender] = std::max(rep.next[msg.sender], msg.ack_index + 1);
+  TryAdvanceCommit(rep);
+}
+
+void ReplicationGroup::OnPromoteQuery(Replica& rep, const ReplicaMessage& msg) {
+  ReplicaMessage reply =
+      MakeMessage(ReplicaMessageType::kPromoteReply, rep.current_epoch, rep.id);
+  // A partial snapshot cannot lead; advertise the empty position.
+  reply.last_epoch = rep.receiving_snapshot ? 0 : rep.log.EpochAt(rep.log.end());
+  reply.last_index = rep.receiving_snapshot ? 0 : rep.log.end();
+  SendReplicaMessage(rep.id, msg.sender, reply);
+}
+
+void ReplicationGroup::OnPromoteReply(Replica& rep, const ReplicaMessage& msg) {
+  if (!rep.election_active) {
+    return;
+  }
+  rep.election_replies[msg.sender] =
+      Replica::ElectionReply{msg.epoch, msg.last_epoch, msg.last_index};
+}
+
+void ReplicationGroup::OnPromote(Replica& rep, const ReplicaMessage& msg) {
+  Promote(rep, msg.new_epoch);
+}
+
+void ReplicationGroup::OnCatchupRequest(Replica& rep, const ReplicaMessage& msg) {
+  if (!rep.is_primary) {
+    return;
+  }
+  if (rep.sending_snapshot && rep.snapshot_target == msg.sender) {
+    return;  // already resyncing this peer
+  }
+  const uint64_t last = msg.last_index;
+  const bool matches = last >= rep.log.base() && last <= rep.log.end() &&
+                       rep.log.EpochAt(last) == msg.last_epoch;
+  if (!matches) {
+    StartStateTransfer(rep, msg.sender);
+    return;
+  }
+  rep.match[msg.sender] = std::max(rep.match[msg.sender], last);
+  rep.next[msg.sender] = last + 1;
+  SendWindow(rep, msg.sender);
+  TryAdvanceCommit(rep);
+}
+
+void ReplicationGroup::OnStateChunk(Replica& rep, const ReplicaMessage& msg) {
+  if (msg.epoch < rep.current_epoch) {
+    return;
+  }
+  AdoptEpoch(rep, msg.epoch, msg.sender);
+  rep.last_primary_contact = sim_.Now();  // no elections mid-transfer
+  if (!rep.receiving_snapshot) {
+    if ((msg.chunk_flags & kStateChunkFirst) == 0) {
+      return;  // stray chunk of an aborted transfer
+    }
+    WipeState(rep);
+    rep.receiving_snapshot = true;
+    rep.expected_chunk = 0;
+  }
+  if (msg.chunk_seq != rep.expected_chunk) {
+    // A chunk was lost or reordered. Abort back to a clean empty state; the
+    // primary's next append window triggers a fresh catch-up or transfer.
+    WipeState(rep);
+    rep.receiving_snapshot = false;
+    rep.expected_chunk = 0;
+    return;
+  }
+  rep.expected_chunk++;
+  for (const auto& [key, value] : msg.kvs) {
+    KvOperation put;
+    put.opcode = Opcode::kPut;
+    put.key = key;
+    put.value = value;
+    if (rep.server->Execute(put).code == ResultCode::kOk) {
+      rep.keys.insert(key);
+    }
+  }
+  if ((msg.chunk_flags & kStateChunkLast) != 0) {
+    rep.log.ResetToSnapshot(msg.snapshot_index, msg.snapshot_epoch);
+    rep.commit = msg.snapshot_index;
+    rep.receiving_snapshot = false;
+    rep.expected_chunk = 0;
+    tracer_.Instant(kTraceCategory, "snapshot_installed",
+                    {{"replica", rep.id}, {"index", msg.snapshot_index}});
+    RequestCatchup(rep, msg.sender);  // resume appends past the snapshot
+  }
+}
+
+void ReplicationGroup::PushAppends(Replica& primary) {
+  for (uint32_t peer = 0; peer < num_replicas(); peer++) {
+    if (peer == primary.id ||
+        (primary.sending_snapshot && primary.snapshot_target == peer)) {
+      continue;
+    }
+    SendWindow(primary, peer);
+  }
+}
+
+void ReplicationGroup::SendWindow(Replica& primary, uint32_t peer) {
+  const uint64_t first = primary.next[peer];
+  if (first <= primary.log.base()) {
+    // The entries this peer needs were trimmed: only a snapshot can help.
+    StartStateTransfer(primary, peer);
+    return;
+  }
+  KVD_CHECK(first <= primary.log.end() + 1);
+  ReplicaMessage msg =
+      MakeMessage(ReplicaMessageType::kAppend, primary.current_epoch, primary.id);
+  msg.first_index = first;
+  msg.prev_epoch = primary.log.EpochAt(first - 1);
+  msg.commit_index = primary.commit;
+  msg.leader_end = primary.log.end();
+  msg.entries = primary.log.Window(first, config_.max_append_entries);
+  primary.next[peer] = first + msg.entries.size();
+  stats_.appends_sent++;
+  stats_.entries_shipped += msg.entries.size();
+  SendReplicaMessage(primary.id, peer, msg);
+}
+
+void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
+  if (!primary.is_primary) {
+    return;
+  }
+  std::vector<uint64_t> positions = primary.match;
+  std::sort(positions.begin(), positions.end(), std::greater<uint64_t>());
+  const uint64_t candidate = positions[config_.EffectiveQuorum() - 1];
+  if (candidate <= primary.commit) {
+    return;
+  }
+  for (auto it = primary.append_time.begin();
+       it != primary.append_time.end() && it->first <= candidate;) {
+    propagation_lag_ns_.Add(
+        static_cast<uint64_t>((sim_.Now() - it->second) / kNanosecond));
+    it = primary.append_time.erase(it);
+  }
+  primary.commit = candidate;
+  std::vector<PendingAck> ready;
+  std::vector<PendingAck> still;
+  for (PendingAck& pending : primary.pending) {
+    if (pending.needed_index <= primary.commit) {
+      ready.push_back(std::move(pending));
+    } else {
+      still.push_back(std::move(pending));
+    }
+  }
+  primary.pending = std::move(still);
+  for (PendingAck& pending : ready) {
+    RespondWrite(primary, pending.sequence, pending.needed_index,
+                 std::move(pending.results), pending.respond);
+  }
+}
+
+void ReplicationGroup::ApplyEntries(Replica& rep,
+                                    const std::vector<LogEntry>& entries,
+                                    uint64_t first_index) {
+  const uint64_t start = rep.log.end() + 1;
+  Replica* rp = &rep;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (first_index + i < start) {
+      continue;  // duplicate from a retransmitted window
+    }
+    const LogEntry& entry = entries[i];
+    rep.log.Append(entry);
+    rep.inflight_ops++;
+    rep.server->Submit(entry.op, [rp](KvResultMessage) { rp->inflight_ops--; });
+    TrackKey(rep, entry.op);
+    RecordSession(rep, entry.client_sequence, entry.slot, entry.result);
+    stats_.entries_applied++;
+  }
+  rep.log.Trim(config_.max_log_entries);
+}
+
+void ReplicationGroup::AdoptEpoch(Replica& rep, uint64_t epoch, uint32_t primary) {
+  if (epoch > rep.current_epoch) {
+    rep.current_epoch = epoch;
+    if (rep.is_primary) {
+      StepDown(rep);
+    }
+  }
+  rep.believed_primary = primary;
+  rep.election_active = false;
+  rep.election_replies.clear();
+}
+
+void ReplicationGroup::StepDown(Replica& rep) {
+  rep.is_primary = false;
+  rep.sending_snapshot = false;
+  // Forget quorum-waiting responses and in-flight replay entries: every
+  // retransmission must be re-evaluated (and redirected) by the new history.
+  DropInFlight(rep);
+  tracer_.Instant(kTraceCategory, "step_down",
+                  {{"replica", rep.id}, {"epoch", rep.current_epoch}});
+}
+
+void ReplicationGroup::Promote(Replica& rep, uint64_t new_epoch) {
+  if (new_epoch <= rep.current_epoch || rep.receiving_snapshot) {
+    return;  // stale promotion, or a partial snapshot that cannot lead
+  }
+  rep.current_epoch = new_epoch;
+  rep.is_primary = true;
+  rep.believed_primary = rep.id;
+  rep.election_active = false;
+  rep.election_replies.clear();
+  rep.sending_snapshot = false;
+  // Assume nothing about the peers: confirmed positions restart at zero
+  // (commit is preserved — never regressed) while windows start optimistically
+  // at our end; the first ack or catch-up request corrects either.
+  rep.match.assign(num_replicas(), 0);
+  rep.match[rep.id] = rep.log.end();
+  rep.next.assign(num_replicas(), rep.log.end() + 1);
+  rep.append_time.clear();
+  primary_view_ = rep.id;
+  stats_.failovers++;
+  if (failover_pending_) {
+    const uint64_t downtime_ns = static_cast<uint64_t>(
+        (sim_.Now() - failover_started_at_) / kNanosecond);
+    failover_downtime_ns_.Add(downtime_ns);
+    stats_.last_failover_downtime_ns = downtime_ns;
+    failover_pending_ = false;
+  }
+  tracer_.Instant(kTraceCategory, "promote",
+                  {{"replica", rep.id}, {"epoch", new_epoch}});
+  PushAppends(rep);
+  TryAdvanceCommit(rep);
+}
+
+void ReplicationGroup::StartElection(Replica& rep) {
+  rep.election_active = true;
+  rep.election_replies.clear();
+  const uint64_t round = ++rep.election_round;
+  stats_.elections++;
+  tracer_.Instant(kTraceCategory, "election",
+                  {{"replica", rep.id}, {"epoch", rep.current_epoch}});
+  for (uint32_t peer = 0; peer < num_replicas(); peer++) {
+    if (peer == rep.id) {
+      continue;
+    }
+    SendReplicaMessage(rep.id, peer,
+                       MakeMessage(ReplicaMessageType::kPromoteQuery,
+                                   rep.current_epoch, rep.id));
+  }
+  std::shared_ptr<bool> alive = liveness_;
+  const uint32_t id = rep.id;
+  sim_.ScheduleAt(sim_.Now() + config_.election_timeout,
+                  [this, alive, id, round] {
+                    if (!*alive) {
+                      return;
+                    }
+                    Replica& r = *replicas_[id];
+                    if (r.crashed || !r.election_active ||
+                        r.election_round != round) {
+                      return;
+                    }
+                    FinishElection(r);
+                  });
+}
+
+void ReplicationGroup::FinishElection(Replica& rep) {
+  rep.election_active = false;
+  // With fewer than quorum participants the most-caught-up survivor might
+  // miss a quorum-acked entry held only by the unreachable rest. Refuse to
+  // promote; the failure detector retries next tick.
+  if (rep.election_replies.size() + 1 < config_.EffectiveQuorum()) {
+    rep.election_replies.clear();
+    return;
+  }
+  uint32_t best_id = rep.id;
+  uint64_t best_epoch = rep.log.EpochAt(rep.log.end());
+  uint64_t best_index = rep.log.end();
+  uint64_t max_epoch = rep.current_epoch;
+  for (const auto& [id, reply] : rep.election_replies) {
+    max_epoch = std::max(max_epoch, reply.header_epoch);
+    const bool better =
+        reply.last_epoch > best_epoch ||
+        (reply.last_epoch == best_epoch && reply.last_index > best_index) ||
+        (reply.last_epoch == best_epoch && reply.last_index == best_index &&
+         id < best_id);
+    if (better) {
+      best_id = id;
+      best_epoch = reply.last_epoch;
+      best_index = reply.last_index;
+    }
+  }
+  rep.election_replies.clear();
+  const uint64_t new_epoch = max_epoch + 1;
+  if (best_id == rep.id) {
+    Promote(rep, new_epoch);
+    return;
+  }
+  ReplicaMessage promote =
+      MakeMessage(ReplicaMessageType::kPromote, rep.current_epoch, rep.id);
+  promote.new_epoch = new_epoch;
+  SendReplicaMessage(rep.id, best_id, promote);
+  rep.believed_primary = best_id;  // optimistic; its heartbeat confirms
+}
+
+void ReplicationGroup::RequestCatchup(Replica& rep, uint32_t to) {
+  stats_.catchup_requests++;
+  ReplicaMessage req = MakeMessage(ReplicaMessageType::kCatchupRequest,
+                                   rep.current_epoch, rep.id);
+  req.last_epoch = rep.log.EpochAt(rep.log.end());
+  req.last_index = rep.log.end();
+  SendReplicaMessage(rep.id, to, req);
+}
+
+void ReplicationGroup::StartStateTransfer(Replica& primary, uint32_t target) {
+  if (primary.sending_snapshot) {
+    return;  // one transfer at a time; the tick retries other laggards
+  }
+  primary.sending_snapshot = true;
+  primary.snapshot_target = target;
+  stats_.state_transfers++;
+  tracer_.Instant(kTraceCategory, "state_transfer",
+                  {{"from", primary.id},
+                   {"to", target},
+                   {"keys", static_cast<uint64_t>(primary.keys.size())}});
+  BuildSnapshot(primary.id, primary.current_epoch);
+}
+
+void ReplicationGroup::BuildSnapshot(uint32_t primary_id, uint64_t transfer_epoch) {
+  Replica& primary = *replicas_[primary_id];
+  if (primary.crashed || !primary.is_primary ||
+      primary.current_epoch != transfer_epoch || !primary.sending_snapshot) {
+    primary.sending_snapshot = false;
+    return;
+  }
+  if (primary.inflight_ops > 0) {
+    // Effects of in-flight writes are in the store but not yet in the log;
+    // cutting the snapshot now would make the target replay them twice.
+    std::shared_ptr<bool> alive = liveness_;
+    sim_.ScheduleAt(sim_.Now() + config_.heartbeat_interval,
+                    [this, alive, primary_id, transfer_epoch] {
+                      if (*alive) {
+                        BuildSnapshot(primary_id, transfer_epoch);
+                      }
+                    });
+    return;
+  }
+  ReplicaMessage chunk = MakeMessage(ReplicaMessageType::kStateChunk,
+                                     primary.current_epoch, primary.id);
+  chunk.snapshot_index = primary.log.end();
+  chunk.snapshot_epoch = primary.log.EpochAt(chunk.snapshot_index);
+  auto chunks = std::make_shared<std::vector<ReplicaMessage>>();
+  for (const auto& key : primary.keys) {
+    KvOperation get;
+    get.opcode = Opcode::kGet;
+    get.key = key;
+    KvResultMessage value = primary.server->Execute(get);
+    if (value.code != ResultCode::kOk) {
+      continue;
+    }
+    chunk.kvs.emplace_back(key, std::move(value.value));
+    if (chunk.kvs.size() >= config_.state_transfer_chunk_kvs) {
+      chunks->push_back(chunk);
+      chunk.kvs.clear();
+    }
+  }
+  if (!chunk.kvs.empty() || chunks->empty()) {
+    chunks->push_back(std::move(chunk));
+  }
+  for (size_t i = 0; i < chunks->size(); i++) {
+    (*chunks)[i].chunk_seq = static_cast<uint32_t>(i);
+    (*chunks)[i].chunk_flags = 0;
+  }
+  chunks->front().chunk_flags |= kStateChunkFirst;
+  chunks->back().chunk_flags |= kStateChunkLast;
+  SendNextChunk(primary_id, transfer_epoch, chunks, 0);
+}
+
+void ReplicationGroup::SendNextChunk(
+    uint32_t primary_id, uint64_t transfer_epoch,
+    std::shared_ptr<std::vector<ReplicaMessage>> chunks, size_t next) {
+  Replica& primary = *replicas_[primary_id];
+  if (primary.crashed || !primary.is_primary ||
+      primary.current_epoch != transfer_epoch || !primary.sending_snapshot) {
+    primary.sending_snapshot = false;
+    return;
+  }
+  const ReplicaMessage& chunk = (*chunks)[next];
+  const size_t encoded_bytes = EncodeReplicaMessage(chunk).size();
+  stats_.state_transfer_bytes += encoded_bytes;
+  stats_.state_transfer_kvs += chunk.kvs.size();
+  SendReplicaMessage(primary_id, primary.snapshot_target, chunk);
+  if (next + 1 == chunks->size()) {
+    // Done; appends to the target resume once its catch-up request arrives.
+    primary.sending_snapshot = false;
+    return;
+  }
+  // Pace the stream: the next chunk leaves once this one's bytes have had
+  // their slot at the configured resync rate.
+  const SimTime pace = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(encoded_bytes) /
+                              config_.state_transfer_bytes_per_sec * kSecond));
+  std::shared_ptr<bool> alive = liveness_;
+  sim_.ScheduleAt(sim_.Now() + pace,
+                  [this, alive, primary_id, transfer_epoch, chunks, next] {
+                    if (*alive) {
+                      SendNextChunk(primary_id, transfer_epoch, chunks, next + 1);
+                    }
+                  });
+}
+
+void ReplicationGroup::WipeState(Replica& rep) {
+  for (const auto& key : rep.keys) {
+    KvOperation del;
+    del.opcode = Opcode::kDelete;
+    del.key = key;
+    rep.server->Execute(del);
+  }
+  rep.keys.clear();
+  rep.sessions.clear();
+  rep.session_order.clear();
+  rep.log.ResetToSnapshot(0, 0);
+  rep.commit = 0;
+}
+
+void ReplicationGroup::Tick() {
+  // Scripted/stochastic whole-node crashes, one consult per alive replica in
+  // id order (keeps FaultPlan schedules deterministic).
+  for (uint32_t id = 0; id < num_replicas(); id++) {
+    if (!replicas_[id]->crashed &&
+        fault_->ShouldInject(FaultSite::kReplicaCrash)) {
+      CrashReplica(id);
+    }
+  }
+  for (uint32_t id = 0; id < num_replicas(); id++) {
+    Replica& rep = *replicas_[id];
+    if (rep.crashed) {
+      continue;
+    }
+    if (rep.is_primary) {
+      for (uint32_t peer = 0; peer < num_replicas(); peer++) {
+        if (peer == rep.id ||
+            (rep.sending_snapshot && rep.snapshot_target == peer)) {
+          continue;
+        }
+        // Re-align to the confirmed position: this is what retransmits
+        // windows lost on the wire.
+        rep.next[peer] = rep.match[peer] + 1;
+        SendWindow(rep, peer);
+      }
+    } else if (!rep.receiving_snapshot && !rep.election_active &&
+               sim_.Now() - rep.last_primary_contact > config_.failure_timeout) {
+      StartElection(rep);
+    }
+  }
+  std::shared_ptr<bool> alive = liveness_;
+  sim_.ScheduleAt(sim_.Now() + config_.heartbeat_interval, [this, alive] {
+    if (*alive) {
+      Tick();
+    }
+  });
+}
+
+void ReplicationGroup::RegisterMetrics() {
+  metrics_.RegisterCounter("kvd_repl_appends_total",
+                           "kAppend windows sent, heartbeats included", {},
+                           &stats_.appends_sent);
+  metrics_.RegisterCounter("kvd_repl_entries_shipped_total",
+                           "Log entries carried inside kAppend windows", {},
+                           &stats_.entries_shipped);
+  metrics_.RegisterCounter("kvd_repl_entries_applied_total",
+                           "Log entries appended and applied at backups", {},
+                           &stats_.entries_applied);
+  metrics_.RegisterCounter("kvd_repl_append_acks_total",
+                           "Cumulative acks processed by primaries", {},
+                           &stats_.append_acks);
+  metrics_.RegisterCounter("kvd_repl_elections_total",
+                           "Failover elections started", {}, &stats_.elections);
+  metrics_.RegisterCounter("kvd_repl_failovers_total",
+                           "Promotions installed (epoch bumps)", {},
+                           &stats_.failovers);
+  metrics_.RegisterCounter("kvd_repl_catchup_requests_total",
+                           "Catch-up requests sent by backups", {},
+                           &stats_.catchup_requests);
+  metrics_.RegisterCounter("kvd_repl_state_transfers_total",
+                           "Full-partition state transfers started", {},
+                           &stats_.state_transfers);
+  metrics_.RegisterCounter("kvd_repl_state_transfer_bytes_total",
+                           "Encoded snapshot bytes streamed", {},
+                           &stats_.state_transfer_bytes);
+  metrics_.RegisterCounter("kvd_repl_state_transfer_kvs_total",
+                           "KV pairs streamed in snapshots", {},
+                           &stats_.state_transfer_kvs);
+  metrics_.RegisterCounter("kvd_repl_crashes_total", "Replica crashes", {},
+                           &stats_.crashes);
+  metrics_.RegisterCounter("kvd_repl_restarts_total", "Replica restarts", {},
+                           &stats_.restarts);
+  metrics_.RegisterCounter("kvd_repl_stale_reads_total",
+                           "Reads rejected below the client watermark", {},
+                           &stats_.stale_reads);
+  metrics_.RegisterCounter("kvd_repl_redirects_total",
+                           "Writes redirected off non-primaries", {},
+                           &stats_.redirects);
+  metrics_.RegisterCounter("kvd_repl_session_dedup_hits_total",
+                           "Write slots answered from replicated sessions", {},
+                           &stats_.session_dedup_hits);
+  metrics_.RegisterCounter("kvd_repl_replayed_responses_total",
+                           "Retransmissions answered from the replay cache", {},
+                           &stats_.replayed_responses);
+  metrics_.RegisterCounter("kvd_repl_corrupt_client_frames_total",
+                           "Client frames dropped by checksum/decode", {},
+                           &stats_.corrupt_client_frames);
+  metrics_.RegisterCounter("kvd_repl_corrupt_replica_frames_total",
+                           "Replication frames dropped by checksum/decode", {},
+                           &stats_.corrupt_replica_frames);
+  metrics_.RegisterCounter("kvd_repl_stale_retransmits_total",
+                           "Retransmissions of still-executing requests", {},
+                           &stats_.stale_retransmits);
+  metrics_.RegisterGauge("kvd_repl_epoch", "Current epoch at the primary", {},
+                         [this] { return static_cast<double>(epoch()); });
+  metrics_.RegisterGauge("kvd_repl_commit_index",
+                         "Quorum-committed log index at the primary", {},
+                         [this] { return static_cast<double>(commit_index()); });
+  metrics_.RegisterGauge(
+      "kvd_repl_last_failover_downtime_ns",
+      "Simulated time from primary crash to next promotion", {}, [this] {
+        return static_cast<double>(stats_.last_failover_downtime_ns);
+      });
+  for (uint32_t id = 0; id < config_.num_replicas; id++) {
+    MetricLabels labels{{"replica", std::to_string(id)}};
+    metrics_.RegisterGauge("kvd_repl_log_end", "Replica log end (applied index)",
+                           labels, [this, id] {
+                             return static_cast<double>(replicas_[id]->log.end());
+                           });
+    metrics_.RegisterGauge("kvd_repl_crashed", "1 while the replica is crashed",
+                           labels, [this, id] {
+                             return replicas_[id]->crashed ? 1.0 : 0.0;
+                           });
+  }
+  metrics_.RegisterHistogram("kvd_repl_propagation_lag_ns",
+                             "Append-to-quorum-commit lag per entry", {},
+                             [this] { return propagation_lag_ns_; });
+  metrics_.RegisterHistogram("kvd_repl_failover_downtime_ns",
+                             "Primary-crash-to-promotion downtime", {},
+                             [this] { return failover_downtime_ns_; });
+}
+
+}  // namespace kvd

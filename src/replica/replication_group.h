@@ -1,0 +1,330 @@
+// Primary-backup replication over N KvDirectServer instances (DESIGN.md §9).
+//
+// A ReplicationGroup turns N independent servers into one fault-tolerant
+// key-value service on a single simulated clock:
+//
+//   - The primary executes client operations through its full timed pipeline,
+//     appends every *effective* mutation (result kOk) to a monotonic
+//     (epoch, index) log at retirement, and pushes log windows to backups over
+//     per-replica replication links (checksummed PR 2 frames). Entries carry
+//     the primary's computed result, so every replica stores an identical
+//     session record for exactly-once retransmission handling across
+//     failover.
+//   - Backups apply entries in log order (their processors run unbounded, so
+//     apply order is never reordered by kBusy bounces) and ack cumulatively.
+//     The primary acknowledges a client write once a configurable quorum of
+//     replicas (itself included) holds the covering log prefix.
+//   - Heartbeats are empty append windows; they double as the retransmission
+//     driver (cumulative acks make the protocol idempotent, so loss is healed
+//     by the next window instead of per-message timers).
+//   - Failover: backups that miss heartbeats past failure_timeout query every
+//     replica for its log tail and deterministically promote the most
+//     caught-up survivor (ties to the lowest id) at epoch+1. Because backup
+//     logs are prefixes of the primary's, the winner holds every quorum-acked
+//     entry — no acknowledged write is lost.
+//   - Catch-up: a lagging or rejoining backup replays log windows from its
+//     last matching position; if its log diverged (a deposed primary's
+//     unacked tail) or the needed entries were trimmed, the primary falls
+//     back to a bounded-rate full-partition state transfer.
+//
+// Crashes are fail-stop with durable state: a crashed replica stops
+// communicating (drops every inbound and outbound frame) but its local
+// pipeline drains, and a restart rejoins as a backup with its log intact.
+#ifndef SRC_REPLICA_REPLICATION_GROUP_H_
+#define SRC_REPLICA_REPLICATION_GROUP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/kv_direct.h"
+#include "src/replica/replica_log.h"
+#include "src/replica/replica_wire.h"
+
+namespace kvd {
+
+struct ReplicationConfig {
+  uint32_t num_replicas = 3;
+  // Replicas (primary included) that must hold a write before the client is
+  // acknowledged. 0 selects a majority: num_replicas / 2 + 1.
+  uint32_t quorum = 0;
+
+  // Applied to every replica. The group forces processor.max_backlog = 0:
+  // backups must apply log entries in log order, never bounce them.
+  ServerConfig server;
+  // One inbound replication link per replica, on the shared clock. The
+  // group's own FaultInjector is attached, so scripted drops can lag a
+  // backup without perturbing the client-facing fault streams.
+  NetworkConfig replication_network;
+  // Group-level faults: FaultSite::kReplicaCrash (consulted once per alive
+  // replica, in id order, each heartbeat tick) plus replication-link drops.
+  FaultPlan faults;
+
+  SimTime heartbeat_interval = 200 * kMicrosecond;
+  // A backup that hears nothing from its primary for this long starts an
+  // election.
+  SimTime failure_timeout = 1 * kMillisecond;
+  // How long an election coordinator collects log positions before picking
+  // the winner.
+  SimTime election_timeout = 400 * kMicrosecond;
+
+  uint32_t max_append_entries = 64;  // entries per kAppend window
+  // Older entries are trimmed beyond this; a peer needing them falls back to
+  // state transfer.
+  uint64_t max_log_entries = 1u << 16;
+  uint32_t state_transfer_chunk_kvs = 64;
+  double state_transfer_bytes_per_sec = 5e9;  // resync rate bound
+
+  // Client replay cache per replica (same semantics as ServerConfig's).
+  uint32_t replay_cache_entries = 4096;
+  SimTime replay_retain_time = 100 * kMillisecond;
+  // Replicated session-result records kept (oldest evicted first).
+  uint32_t session_entries = 1u << 16;
+
+  bool enable_tracing = false;
+
+  uint32_t EffectiveQuorum() const {
+    return quorum != 0 ? quorum : num_replicas / 2 + 1;
+  }
+};
+
+class ReplicationGroup {
+ public:
+  // Owns its simulator unless `external_sim` puts several groups (shards) on
+  // one clock. Replica 0 starts as primary at epoch 1.
+  explicit ReplicationGroup(const ReplicationConfig& config,
+                            Simulator* external_sim = nullptr);
+  ~ReplicationGroup();
+
+  ReplicationGroup(const ReplicationGroup&) = delete;
+  ReplicationGroup& operator=(const ReplicationGroup&) = delete;
+
+  // --- client surface ---
+  // Disjoint 2^40 sequence spaces, unique across the whole group.
+  uint64_t AcquireClientSequenceBase() { return ++next_client_id_ << 40; }
+  // The replica's client-facing network (transport for DeliverClientFrame).
+  NetworkModel& client_network(uint32_t replica_id);
+  // Delivers a framed GroupRequest to a replica. Pure-read requests execute
+  // on any replica that has applied the request's watermark; requests with
+  // writes execute on the primary and respond only after quorum replication.
+  // Crashed replicas drop the frame (the client's timer covers it).
+  void DeliverClientFrame(uint32_t replica_id, std::vector<uint8_t> packet,
+                          std::function<void(std::vector<uint8_t>)> respond);
+
+  // --- untimed convenience (warm-up fills, verification) ---
+  // Loads a KV into every replica identically, below the log (pre-replication
+  // state). Refused while any replica is crashed.
+  Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
+  // Functional read on the current primary (reads only).
+  KvResultMessage Execute(const KvOperation& op);
+
+  // --- fault control ---
+  void CrashReplica(uint32_t id);
+  void RestartReplica(uint32_t id);  // rejoins as a backup, log intact
+  bool crashed(uint32_t id) const { return replicas_[id]->crashed; }
+
+  // --- introspection ---
+  uint32_t num_replicas() const { return static_cast<uint32_t>(replicas_.size()); }
+  // The group's view of the current primary (updated at every promotion).
+  uint32_t primary_id() const { return primary_view_; }
+  uint64_t epoch() const;
+  uint64_t commit_index() const;
+  uint64_t applied_index(uint32_t id) const;
+  uint64_t log_end(uint32_t id) const;
+  KvDirectServer& replica(uint32_t id) { return *replicas_[id]->server; }
+  Simulator& simulator() { return sim_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  EventTracer& tracer() { return tracer_; }
+  FaultInjector& faults() { return *fault_; }
+  const ReplicationConfig& config() const { return config_; }
+
+  struct GroupStats {
+    uint64_t appends_sent = 0;           // kAppend messages (incl. heartbeats)
+    uint64_t entries_shipped = 0;        // log entries inside kAppend windows
+    uint64_t entries_applied = 0;        // entries appended+applied at backups
+    uint64_t append_acks = 0;
+    uint64_t elections = 0;
+    uint64_t failovers = 0;              // promotions installed
+    uint64_t catchup_requests = 0;
+    uint64_t state_transfers = 0;
+    uint64_t state_transfer_bytes = 0;
+    uint64_t state_transfer_kvs = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+    uint64_t stale_reads = 0;            // reads bounced below the watermark
+    uint64_t redirects = 0;              // writes bounced off non-primaries
+    uint64_t session_dedup_hits = 0;     // retransmits answered from sessions
+    uint64_t replayed_responses = 0;     // retransmits answered from the cache
+    uint64_t corrupt_client_frames = 0;
+    uint64_t corrupt_replica_frames = 0;
+    uint64_t stale_retransmits = 0;      // retransmits of in-flight requests
+    uint64_t last_failover_downtime_ns = 0;
+  };
+  const GroupStats& stats() const { return stats_; }
+
+ private:
+  struct PendingAck {
+    uint64_t needed_index = 0;
+    uint64_t sequence = 0;
+    std::vector<KvResultMessage> results;
+    std::function<void(std::vector<uint8_t>)> respond;
+  };
+
+  struct ReplayEntry {
+    bool done = false;
+    SimTime done_at = 0;
+    std::vector<uint8_t> response;
+  };
+
+  struct Replica {
+    uint32_t id = 0;
+    std::unique_ptr<KvDirectServer> server;
+    std::unique_ptr<NetworkModel> repl_net;  // inbound replication link
+
+    bool crashed = false;
+    bool is_primary = false;
+    uint64_t current_epoch = 1;
+    uint32_t believed_primary = 0;
+    SimTime last_primary_contact = 0;
+
+    ReplicaLog log;
+    uint64_t commit = 0;
+
+    // Primary bookkeeping: per-peer confirmed position (cumulative acks;
+    // commit counts these) and optimistic window start (re-aligned to
+    // match+1 every heartbeat tick, which is what retransmits lost windows),
+    // pending client responses awaiting quorum, and append times for the
+    // propagation-lag histogram.
+    std::vector<uint64_t> match;
+    std::vector<uint64_t> next;
+    std::vector<PendingAck> pending;
+    std::map<uint64_t, SimTime> append_time;
+
+    // Election coordinator state.
+    struct ElectionReply {
+      uint64_t header_epoch = 0;  // replier's current epoch
+      uint64_t last_epoch = 0;    // replier's log tail position
+      uint64_t last_index = 0;
+    };
+    bool election_active = false;
+    uint64_t election_round = 0;
+    std::map<uint32_t, ElectionReply> election_replies;
+
+    // Writes submitted to the timed pipeline but not yet retired. A snapshot
+    // must not be cut while any are in flight: their effects are in the store
+    // but not yet in the log, so the target would replay them twice.
+    uint64_t inflight_ops = 0;
+
+    // Outbound state transfer (primary side), one target at a time.
+    bool sending_snapshot = false;
+    uint32_t snapshot_target = 0;
+    // Inbound state transfer (target side).
+    bool receiving_snapshot = false;
+    uint32_t expected_chunk = 0;
+
+    // Shadow key set: the hash index has no enumeration, so the group tracks
+    // live keys per replica for snapshotting (std::set for deterministic
+    // order).
+    std::set<std::vector<uint8_t>> keys;
+
+    // Replicated session results: client sequence -> slot -> result, FIFO
+    // evicted. Identical on every replica holding the same log prefix.
+    std::map<uint64_t, std::map<uint16_t, KvResultMessage>> sessions;
+    std::deque<uint64_t> session_order;
+
+    // Client replay cache (PR 2 semantics, incl. retain-time eviction).
+    std::unordered_map<uint64_t, ReplayEntry> replay;
+    std::deque<uint64_t> replay_order;
+  };
+
+  // --- client path ---
+  void HandleClientRequest(Replica& rep, uint64_t sequence, GroupRequest request,
+                           std::function<void(std::vector<uint8_t>)> respond);
+  void ServeReads(Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
+                  std::function<void(std::vector<uint8_t>)> respond);
+  void ServeWrites(Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
+                   std::function<void(std::vector<uint8_t>)> respond);
+  void RespondWrite(Replica& rep, uint64_t sequence, uint64_t needed_index,
+                    std::vector<KvResultMessage> results,
+                    const std::function<void(std::vector<uint8_t>)>& respond);
+  void AppendEffectiveWrite(Replica& rep, uint64_t sequence, uint16_t slot,
+                            const KvOperation& op, const KvResultMessage& result);
+  void RecordSession(Replica& rep, uint64_t sequence, uint16_t slot,
+                     const KvResultMessage& result);
+  void TrackKey(Replica& rep, const KvOperation& op);
+  void FinishResponse(Replica& rep, uint64_t sequence, GroupResponse response,
+                      const std::function<void(std::vector<uint8_t>)>& respond,
+                      bool cache);
+  void AdmitReplay(Replica& rep, uint64_t sequence);
+  void EvictReplay(Replica& rep);
+  void DropInFlight(Replica& rep);  // step-down / crash: forget pending work
+
+  // --- replication path ---
+  void SendReplicaMessage(uint32_t from, uint32_t to, const ReplicaMessage& msg);
+  void OnReplicaFrame(uint32_t to, std::vector<uint8_t> packet);
+  void OnAppend(Replica& rep, const ReplicaMessage& msg);
+  void OnAppendAck(Replica& rep, const ReplicaMessage& msg);
+  void OnPromoteQuery(Replica& rep, const ReplicaMessage& msg);
+  void OnPromoteReply(Replica& rep, const ReplicaMessage& msg);
+  void OnPromote(Replica& rep, const ReplicaMessage& msg);
+  void OnCatchupRequest(Replica& rep, const ReplicaMessage& msg);
+  void OnStateChunk(Replica& rep, const ReplicaMessage& msg);
+
+  void PushAppends(Replica& primary);  // send a window to every peer
+  void SendWindow(Replica& primary, uint32_t peer);
+  void TryAdvanceCommit(Replica& primary);
+  void ApplyEntries(Replica& rep, const std::vector<LogEntry>& entries,
+                    uint64_t first_index);
+  void AdoptEpoch(Replica& rep, uint64_t epoch, uint32_t primary);
+  void StepDown(Replica& rep);
+  void Promote(Replica& rep, uint64_t new_epoch);
+  void StartElection(Replica& rep);
+  void FinishElection(Replica& rep);
+  void RequestCatchup(Replica& rep, uint32_t to);
+  void StartStateTransfer(Replica& primary, uint32_t target);
+  // Waits for the primary's pipeline to quiesce, then materializes the
+  // snapshot chunks and starts streaming them.
+  void BuildSnapshot(uint32_t primary_id, uint64_t transfer_epoch);
+  void SendNextChunk(uint32_t primary_id, uint64_t transfer_epoch,
+                     std::shared_ptr<std::vector<ReplicaMessage>> chunks,
+                     size_t next);
+  // Deletes every tracked KV and resets log/sessions to empty: the clean
+  // slate a state-transfer target starts from (also the abort path).
+  void WipeState(Replica& rep);
+
+  void Tick();
+  void RegisterMetrics();
+  Replica& Primary() { return *replicas_[primary_view_]; }
+
+  ReplicationConfig config_;
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator& sim_;
+  MetricRegistry metrics_;
+  EventTracer tracer_{sim_};
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  uint32_t primary_view_ = 0;
+  uint64_t next_client_id_ = 0;
+  uint64_t next_repl_sequence_ = 0;
+  // Set when the acting primary crashes; consumed by the next promotion to
+  // measure failover downtime.
+  SimTime failover_started_at_ = 0;
+  bool failover_pending_ = false;
+  GroupStats stats_;
+  LatencyHistogram propagation_lag_ns_;
+  LatencyHistogram failover_downtime_ns_;
+  // Guards the self-rescheduling heartbeat tick against outliving the group
+  // on an external simulator.
+  std::shared_ptr<bool> liveness_ = std::make_shared<bool>(true);
+};
+
+}  // namespace kvd
+
+#endif  // SRC_REPLICA_REPLICATION_GROUP_H_

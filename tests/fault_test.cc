@@ -323,6 +323,71 @@ TEST(ClientRetryTest, ReplayedResponseDropIsDeduplicated) {
   EXPECT_EQ(AsU64(*value), 5u);
 }
 
+TEST(ClientRetryTest, ReplayCacheRetainTimeProtectsRecentCompletions) {
+  // An over-budget replay cache must not evict a freshly completed entry:
+  // a retransmission of a non-idempotent op may still be in flight, and
+  // re-admitting its sequence would re-execute it. Only entries older than
+  // replay_retain_time are eligible.
+  ServerConfig config = SmallServerConfig();
+  config.replay_cache_entries = 2;  // force eviction pressure immediately
+  config.replay_retain_time = 200 * kMicrosecond;
+  KvDirectServer server(config);
+  Simulator& sim = server.simulator();
+  ASSERT_TRUE(server.Load(Key(1), U64Value(0)).ok());
+
+  const uint64_t base = server.AcquireClientSequenceBase();
+  auto frame_for = [&](uint64_t seq, const KvOperation& op) {
+    PacketBuilder builder;
+    KVD_CHECK(builder.Add(op));
+    return FramePacket(base + seq, builder.Finish());
+  };
+  auto deliver = [&](std::vector<uint8_t> frame) {
+    std::vector<KvResultMessage> results;
+    server.DeliverFrame(std::move(frame), [&](std::vector<uint8_t> response) {
+      auto parsed = ParseFrame(response);
+      KVD_CHECK(parsed.ok());
+      auto decoded = DecodeResults(parsed.value().payload);
+      KVD_CHECK(decoded.ok());
+      results = decoded.value();
+    });
+    while (results.empty()) {
+      KVD_CHECK(sim.Step());
+    }
+    return results;
+  };
+
+  KvOperation update;
+  update.opcode = Opcode::kUpdateScalar;
+  update.key = Key(1);
+  update.param = 5;  // fetch-and-add: visibly wrong if executed twice
+  const std::vector<uint8_t> update_frame = frame_for(1, update);
+
+  KvOperation get;
+  get.opcode = Opcode::kGet;
+  get.key = Key(1);
+
+  EXPECT_EQ(deliver(update_frame)[0].scalar, 0u);
+  // Two more sequences push the 2-entry cache over budget; the update's
+  // entry is the eviction candidate but is younger than the retain time.
+  deliver(frame_for(2, get));
+  deliver(frame_for(3, get));
+
+  // The retransmission is answered from the cache — not re-executed.
+  EXPECT_EQ(deliver(update_frame)[0].scalar, 0u);
+  EXPECT_EQ(server.replayed_responses(), 1u);
+  EXPECT_EQ(AsU64(deliver(frame_for(4, get))[0].value), 5u);
+
+  // Once the retain window has passed, the same pressure does evict it, and
+  // a (pathologically late) retransmission re-executes: the retain time is
+  // the server's exactly-once horizon and must exceed the client's retry
+  // window.
+  sim.RunUntil(sim.Now() + 300 * kMicrosecond);
+  deliver(frame_for(5, get));
+  deliver(frame_for(6, get));
+  EXPECT_EQ(deliver(update_frame)[0].scalar, 5u);  // executed again
+  EXPECT_EQ(server.replayed_responses(), 1u);
+}
+
 TEST(ClientRetryTest, SurvivesLossyNetworkExactlyOnce) {
   ServerConfig config = SmallServerConfig();
   config.faults.seed = 3;

@@ -2,6 +2,7 @@
 // network timing model (paper §4, Figure 15).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "src/common/units.h"
@@ -169,6 +170,35 @@ TEST(WireFormatTest, ResultsRoundTrip) {
   EXPECT_EQ((*decoded)[0].value, (std::vector<uint8_t>{1, 2, 3}));
   EXPECT_EQ((*decoded)[1].code, ResultCode::kNotFound);
   EXPECT_EQ((*decoded)[2].scalar, 0x123456789abcdef0ull);
+  // Results encoded without an epoch (the pre-replication default) decode to
+  // epoch 0 — single-server deployments round-trip unchanged.
+  EXPECT_EQ((*decoded)[0].epoch, 0u);
+}
+
+TEST(WireFormatTest, ResultEpochRoundTrip) {
+  std::vector<KvResultMessage> in(2);
+  in[0].code = ResultCode::kOk;
+  in[0].value = {7};
+  in[0].epoch = 3;
+  in[1].code = ResultCode::kOk;
+  in[1].epoch = kMaxWireEpoch;  // the largest encodable epoch
+  auto decoded = DecodeResults(EncodeResults(in));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].epoch, 3u);
+  EXPECT_EQ((*decoded)[1].epoch, kMaxWireEpoch);
+}
+
+TEST(WireFormatTest, DecoderRejectsOutOfRangeEpoch) {
+  std::vector<KvResultMessage> in(1);
+  in[0].code = ResultCode::kOk;
+  in[0].epoch = kMaxWireEpoch;
+  std::vector<uint8_t> bytes = EncodeResults(in);
+  // The epoch lives in bytes [1, 5) of the 17-byte result header; forge a
+  // value above kMaxWireEpoch and the decoder must treat it as corruption.
+  uint32_t forged = kMaxWireEpoch + 1;
+  std::memcpy(bytes.data() + 1, &forged, sizeof(forged));
+  EXPECT_FALSE(DecodeResults(bytes).ok());
 }
 
 TEST(NetworkModelTest, DeliveryAfterSerializationPlusLatency) {
