@@ -122,8 +122,14 @@ std::vector<uint8_t> EncodeReplicaMessage(const ReplicaMessage& msg) {
       PutU64(out, msg.ack_index);
       break;
     case ReplicaMessageType::kPromoteQuery:
+      PutU64(out, msg.new_epoch);
       break;
     case ReplicaMessageType::kPromoteReply:
+      PutU64(out, msg.last_epoch);
+      PutU64(out, msg.last_index);
+      PutU64(out, msg.new_epoch);
+      out.push_back(msg.granted ? 1 : 0);
+      break;
     case ReplicaMessageType::kCatchupRequest:
       PutU64(out, msg.last_epoch);
       PutU64(out, msg.last_index);
@@ -184,8 +190,22 @@ Result<ReplicaMessage> DecodeReplicaMessage(const std::vector<uint8_t>& payload)
       }
       break;
     case ReplicaMessageType::kPromoteQuery:
+      if (!reader.Take(&msg.new_epoch, 8)) {
+        return Status::InvalidArgument("truncated promote query");
+      }
       break;
-    case ReplicaMessageType::kPromoteReply:
+    case ReplicaMessageType::kPromoteReply: {
+      uint8_t granted_byte;
+      if (!reader.Take(&msg.last_epoch, 8) || !reader.Take(&msg.last_index, 8) ||
+          !reader.Take(&msg.new_epoch, 8) || !reader.Take(&granted_byte, 1)) {
+        return Status::InvalidArgument("truncated promote reply");
+      }
+      if (granted_byte > 1) {
+        return Status::InvalidArgument("invalid vote byte");
+      }
+      msg.granted = granted_byte != 0;
+      break;
+    }
     case ReplicaMessageType::kCatchupRequest:
       if (!reader.Take(&msg.last_epoch, 8) || !reader.Take(&msg.last_index, 8)) {
         return Status::InvalidArgument("truncated log position");

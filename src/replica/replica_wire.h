@@ -41,10 +41,10 @@ struct LogEntry {
 
 enum class ReplicaMessageType : uint8_t {
   kAppend = 0,          // log replication; empty entry list == heartbeat
-  kAppendAck = 1,       // cumulative: "my log (and state) reach ack_index"
-  kPromoteQuery = 2,    // election coordinator asks for log tail positions
-  kPromoteReply = 3,
-  kPromote = 4,         // install the most-caught-up replica at new_epoch
+  kAppendAck = 1,       // cumulative: "my log reaches ack_index"
+  kPromoteQuery = 2,    // ballot new_epoch: request a vote + log tail position
+  kPromoteReply = 3,    // vote (granted at most once per ballot epoch) + tail
+  kPromote = 4,         // install the most-caught-up granter at new_epoch
   kCatchupRequest = 5,  // backup asks to be resynced past (last_epoch, last_index)
   kStateChunk = 6,      // bounded-rate full-partition state transfer
 };
@@ -77,8 +77,13 @@ struct ReplicaMessage {
   uint64_t last_epoch = 0;
   uint64_t last_index = 0;
 
-  // kPromote
+  // kPromoteQuery / kPromoteReply: the ballot epoch being voted on.
+  // kPromote: the epoch the target is to assume. A replica grants each
+  // ballot epoch at most once (kPromoteReply.granted), so two concurrent
+  // coordinators can never both collect a majority for the same epoch.
   uint64_t new_epoch = 0;
+  // kPromoteReply: vote outcome for ballot new_epoch.
+  bool granted = false;
 
   // kStateChunk
   uint64_t snapshot_epoch = 0;

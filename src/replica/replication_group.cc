@@ -80,9 +80,9 @@ uint64_t ReplicationGroup::commit_index() const {
 
 uint64_t ReplicationGroup::applied_index(uint32_t id) const {
   // Entries are submitted to the processor in log order through a FIFO
-  // admission queue, so everything at or below log end is ordered before any
-  // later read on the same replica.
-  return replicas_[id]->log.end();
+  // admission queue, so everything at or below `applied` is ordered before
+  // any later read on the same replica.
+  return replicas_[id]->applied;
 }
 
 uint64_t ReplicationGroup::log_end(uint32_t id) const {
@@ -246,12 +246,14 @@ void ReplicationGroup::HandleClientRequest(
     ServeWrites(rep, sequence, std::move(ops), std::move(respond));
     return;
   }
-  if (rep.receiving_snapshot || rep.log.end() < request.required_index) {
+  // Gate on the applied cursor: backups apply entries only once committed,
+  // so a served read can never expose a write that might still be discarded.
+  if (rep.receiving_snapshot || rep.applied < request.required_index) {
     stats_.stale_reads++;
     tracer_.Instant(kTraceCategory, "stale_read",
                     {{"replica", rep.id},
                      {"required", request.required_index},
-                     {"applied", rep.log.end()}});
+                     {"applied", rep.applied}});
     GroupResponse resp;
     resp.flags = kGroupStaleRead;
     resp.epoch = rep.current_epoch;
@@ -302,6 +304,20 @@ void ReplicationGroup::ServeWrites(
     Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
     std::function<void(std::vector<uint8_t>)> respond) {
   AdmitReplay(rep, sequence);
+  if (rep.draining_for_snapshot) {
+    // A snapshot cut is waiting for the pipeline to quiesce; admitting this
+    // write now could postpone the cut indefinitely under sustained load.
+    stats_.snapshot_deferred_writes++;
+    rep.deferred_writes.push_back(
+        {sequence, std::move(ops), std::move(respond)});
+    return;
+  }
+  ExecuteWrites(rep, sequence, std::move(ops), std::move(respond));
+}
+
+void ReplicationGroup::ExecuteWrites(
+    Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
+    std::function<void(std::vector<uint8_t>)> respond) {
   struct WriteState {
     std::vector<KvResultMessage> results;
     size_t remaining = 0;
@@ -421,9 +437,10 @@ void ReplicationGroup::AppendEffectiveWrite(Replica& rep, uint64_t sequence,
   rep.append_time[rep.log.end()] = sim_.Now();
   rep.match[rep.id] = rep.log.end();
   rep.next[rep.id] = rep.log.end() + 1;
+  rep.applied = rep.log.end();  // execute-then-log: effects already in store
   TrackKey(rep, op);
   RecordSession(rep, sequence, slot, result);
-  rep.log.Trim(config_.max_log_entries);
+  TrimLog(rep);
 }
 
 void ReplicationGroup::RecordSession(Replica& rep, uint64_t sequence,
@@ -441,6 +458,9 @@ void ReplicationGroup::RecordSession(Replica& rep, uint64_t sequence,
 }
 
 void ReplicationGroup::TrackKey(Replica& rep, const KvOperation& op) {
+  if (!IsWriteOpcode(op.opcode)) {
+    return;  // reads (and the promotion barrier no-op) leave no key behind
+  }
   if (op.opcode == Opcode::kDelete) {
     rep.keys.erase(op.key);
   } else {
@@ -491,6 +511,9 @@ void ReplicationGroup::EvictReplay(Replica& rep) {
 void ReplicationGroup::DropInFlight(Replica& rep) {
   rep.pending.clear();
   rep.append_time.clear();
+  // Parked drain writes die with the reign; the clients' timers cover them.
+  rep.draining_for_snapshot = false;
+  rep.deferred_writes.clear();
   std::vector<uint64_t> in_flight;
   for (const auto& [sequence, entry] : rep.replay) {
     if (!entry.done) {
@@ -601,8 +624,10 @@ void ReplicationGroup::OnAppend(Replica& rep, const ReplicaMessage& msg) {
       return;
     }
   }
-  ApplyEntries(rep, msg.entries, msg.first_index);
+  AppendToLog(rep, msg.entries, msg.first_index);
   rep.commit = std::max(rep.commit, std::min(msg.commit_index, rep.log.end()));
+  ApplyCommitted(rep);
+  TrimLog(rep);
   ReplicaMessage ack =
       MakeMessage(ReplicaMessageType::kAppendAck, rep.current_epoch, rep.id);
   ack.ack_index = rep.log.end();
@@ -615,6 +640,7 @@ void ReplicationGroup::OnAppendAck(Replica& rep, const ReplicaMessage& msg) {
     // newer epoch; point redirects at it until the new primary's heartbeat
     // arrives.
     rep.current_epoch = msg.epoch;
+    rep.voted_epoch = std::max(rep.voted_epoch, msg.epoch);
     rep.believed_primary = msg.sender;
     if (rep.is_primary) {
       StepDown(rep);
@@ -631,20 +657,43 @@ void ReplicationGroup::OnAppendAck(Replica& rep, const ReplicaMessage& msg) {
 }
 
 void ReplicationGroup::OnPromoteQuery(Replica& rep, const ReplicaMessage& msg) {
+  const uint64_t ballot = msg.new_epoch;
+  // Grant each ballot epoch at most once, ever: voted_epoch is monotonic, so
+  // two coordinators campaigning for the same epoch split the vote and at
+  // most one can reach a majority. A replica mid-snapshot cannot lead and
+  // must not decide elections with its meaningless log position.
+  const bool granted = !rep.receiving_snapshot && ballot > rep.voted_epoch;
+  if (granted) {
+    rep.voted_epoch = ballot;
+    if (ballot > rep.current_epoch) {
+      // Raft currentTerm rule: adopting the ballot stops us from acking (and
+      // thus committing) appends of any older primary after our vote — the
+      // coordinator decides on the log positions we reported at grant time.
+      rep.current_epoch = ballot;
+      if (rep.is_primary) {
+        StepDown(rep);
+      }
+    }
+    // Abandon any own lower ballot and give this one a full timeout.
+    rep.election_active = false;
+    rep.election_replies.clear();
+    rep.last_primary_contact = sim_.Now();
+  }
   ReplicaMessage reply =
       MakeMessage(ReplicaMessageType::kPromoteReply, rep.current_epoch, rep.id);
-  // A partial snapshot cannot lead; advertise the empty position.
+  reply.new_epoch = ballot;
+  reply.granted = granted;
   reply.last_epoch = rep.receiving_snapshot ? 0 : rep.log.EpochAt(rep.log.end());
   reply.last_index = rep.receiving_snapshot ? 0 : rep.log.end();
   SendReplicaMessage(rep.id, msg.sender, reply);
 }
 
 void ReplicationGroup::OnPromoteReply(Replica& rep, const ReplicaMessage& msg) {
-  if (!rep.election_active) {
-    return;
+  if (!rep.election_active || msg.new_epoch != rep.election_epoch) {
+    return;  // no campaign, or a vote for a previous ballot of ours
   }
-  rep.election_replies[msg.sender] =
-      Replica::ElectionReply{msg.epoch, msg.last_epoch, msg.last_index};
+  rep.election_replies[msg.sender] = Replica::ElectionReply{
+      msg.granted, msg.epoch, msg.last_epoch, msg.last_index};
 }
 
 void ReplicationGroup::OnPromote(Replica& rep, const ReplicaMessage& msg) {
@@ -681,6 +730,13 @@ void ReplicationGroup::OnStateChunk(Replica& rep, const ReplicaMessage& msg) {
     if ((msg.chunk_flags & kStateChunkFirst) == 0) {
       return;  // stray chunk of an aborted transfer
     }
+    if (rep.inflight_ops > 0) {
+      // Earlier log entries are still in the timed pipeline; wiping now would
+      // let them retire on top of the snapshot and resurrect stale values.
+      // Drop the transfer: no appends flow here meanwhile, so the pipeline
+      // drains and the primary's next window re-initiates it.
+      return;
+    }
     WipeState(rep);
     rep.receiving_snapshot = true;
     rep.expected_chunk = 0;
@@ -706,6 +762,7 @@ void ReplicationGroup::OnStateChunk(Replica& rep, const ReplicaMessage& msg) {
   if ((msg.chunk_flags & kStateChunkLast) != 0) {
     rep.log.ResetToSnapshot(msg.snapshot_index, msg.snapshot_epoch);
     rep.commit = msg.snapshot_index;
+    rep.applied = msg.snapshot_index;  // the snapshot IS the applied state
     rep.receiving_snapshot = false;
     rep.expected_chunk = 0;
     tracer_.Instant(kTraceCategory, "snapshot_installed",
@@ -755,6 +812,13 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
   if (candidate <= primary.commit) {
     return;
   }
+  if (candidate < primary.first_own_index) {
+    // Raft's commit rule: never commit inherited entries by counting
+    // replicas — a quorum on an old-epoch index can still be overwritten by
+    // a rival's later election. The promotion barrier at first_own_index
+    // commits the whole inherited prefix with it once it reaches quorum.
+    return;
+  }
   for (auto it = primary.append_time.begin();
        it != primary.append_time.end() && it->first <= candidate;) {
     propagation_lag_ns_.Add(
@@ -778,24 +842,38 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
   }
 }
 
-void ReplicationGroup::ApplyEntries(Replica& rep,
-                                    const std::vector<LogEntry>& entries,
-                                    uint64_t first_index) {
+void ReplicationGroup::AppendToLog(Replica& rep,
+                                   const std::vector<LogEntry>& entries,
+                                   uint64_t first_index) {
   const uint64_t start = rep.log.end() + 1;
-  Replica* rp = &rep;
   for (size_t i = 0; i < entries.size(); i++) {
     if (first_index + i < start) {
       continue;  // duplicate from a retransmitted window
     }
-    const LogEntry& entry = entries[i];
-    rep.log.Append(entry);
+    rep.log.Append(entries[i]);
+  }
+}
+
+void ReplicationGroup::ApplyThrough(Replica& rep, uint64_t target) {
+  Replica* rp = &rep;
+  while (rep.applied < target) {
+    const LogEntry& entry = rep.log.At(rep.applied + 1);
     rep.inflight_ops++;
     rep.server->Submit(entry.op, [rp](KvResultMessage) { rp->inflight_ops--; });
     TrackKey(rep, entry.op);
-    RecordSession(rep, entry.client_sequence, entry.slot, entry.result);
+    if (entry.client_sequence != 0) {  // promotion barriers carry no session
+      RecordSession(rep, entry.client_sequence, entry.slot, entry.result);
+    }
     stats_.entries_applied++;
+    rep.applied++;
   }
-  rep.log.Trim(config_.max_log_entries);
+}
+
+void ReplicationGroup::TrimLog(Replica& rep) {
+  // Never trim past the applied cursor: unapplied committed entries must
+  // stay replayable locally (apply-at-commit keeps applied <= end).
+  rep.log.Trim(std::max<uint64_t>(config_.max_log_entries,
+                                  rep.log.end() - rep.applied));
 }
 
 void ReplicationGroup::AdoptEpoch(Replica& rep, uint64_t epoch, uint32_t primary) {
@@ -805,6 +883,7 @@ void ReplicationGroup::AdoptEpoch(Replica& rep, uint64_t epoch, uint32_t primary
       StepDown(rep);
     }
   }
+  rep.voted_epoch = std::max(rep.voted_epoch, rep.current_epoch);
   rep.believed_primary = primary;
   rep.election_active = false;
   rep.election_replies.clear();
@@ -821,15 +900,36 @@ void ReplicationGroup::StepDown(Replica& rep) {
 }
 
 void ReplicationGroup::Promote(Replica& rep, uint64_t new_epoch) {
-  if (new_epoch <= rep.current_epoch || rep.receiving_snapshot) {
-    return;  // stale promotion, or a partial snapshot that cannot lead
+  // A self-promoting candidate already adopted the ballot as its
+  // current_epoch, so equality is valid here; an already-installed primary
+  // re-receiving the same kPromote must not re-run the barrier append.
+  if (new_epoch < rep.current_epoch ||
+      (rep.is_primary && new_epoch == rep.current_epoch) ||
+      rep.receiving_snapshot) {
+    return;  // stale or duplicate promotion, or a partial snapshot
   }
+  rep.voted_epoch = std::max(rep.voted_epoch, new_epoch);
   rep.current_epoch = new_epoch;
   rep.is_primary = true;
   rep.believed_primary = rep.id;
   rep.election_active = false;
   rep.election_replies.clear();
   rep.sending_snapshot = false;
+  // Apply the inherited tail (a backup's applied cursor trails its log end),
+  // then append a no-op barrier in the new epoch. The barrier is what lets
+  // commit advance over inherited entries: TryAdvanceCommit only counts
+  // own-epoch indices (Raft's commit rule), so without a fresh entry a
+  // write-free reign could never confirm — or serve — the tail it inherited.
+  ApplyThrough(rep, rep.log.end());
+  LogEntry barrier;
+  barrier.epoch = new_epoch;
+  barrier.client_sequence = 0;  // no originating client; sessions skip it
+  barrier.op.opcode = Opcode::kGet;
+  barrier.op.key.assign(8, 0);
+  barrier.result.code = ResultCode::kOk;
+  rep.log.Append(std::move(barrier));
+  rep.first_own_index = rep.log.end();
+  ApplyThrough(rep, rep.log.end());
   // Assume nothing about the peers: confirmed positions restart at zero
   // (commit is preserved — never regressed) while windows start optimistically
   // at our end; the first ack or catch-up request corrects either.
@@ -856,16 +956,27 @@ void ReplicationGroup::StartElection(Replica& rep) {
   rep.election_active = true;
   rep.election_replies.clear();
   const uint64_t round = ++rep.election_round;
+  // Fresh ballot, offset by replica id so simultaneous candidates (the
+  // deterministic clock offers no randomized timeouts) propose distinct
+  // epochs: after at most one collision their voted_epochs equalize and the
+  // id offset separates every later round. Self-granting consumes the ballot
+  // (we never propose or grant this epoch again), and adopting it as
+  // current_epoch stops us acking older primaries mid-campaign.
+  const uint64_t ballot = std::max(rep.current_epoch, rep.voted_epoch) + 1 + rep.id;
+  rep.voted_epoch = ballot;
+  rep.current_epoch = ballot;
+  rep.election_epoch = ballot;
   stats_.elections++;
   tracer_.Instant(kTraceCategory, "election",
-                  {{"replica", rep.id}, {"epoch", rep.current_epoch}});
+                  {{"replica", rep.id}, {"ballot", ballot}});
   for (uint32_t peer = 0; peer < num_replicas(); peer++) {
     if (peer == rep.id) {
       continue;
     }
-    SendReplicaMessage(rep.id, peer,
-                       MakeMessage(ReplicaMessageType::kPromoteQuery,
-                                   rep.current_epoch, rep.id));
+    ReplicaMessage query = MakeMessage(ReplicaMessageType::kPromoteQuery,
+                                       rep.current_epoch, rep.id);
+    query.new_epoch = ballot;
+    SendReplicaMessage(rep.id, peer, query);
   }
   std::shared_ptr<bool> alive = liveness_;
   const uint32_t id = rep.id;
@@ -885,19 +996,35 @@ void ReplicationGroup::StartElection(Replica& rep) {
 
 void ReplicationGroup::FinishElection(Replica& rep) {
   rep.election_active = false;
-  // With fewer than quorum participants the most-caught-up survivor might
-  // miss a quorum-acked entry held only by the unreachable rest. Refuse to
-  // promote; the failure detector retries next tick.
-  if (rep.election_replies.size() + 1 < config_.EffectiveQuorum()) {
-    rep.election_replies.clear();
-    return;
+  uint32_t grants = 1;  // the coordinator's self-grant from StartElection
+  uint64_t max_seen_epoch = rep.current_epoch;
+  for (const auto& [id, reply] : rep.election_replies) {
+    max_seen_epoch = std::max(max_seen_epoch, reply.header_epoch);
+    if (reply.granted) {
+      grants++;
+    }
   }
+  // Always a majority of ALL replicas, independent of the (possibly smaller)
+  // configured write quorum: two majorities must intersect, so at most one
+  // campaign per ballot epoch can succeed — and a majority of granters
+  // includes a holder of every majority-quorum-acked entry.
+  if (grants < config_.ElectionQuorum()) {
+    // Learn any higher epoch a denial carried, so the next ballot clears it.
+    rep.current_epoch = max_seen_epoch;
+    rep.voted_epoch = std::max(rep.voted_epoch, rep.current_epoch);
+    rep.election_replies.clear();
+    return;  // the failure detector retries with a fresh ballot next tick
+  }
+  // Most caught-up GRANTER wins (ties to the lowest id). Non-granters are
+  // excluded: they promised this ballot to no one, and may still be acking
+  // an older primary, so their positions here could go stale.
   uint32_t best_id = rep.id;
   uint64_t best_epoch = rep.log.EpochAt(rep.log.end());
   uint64_t best_index = rep.log.end();
-  uint64_t max_epoch = rep.current_epoch;
   for (const auto& [id, reply] : rep.election_replies) {
-    max_epoch = std::max(max_epoch, reply.header_epoch);
+    if (!reply.granted) {
+      continue;
+    }
     const bool better =
         reply.last_epoch > best_epoch ||
         (reply.last_epoch == best_epoch && reply.last_index > best_index) ||
@@ -910,14 +1037,13 @@ void ReplicationGroup::FinishElection(Replica& rep) {
     }
   }
   rep.election_replies.clear();
-  const uint64_t new_epoch = max_epoch + 1;
   if (best_id == rep.id) {
-    Promote(rep, new_epoch);
+    Promote(rep, rep.election_epoch);
     return;
   }
   ReplicaMessage promote =
       MakeMessage(ReplicaMessageType::kPromote, rep.current_epoch, rep.id);
-  promote.new_epoch = new_epoch;
+  promote.new_epoch = rep.election_epoch;
   SendReplicaMessage(rep.id, best_id, promote);
   rep.believed_primary = best_id;  // optimistic; its heartbeat confirms
 }
@@ -950,11 +1076,16 @@ void ReplicationGroup::BuildSnapshot(uint32_t primary_id, uint64_t transfer_epoc
   if (primary.crashed || !primary.is_primary ||
       primary.current_epoch != transfer_epoch || !primary.sending_snapshot) {
     primary.sending_snapshot = false;
+    ReleaseSnapshotDrain(primary);
     return;
   }
   if (primary.inflight_ops > 0) {
     // Effects of in-flight writes are in the store but not yet in the log;
     // cutting the snapshot now would make the target replay them twice.
+    // Park new writes until the cut (drain-then-cut): under sustained load
+    // the pipeline would otherwise never be observed quiescent and the
+    // transfer could be postponed indefinitely.
+    primary.draining_for_snapshot = true;
     std::shared_ptr<bool> alive = liveness_;
     sim_.ScheduleAt(sim_.Now() + config_.heartbeat_interval,
                     [this, alive, primary_id, transfer_epoch] {
@@ -993,6 +1124,25 @@ void ReplicationGroup::BuildSnapshot(uint32_t primary_id, uint64_t transfer_epoc
   chunks->front().chunk_flags |= kStateChunkFirst;
   chunks->back().chunk_flags |= kStateChunkLast;
   SendNextChunk(primary_id, transfer_epoch, chunks, 0);
+  // The chunks are fully materialized; writes parked during the drain can
+  // resume without perturbing the cut.
+  ReleaseSnapshotDrain(primary);
+}
+
+void ReplicationGroup::ReleaseSnapshotDrain(Replica& rep) {
+  rep.draining_for_snapshot = false;
+  if (rep.deferred_writes.empty()) {
+    return;
+  }
+  std::deque<Replica::DeferredWrite> parked = std::move(rep.deferred_writes);
+  rep.deferred_writes.clear();
+  if (rep.crashed || !rep.is_primary) {
+    return;  // the clients' retransmission timers cover the dropped writes
+  }
+  for (Replica::DeferredWrite& write : parked) {
+    ExecuteWrites(rep, write.sequence, std::move(write.ops),
+                  std::move(write.respond));
+  }
 }
 
 void ReplicationGroup::SendNextChunk(
@@ -1040,6 +1190,7 @@ void ReplicationGroup::WipeState(Replica& rep) {
   rep.session_order.clear();
   rep.log.ResetToSnapshot(0, 0);
   rep.commit = 0;
+  rep.applied = 0;
 }
 
 void ReplicationGroup::Tick() {
@@ -1068,7 +1219,12 @@ void ReplicationGroup::Tick() {
         SendWindow(rep, peer);
       }
     } else if (!rep.receiving_snapshot && !rep.election_active &&
-               sim_.Now() - rep.last_primary_contact > config_.failure_timeout) {
+               sim_.Now() - rep.last_primary_contact >
+                   config_.failure_timeout +
+                       rep.id * config_.heartbeat_interval) {
+      // Per-id stagger: the deterministic clock has no randomized timeouts,
+      // so without it every backup campaigns on the same tick and votes for
+      // itself, splitting the electorate forever.
       StartElection(rep);
     }
   }
@@ -1110,6 +1266,9 @@ void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterCounter("kvd_repl_state_transfer_kvs_total",
                            "KV pairs streamed in snapshots", {},
                            &stats_.state_transfer_kvs);
+  metrics_.RegisterCounter("kvd_repl_snapshot_deferred_writes_total",
+                           "Client writes parked while a snapshot cut drained",
+                           {}, &stats_.snapshot_deferred_writes);
   metrics_.RegisterCounter("kvd_repl_crashes_total", "Replica crashes", {},
                            &stats_.crashes);
   metrics_.RegisterCounter("kvd_repl_restarts_total", "Replica restarts", {},

@@ -10,18 +10,28 @@
 //     the primary's computed result, so every replica stores an identical
 //     session record for exactly-once retransmission handling across
 //     failover.
-//   - Backups apply entries in log order (their processors run unbounded, so
-//     apply order is never reordered by kBusy bounces) and ack cumulatively.
-//     The primary acknowledges a client write once a configurable quorum of
+//   - Backups append entries in log order and ack cumulatively, but apply an
+//     entry to their store only once it is quorum-committed (the commit index
+//     rides every append window). A backup's store therefore never shows a
+//     write that could still be discarded — no dirty reads at backups. The
+//     primary acknowledges a client write once a configurable quorum of
 //     replicas (itself included) holds the covering log prefix.
 //   - Heartbeats are empty append windows; they double as the retransmission
 //     driver (cumulative acks make the protocol idempotent, so loss is healed
 //     by the next window instead of per-message timers).
-//   - Failover: backups that miss heartbeats past failure_timeout query every
-//     replica for its log tail and deterministically promote the most
-//     caught-up survivor (ties to the lowest id) at epoch+1. Because backup
-//     logs are prefixes of the primary's, the winner holds every quorum-acked
-//     entry — no acknowledged write is lost.
+//   - Failover: a backup that misses heartbeats past failure_timeout (plus a
+//     deterministic per-id stagger) campaigns with a fresh ballot epoch.
+//     Every replica grants each ballot epoch at most once (Raft-style votes,
+//     adopting the ballot as its current epoch on grant), and a campaign
+//     succeeds only with grants from a majority of ALL replicas — independent
+//     of the (possibly smaller) write quorum — so two concurrent coordinators
+//     can never both win and at most one replica is ever promoted per epoch.
+//     The coordinator promotes the most caught-up granter (ties to the lowest
+//     id) at exactly the ballot epoch; a majority of grants intersects every
+//     majority write quorum, so the winner holds every quorum-acked entry —
+//     no acknowledged write is lost. The new primary appends a no-op barrier
+//     entry of its own epoch so the commit index can advance over the
+//     inherited tail (older entries commit only transitively through it).
 //   - Catch-up: a lagging or rejoining backup replays log windows from its
 //     last matching position; if its log diverged (a deposed primary's
 //     unacked tail) or the needed entries were trimmed, the primary falls
@@ -33,6 +43,7 @@
 #ifndef SRC_REPLICA_REPLICATION_GROUP_H_
 #define SRC_REPLICA_REPLICATION_GROUP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -53,7 +64,11 @@ namespace kvd {
 struct ReplicationConfig {
   uint32_t num_replicas = 3;
   // Replicas (primary included) that must hold a write before the client is
-  // acknowledged. 0 selects a majority: num_replicas / 2 + 1.
+  // acknowledged. 0 selects a majority: num_replicas / 2 + 1. A quorum below
+  // a majority trades durability for latency: acknowledged writes can be
+  // lost if every holder crashes. Elections always require a majority
+  // (ElectionQuorum) regardless, so a small write quorum can never cause
+  // two primaries at the same epoch.
   uint32_t quorum = 0;
 
   // Applied to every replica. The group forces processor.max_backlog = 0:
@@ -93,6 +108,10 @@ struct ReplicationConfig {
   uint32_t EffectiveQuorum() const {
     return quorum != 0 ? quorum : num_replicas / 2 + 1;
   }
+  // Grants (coordinator included) a ballot needs before anyone is promoted.
+  // Always a majority of all replicas: two majorities must intersect, and a
+  // configured write quorum below a majority must not weaken election safety.
+  uint32_t ElectionQuorum() const { return num_replicas / 2 + 1; }
 };
 
 class ReplicationGroup {
@@ -134,8 +153,12 @@ class ReplicationGroup {
   uint32_t num_replicas() const { return static_cast<uint32_t>(replicas_.size()); }
   // The group's view of the current primary (updated at every promotion).
   uint32_t primary_id() const { return primary_view_; }
+  bool is_primary(uint32_t id) const { return replicas_[id]->is_primary; }
   uint64_t epoch() const;
   uint64_t commit_index() const;
+  // Highest log index whose effects the replica's store reflects. At the
+  // primary this equals log_end (execute-then-log); at backups it trails the
+  // commit index (entries apply only once quorum-committed).
   uint64_t applied_index(uint32_t id) const;
   uint64_t log_end(uint32_t id) const;
   KvDirectServer& replica(uint32_t id) { return *replicas_[id]->server; }
@@ -156,6 +179,7 @@ class ReplicationGroup {
     uint64_t state_transfers = 0;
     uint64_t state_transfer_bytes = 0;
     uint64_t state_transfer_kvs = 0;
+    uint64_t snapshot_deferred_writes = 0;  // writes parked by drain-then-cut
     uint64_t crashes = 0;
     uint64_t restarts = 0;
     uint64_t stale_reads = 0;            // reads bounced below the watermark
@@ -191,11 +215,24 @@ class ReplicationGroup {
     bool crashed = false;
     bool is_primary = false;
     uint64_t current_epoch = 1;
+    // Highest ballot epoch this replica has granted a vote for (or adopted
+    // from a primary). Each ballot epoch is granted at most once; always
+    // >= current_epoch. This is what makes promotion unique per epoch.
+    uint64_t voted_epoch = 1;
     uint32_t believed_primary = 0;
     SimTime last_primary_contact = 0;
 
     ReplicaLog log;
     uint64_t commit = 0;
+    // Highest log index whose entry has been submitted to the store. Backups
+    // apply at commit time (applied <= min(commit, log.end())); the primary
+    // executes before logging, so its applied always equals log.end().
+    uint64_t applied = 0;
+    // First log index this replica appended as primary of its current
+    // reign. The commit index only advances by counting to an index at or
+    // past it (Raft's own-term commit rule); older entries commit
+    // transitively.
+    uint64_t first_own_index = 1;
 
     // Primary bookkeeping: per-peer confirmed position (cumulative acks;
     // commit counts these) and optimistic window start (re-aligned to
@@ -209,12 +246,14 @@ class ReplicationGroup {
 
     // Election coordinator state.
     struct ElectionReply {
+      bool granted = false;       // vote for this coordinator's ballot epoch
       uint64_t header_epoch = 0;  // replier's current epoch
       uint64_t last_epoch = 0;    // replier's log tail position
       uint64_t last_index = 0;
     };
     bool election_active = false;
     uint64_t election_round = 0;
+    uint64_t election_epoch = 0;  // the ballot this round campaigns for
     std::map<uint32_t, ElectionReply> election_replies;
 
     // Writes submitted to the timed pipeline but not yet retired. A snapshot
@@ -225,6 +264,18 @@ class ReplicationGroup {
     // Outbound state transfer (primary side), one target at a time.
     bool sending_snapshot = false;
     uint32_t snapshot_target = 0;
+    // Drain-then-cut: while a snapshot cut waits for the pipeline to
+    // quiesce, new client writes are parked here instead of being admitted
+    // (otherwise sustained load could postpone the cut forever). They are
+    // executed in arrival order once the cut is taken, or dropped (the
+    // client retries) if the primary crashes or is deposed first.
+    struct DeferredWrite {
+      uint64_t sequence = 0;
+      std::vector<KvOperation> ops;
+      std::function<void(std::vector<uint8_t>)> respond;
+    };
+    bool draining_for_snapshot = false;
+    std::deque<DeferredWrite> deferred_writes;
     // Inbound state transfer (target side).
     bool receiving_snapshot = false;
     uint32_t expected_chunk = 0;
@@ -251,6 +302,9 @@ class ReplicationGroup {
                   std::function<void(std::vector<uint8_t>)> respond);
   void ServeWrites(Replica& rep, uint64_t sequence, std::vector<KvOperation> ops,
                    std::function<void(std::vector<uint8_t>)> respond);
+  void ExecuteWrites(Replica& rep, uint64_t sequence,
+                     std::vector<KvOperation> ops,
+                     std::function<void(std::vector<uint8_t>)> respond);
   void RespondWrite(Replica& rep, uint64_t sequence, uint64_t needed_index,
                     std::vector<KvResultMessage> results,
                     const std::function<void(std::vector<uint8_t>)>& respond);
@@ -280,8 +334,17 @@ class ReplicationGroup {
   void PushAppends(Replica& primary);  // send a window to every peer
   void SendWindow(Replica& primary, uint32_t peer);
   void TryAdvanceCommit(Replica& primary);
-  void ApplyEntries(Replica& rep, const std::vector<LogEntry>& entries,
-                    uint64_t first_index);
+  // Appends a received window to the log (skipping already-held entries);
+  // application happens separately, at commit time.
+  void AppendToLog(Replica& rep, const std::vector<LogEntry>& entries,
+                   uint64_t first_index);
+  // Submits log entries (applied, target] to the store in log order.
+  void ApplyThrough(Replica& rep, uint64_t target);
+  void ApplyCommitted(Replica& rep) {
+    ApplyThrough(rep, std::min(rep.commit, rep.log.end()));
+  }
+  // Trims to max_log_entries but never past the applied cursor.
+  void TrimLog(Replica& rep);
   void AdoptEpoch(Replica& rep, uint64_t epoch, uint32_t primary);
   void StepDown(Replica& rep);
   void Promote(Replica& rep, uint64_t new_epoch);
@@ -289,9 +352,13 @@ class ReplicationGroup {
   void FinishElection(Replica& rep);
   void RequestCatchup(Replica& rep, uint32_t to);
   void StartStateTransfer(Replica& primary, uint32_t target);
-  // Waits for the primary's pipeline to quiesce, then materializes the
-  // snapshot chunks and starts streaming them.
+  // Waits for the primary's pipeline to quiesce — parking newly arriving
+  // writes meanwhile (drain-then-cut) — then materializes the snapshot
+  // chunks and starts streaming them.
   void BuildSnapshot(uint32_t primary_id, uint64_t transfer_epoch);
+  // Ends a drain: executes the parked writes (or drops them if the replica
+  // is no longer an alive primary; the clients retry).
+  void ReleaseSnapshotDrain(Replica& rep);
   void SendNextChunk(uint32_t primary_id, uint64_t transfer_epoch,
                      std::shared_ptr<std::vector<ReplicaMessage>> chunks,
                      size_t next);

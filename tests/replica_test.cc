@@ -113,6 +113,7 @@ TEST(ReplicaWireTest, EveryTypeRoundTripsAndJunkIsRejected) {
     msg.last_epoch = 7;
     msg.last_index = 13;
     msg.new_epoch = 10;
+    msg.granted = true;
     msg.snapshot_epoch = 6;
     msg.snapshot_index = 12;
     msg.chunk_seq = 1;
@@ -121,6 +122,17 @@ TEST(ReplicaWireTest, EveryTypeRoundTripsAndJunkIsRejected) {
     auto decoded = DecodeReplicaMessage(EncodeReplicaMessage(msg));
     ASSERT_TRUE(decoded.ok()) << "type " << int(t);
     EXPECT_EQ(static_cast<uint8_t>(decoded.value().type), t);
+    if (msg.type == ReplicaMessageType::kPromoteQuery ||
+        msg.type == ReplicaMessageType::kPromote) {
+      EXPECT_EQ(decoded.value().new_epoch, 10u);
+    }
+    if (msg.type == ReplicaMessageType::kPromoteReply) {
+      // Votes must survive the wire: ballot echo + grant flag.
+      EXPECT_EQ(decoded.value().new_epoch, 10u);
+      EXPECT_TRUE(decoded.value().granted);
+      EXPECT_EQ(decoded.value().last_epoch, 7u);
+      EXPECT_EQ(decoded.value().last_index, 13u);
+    }
   }
   // Unknown type byte, truncation, and trailing garbage must all error.
   EXPECT_FALSE(DecodeReplicaMessage({kMaxReplicaMessageType + 1, 0, 0}).ok());
@@ -131,6 +143,12 @@ TEST(ReplicaWireTest, EveryTypeRoundTripsAndJunkIsRejected) {
   EXPECT_FALSE(DecodeReplicaMessage(bytes).ok());
   bytes = EncodeReplicaMessage(ack);
   bytes.push_back(0);
+  EXPECT_FALSE(DecodeReplicaMessage(bytes).ok());
+  // A vote byte other than 0/1 is rejected.
+  ReplicaMessage vote;
+  vote.type = ReplicaMessageType::kPromoteReply;
+  bytes = EncodeReplicaMessage(vote);
+  bytes.back() = 2;
   EXPECT_FALSE(DecodeReplicaMessage(bytes).ok());
 }
 
@@ -305,7 +323,139 @@ TEST(ReplicationGroupTest, LaggingBackupRejectsReadThenClientRetriesPrimary) {
   EXPECT_GE(client.stats().stale_retries, 1u);
 }
 
+TEST(ReplicationGroupTest, BackupAppliesOnlyCommittedEntries) {
+  // Quorum = all 3 and one backup down: an appended entry can never commit,
+  // so the live backup must hold it in its log without applying it — a read
+  // of its store must not see the (potentially discardable) write.
+  ReplicationConfig config = SmallGroupConfig();
+  config.quorum = 3;
+  ReplicationGroup group(config);
+  Simulator& sim = group.simulator();
+  group.CrashReplica(2);
+
+  PacketBuilder builder;
+  ASSERT_TRUE(builder.Add(Put(1, 111)));
+  GroupRequest request;
+  request.ops_payload = builder.Finish();
+  const uint64_t sequence = group.AcquireClientSequenceBase() + 1;
+  std::vector<uint8_t> response;
+  group.DeliverClientFrame(0, FramePacket(sequence, EncodeGroupRequest(request)),
+                           [&](std::vector<uint8_t> bytes) {
+                             response = std::move(bytes);
+                           });
+  RunFor(sim, 5 * kMillisecond);
+
+  // Not acknowledged, not committed; replicated to backup 1's log but
+  // invisible in its store (applied cursor lags the uncommitted tail).
+  EXPECT_TRUE(response.empty());
+  EXPECT_EQ(group.commit_index(), 0u);
+  EXPECT_EQ(group.log_end(1), 1u);
+  EXPECT_EQ(group.applied_index(1), 0u);
+  EXPECT_EQ(group.replica(1).Execute(Get(1)).code, ResultCode::kNotFound);
+  // Execute-then-log: the primary's own store does reflect it.
+  EXPECT_EQ(group.applied_index(0), 1u);
+
+  // Once the third replica rejoins and acks, the entry commits, the backup
+  // applies it, and the client response finally goes out.
+  group.RestartReplica(2);
+  RunFor(sim, 10 * kMillisecond);
+  EXPECT_GE(group.commit_index(), 1u);
+  EXPECT_GE(group.applied_index(1), 1u);
+  EXPECT_EQ(ReadU64(group, 1, 1), 111u);
+  EXPECT_EQ(ReadU64(group, 2, 1), 111u);
+  EXPECT_FALSE(response.empty());
+}
+
 // --- failover ---
+
+TEST(ReplicationGroupTest, WriteQuorumOfOneStillRequiresMajorityToElect) {
+  // A write quorum of 1 must not weaken election safety: with only one of
+  // three replicas alive there is no majority, so nobody may be promoted
+  // (two such minority elections could otherwise produce two primaries).
+  ReplicationConfig config = SmallGroupConfig();
+  config.quorum = 1;
+  ReplicationGroup group(config);
+  ReplicatedClient client(group);
+  for (uint64_t i = 0; i < 6; i++) {
+    client.Enqueue(Put(i, 300 + i));
+  }
+  for (const KvResultMessage& r : client.Flush()) {
+    ASSERT_EQ(r.code, ResultCode::kOk);
+  }
+  RunFor(group.simulator(), 2 * kMillisecond);  // replicate to the backups
+
+  group.CrashReplica(0);
+  group.CrashReplica(2);
+  RunFor(group.simulator(), 20 * kMillisecond);
+  // Replica 1 campaigned but could never gather a majority of grants.
+  EXPECT_GE(group.stats().elections, 1u);
+  EXPECT_EQ(group.stats().failovers, 0u);
+  EXPECT_FALSE(group.is_primary(1));
+
+  // A second replica restores the majority and the election goes through.
+  group.RestartReplica(2);
+  RunFor(group.simulator(), 20 * kMillisecond);
+  EXPECT_GE(group.stats().failovers, 1u);
+  EXPECT_GE(group.epoch(), 2u);
+  uint32_t primaries = 0;
+  for (uint32_t id = 0; id < group.num_replicas(); id++) {
+    primaries += !group.crashed(id) && group.is_primary(id) ? 1 : 0;
+  }
+  EXPECT_EQ(primaries, 1u);
+  // Nothing acknowledged before the crashes was lost.
+  for (uint64_t i = 0; i < 6; i++) {
+    KvResultMessage r = group.Execute(Get(i));
+    ASSERT_EQ(r.code, ResultCode::kOk) << "key " << i;
+    uint64_t v = 0;
+    std::memcpy(&v, r.value.data(), 8);
+    EXPECT_EQ(v, 300 + i) << "key " << i;
+  }
+}
+
+TEST(ReplicationGroupTest, SequentialDoubleFailoverKeepsOnePrimaryAndAllAcks) {
+  ReplicationConfig config = SmallGroupConfig(5);
+  ReplicationGroup group(config);
+  ReplicatedClient client(group);
+  std::map<uint64_t, uint64_t> acked;
+
+  auto write_batch = [&](uint64_t base) {
+    for (uint64_t i = base; i < base + 8; i++) {
+      client.Enqueue(Put(i, 9000 + i));
+    }
+    std::vector<KvResultMessage> results = client.Flush();
+    for (size_t s = 0; s < results.size(); s++) {
+      if (results[s].code == ResultCode::kOk) {
+        acked[base + s] = 9000 + base + s;
+      }
+    }
+  };
+
+  write_batch(0);
+  group.CrashReplica(group.primary_id());
+  RunFor(group.simulator(), 10 * kMillisecond);
+  const uint32_t second_primary = group.primary_id();
+  EXPECT_FALSE(group.crashed(second_primary));
+  write_batch(100);
+  group.CrashReplica(second_primary);
+  RunFor(group.simulator(), 10 * kMillisecond);
+  write_batch(200);
+
+  // Two epochs of history later: exactly one alive primary, all acks served.
+  EXPECT_GE(group.stats().failovers, 2u);
+  uint32_t primaries = 0;
+  for (uint32_t id = 0; id < group.num_replicas(); id++) {
+    primaries += !group.crashed(id) && group.is_primary(id) ? 1 : 0;
+  }
+  EXPECT_EQ(primaries, 1u);
+  ASSERT_FALSE(acked.empty());
+  for (const auto& [id, value] : acked) {
+    KvResultMessage r = group.Execute(Get(id));
+    ASSERT_EQ(r.code, ResultCode::kOk) << "key " << id;
+    uint64_t v = 0;
+    std::memcpy(&v, r.value.data(), 8);
+    EXPECT_EQ(v, value) << "key " << id;
+  }
+}
 
 TEST(ReplicationGroupTest, ScriptedPrimaryCrashLosesNoAcknowledgedWrite) {
   ReplicationConfig config = SmallGroupConfig();
@@ -523,6 +673,56 @@ TEST(ReplicationGroupTest, TrimmedLogForcesBoundedRateStateTransfer) {
   EXPECT_EQ(group.log_end(2), group.log_end(0));
   for (uint64_t i : {0ull, 17ull, 39ull}) {
     EXPECT_EQ(ReadU64(group, 2, i), 10 + i) << "key " << i;
+  }
+}
+
+TEST(ReplicationGroupTest, StateTransferCompletesUnderSustainedWriteLoad) {
+  // Drain-then-cut: sustained client writes must not postpone a snapshot cut
+  // indefinitely — arriving writes are parked until the pipeline quiesces,
+  // then executed in order.
+  ReplicationConfig config = SmallGroupConfig();
+  config.max_log_entries = 8;  // force the resync to need a state transfer
+  ReplicationGroup group(config);
+  ReplicatedClient client(group);
+  for (uint64_t i = 0; i < 4; i++) {
+    client.Enqueue(Put(i, 40 + i));
+  }
+  client.Flush();
+  group.CrashReplica(2);
+  for (uint64_t i = 4; i < 40; i++) {
+    client.Enqueue(Put(i, 40 + i));
+  }
+  client.Flush();
+  group.RestartReplica(2);
+
+  // Hammer the primary with back-to-back raw frames (one per simulated
+  // microsecond) so its pipeline is never observed idle while the transfer
+  // initiates: the cut must park arriving writes instead of starving.
+  Simulator& sim = group.simulator();
+  const uint64_t base_seq = group.AcquireClientSequenceBase();
+  size_t responses = 0;
+  for (uint64_t n = 0; n < 400; n++) {
+    sim.ScheduleAt(sim.Now() + n * kMicrosecond, [&group, &responses, base_seq,
+                                                  n] {
+      PacketBuilder builder;
+      ASSERT_TRUE(builder.Add(Put(100 + n, 7100 + n)));
+      GroupRequest request;
+      request.ops_payload = builder.Finish();
+      group.DeliverClientFrame(
+          0, FramePacket(base_seq + 1 + n, EncodeGroupRequest(request)),
+          [&responses](std::vector<uint8_t>) { responses++; });
+    });
+  }
+  RunFor(sim, 30 * kMillisecond);
+  EXPECT_GE(group.stats().state_transfers, 1u);
+  EXPECT_GE(group.stats().snapshot_deferred_writes, 1u);
+
+  // The load never starved the transfer, and no write was dropped by the
+  // drain: every frame was answered and the restarted replica converges.
+  EXPECT_EQ(responses, 400u);
+  EXPECT_EQ(group.log_end(2), group.log_end(group.primary_id()));
+  for (uint64_t n : {0ull, 199ull, 399ull}) {
+    EXPECT_EQ(ReadU64(group, 2, 100 + n), 7100 + n) << "key " << 100 + n;
   }
 }
 
