@@ -183,6 +183,135 @@ FailoverPoint RunFailover(uint64_t seed) {
   return point;
 }
 
+// Latency attribution for a replicated workload: an RF-3 group with request
+// tracing on. Relative to a single server, writes gain log_append (retire ->
+// log append) and quorum_wait (append -> quorum commit) stages; the
+// commit-wait histogram is the same interval as a plain replication-health
+// metric, recorded with tracing off too.
+void TracedBreakdown(kvd::bench::JsonReport& report) {
+  ReplicationConfig config = BaseConfig(3);
+  config.enable_request_tracing = true;
+  ReplicationGroup group(config);
+  ReplicatedClient client(group);
+
+  constexpr uint64_t kKeys = 256;
+  constexpr uint64_t kOps = 4000;
+  constexpr uint64_t kBatch = 64;
+  Rng mix(2026);
+  for (uint64_t issued = 0; issued < kOps;) {
+    for (uint64_t i = 0; i < kBatch && issued < kOps; i++, issued++) {
+      const uint64_t k = mix.NextBelow(kKeys);
+      KvOperation op;
+      op.key = Key(k);
+      if (mix.NextDouble() < 0.5) {
+        op.opcode = Opcode::kPut;
+        op.value = U64Value(mix.Next());
+      } else {
+        op.opcode = Opcode::kGet;
+      }
+      client.Enqueue(std::move(op));
+    }
+    client.Flush();
+  }
+
+  const LatencyBreakdown& breakdown = group.breakdown();
+  std::printf("\n=== Replication — per-stage latency attribution (RF 3) ===\n");
+  std::printf("(mean ns per stage; log_append and quorum_wait are the\n"
+              " replication-specific stages)\n\n%s",
+              LatencyBreakdownReport::Table(breakdown).c_str());
+  const LatencyHistogram& wait = group.commit_wait_ns();
+  std::printf("commit wait (append -> quorum ack): mean %.0f ns, p99 %llu ns "
+              "over %llu writes\n",
+              wait.mean(), static_cast<unsigned long long>(wait.Percentile(0.99)),
+              static_cast<unsigned long long>(wait.count()));
+
+  report.BeginSeries("breakdown");
+  for (size_t op = 0; op < LatencyBreakdown::kNumOpcodes; op++) {
+    const Opcode opcode = static_cast<Opcode>(op);
+    const LatencyHistogram& e2e = breakdown.EndToEnd(opcode);
+    if (e2e.count() == 0) {
+      continue;
+    }
+    kvd::bench::JsonReport::Fields row;
+    row.emplace_back("opcode", static_cast<double>(op));
+    row.emplace_back("ops", static_cast<double>(e2e.count()));
+    const double n = static_cast<double>(e2e.count());
+    double stage_sum = 0;
+    for (size_t point = 1; point < kNumTracePoints; point++) {
+      const LatencyHistogram& stage =
+          breakdown.Stage(opcode, static_cast<TracePoint>(point));
+      const double contribution =
+          stage.mean() * static_cast<double>(stage.count()) / n;
+      stage_sum += contribution;
+      row.emplace_back(
+          std::string("stage_") + StageName(static_cast<TracePoint>(point)) +
+              "_ns",
+          contribution);
+    }
+    row.emplace_back("stage_sum_ns", stage_sum);
+    row.emplace_back("e2e_ns", e2e.mean());
+    report.AddRow(std::move(row));
+  }
+  report.AddRow({{"commit_wait_mean_ns", wait.mean()},
+                 {"commit_wait_p99_ns",
+                  static_cast<double>(wait.Percentile(0.99))},
+                 {"commit_wait_count", static_cast<double>(wait.count())}});
+}
+
+// Sharded cluster health: 2 shards x RF 3 on one clock, driven through
+// ClusterClient; per-shard commit-wait and propagation-lag histograms are
+// combined with LatencyHistogram::Merge, so the cluster percentiles are
+// exactly the pooled-sample percentiles.
+void ShardedClusterHealth(kvd::bench::JsonReport& report) {
+  ReplicationConfig per_shard = BaseConfig(3);
+  ReplicatedCluster cluster(2, per_shard);
+  ClusterClient client(cluster);
+
+  constexpr uint64_t kKeys = 256;
+  constexpr uint64_t kOps = 2000;
+  constexpr uint64_t kBatch = 64;
+  Rng mix(11);
+  for (uint64_t issued = 0; issued < kOps;) {
+    for (uint64_t i = 0; i < kBatch && issued < kOps; i++, issued++) {
+      const uint64_t k = mix.NextBelow(kKeys);
+      KvOperation op;
+      op.key = Key(k);
+      if (mix.NextDouble() < 0.5) {
+        op.opcode = Opcode::kPut;
+        op.value = U64Value(mix.Next());
+      } else {
+        op.opcode = Opcode::kGet;
+      }
+      client.Enqueue(std::move(op));
+    }
+    client.Flush();
+  }
+
+  const LatencyHistogram commit_wait = cluster.MergedCommitWait();
+  const LatencyHistogram propagation = cluster.MergedPropagationLag();
+  std::printf("\n=== Replication — sharded cluster health (2 shards x RF 3) ===\n");
+  std::printf("(per-shard histograms merged exactly across the cluster)\n\n");
+  std::printf("commit wait:     mean %.0f ns, p99 %llu ns over %llu writes\n",
+              commit_wait.mean(),
+              static_cast<unsigned long long>(commit_wait.Percentile(0.99)),
+              static_cast<unsigned long long>(commit_wait.count()));
+  std::printf("propagation lag: mean %.0f ns, p99 %llu ns over %llu windows\n",
+              propagation.mean(),
+              static_cast<unsigned long long>(propagation.Percentile(0.99)),
+              static_cast<unsigned long long>(propagation.count()));
+
+  report.BeginSeries("sharded_cluster");
+  report.AddRow(
+      {{"shards", static_cast<double>(cluster.num_shards())},
+       {"commit_wait_mean_ns", commit_wait.mean()},
+       {"commit_wait_p99_ns",
+        static_cast<double>(commit_wait.Percentile(0.99))},
+       {"commit_wait_count", static_cast<double>(commit_wait.count())},
+       {"propagation_lag_mean_ns", propagation.mean()},
+       {"propagation_lag_p99_ns",
+        static_cast<double>(propagation.Percentile(0.99))}});
+}
+
 }  // namespace
 }  // namespace kvd
 
@@ -228,6 +357,8 @@ int main(int argc, char** argv) {
                  {"acked_writes", static_cast<double>(f.acked_writes)},
                  {"lost_acked_writes", static_cast<double>(f.lost_acked_writes)}});
   failover_table.Print();
+  kvd::TracedBreakdown(report);
+  kvd::ShardedClusterHealth(report);
   std::printf("acknowledged writes lost in failover: %llu of %llu\n",
               static_cast<unsigned long long>(f.lost_acked_writes),
               static_cast<unsigned long long>(f.acked_writes));

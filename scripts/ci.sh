@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command CI gate: the tier-1 build + test pass, then the sanitizer
+# sweeps. Mirrors exactly what a reviewer runs by hand:
+#
+#   1. configure + build (default flags) and run the full ctest suite;
+#   2. scripts/verify_asan.sh  — ASan+UBSan build, full suite;
+#   3. scripts/verify_ubsan.sh — pure-UBSan build, full suite.
+#
+# The tier-1 stage runs first and alone decides pass/fail for correctness;
+# the sanitizer stages catch memory/UB bugs that the plain build hides.
+# Set KVD_CI_SKIP_SANITIZERS=1 for a quick tier-1-only pass.
+#
+# Usage: scripts/ci.sh [build-dir]    (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+if [[ "${KVD_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo "ci pass (sanitizers skipped)"
+  exit 0
+fi
+
+echo "=== asan+ubsan sweep ==="
+scripts/verify_asan.sh "${BUILD_DIR}-asan"
+
+echo "=== ubsan sweep ==="
+scripts/verify_ubsan.sh "${BUILD_DIR}-ubsan"
+
+echo "ci pass"

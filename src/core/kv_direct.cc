@@ -114,9 +114,46 @@ KvDirectServer::KvDirectServer(const ServerConfig& config, Simulator* external_s
   nic_dram_->SetFaultInjector(fault_.get());
   network_->SetFaultInjector(fault_.get());
 
+  // Request tracing: the tracer feeds the breakdown, the SLO monitor, and
+  // the flight-recorder ring; SLO breaches fire the recorder. Components get
+  // the pointers unconditionally (a zero handle short-circuits every hook).
+  request_tracer_.set_enabled(config.enable_request_tracing);
+  request_tracer_.SetBreakdown(&breakdown_);
+  slo_monitor_.Configure(config.slo);
+  request_tracer_.SetSloMonitor(&slo_monitor_);
+  flight_recorder_.Configure(config.flight);
+  flight_recorder_.set_enabled(config.enable_request_tracing);
+  flight_recorder_.SetRequestTracer(&request_tracer_);
+  flight_recorder_.SetMetricRegistry(&metrics_);
+  flight_recorder_.SetEventTracer(&tracer_);
+  request_tracer_.set_on_complete(
+      [this](const OpTrace& trace) { active_flight_->OnTraceComplete(trace); });
+  slo_monitor_.set_on_breach([this](const std::string& detail) {
+    active_flight_->Trigger(FlightTrigger::kSloBreach, detail);
+  });
+  processor_->SetRequestTracer(&request_tracer_);
+  processor_->SetFlightRecorder(&flight_recorder_);
+  dispatcher_->SetRequestTracer(&request_tracer_);
+  dispatcher_->SetFlightRecorder(&flight_recorder_);
+  dma_->SetRequestTracer(&request_tracer_);
+  nic_dram_->SetRequestTracer(&request_tracer_);
+  network_->SetRequestTracer(&request_tracer_);
+  fault_->SetFlightRecorder(&flight_recorder_);
+  if (config.enable_request_tracing) {
+    // Registered only when tracing is on, so the default metric exposition
+    // is byte-identical to the untraced build.
+    request_tracer_.RegisterMetrics(metrics_);
+    breakdown_.RegisterMetrics(metrics_);
+    slo_monitor_.RegisterMetrics(metrics_);
+    flight_recorder_.RegisterMetrics(metrics_);
+  }
+
   // Observability: every subsystem registers readers over its live stats into
   // the shared registry and learns about the tracer. Neither changes timing.
   tracer_.set_enabled(config.enable_tracing);
+  metrics_.RegisterCounter("kvd_events_dropped_total",
+                           "Events dropped at the EventTracer capacity limit",
+                           {}, [this] { return tracer_.dropped(); });
   fault_->RegisterMetrics(metrics_);
   fault_->SetTracer(&tracer_);
   metrics_.RegisterCounter("kvd_server_replayed_responses_total",
@@ -143,12 +180,31 @@ KvDirectServer::KvDirectServer(const ServerConfig& config, Simulator* external_s
   network_->SetTracer(&tracer_);
 }
 
+void KvDirectServer::UseRequestTracer(RequestTracer* tracer) {
+  KVD_CHECK(tracer != nullptr);
+  active_request_tracer_ = tracer;
+  processor_->SetRequestTracer(tracer);
+  dispatcher_->SetRequestTracer(tracer);
+  dma_->SetRequestTracer(tracer);
+  nic_dram_->SetRequestTracer(tracer);
+  network_->SetRequestTracer(tracer);
+}
+
+void KvDirectServer::UseFlightRecorder(FlightRecorder* recorder) {
+  KVD_CHECK(recorder != nullptr);
+  active_flight_ = recorder;
+  processor_->SetFlightRecorder(recorder);
+  dispatcher_->SetFlightRecorder(recorder);
+  fault_->SetFlightRecorder(recorder);
+}
+
 void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done) {
   processor_->Submit(std::move(op), std::move(done));
 }
 
 void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
-                                   std::function<void(std::vector<uint8_t>)> respond) {
+                                   std::function<void(std::vector<uint8_t>)> respond,
+                                   uint64_t traced_sequence) {
   PacketParser parser(std::move(payload));
   std::vector<KvOperation> ops;
   while (true) {
@@ -172,17 +228,41 @@ void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
   // Collect results in request order; respond when the last one retires.
   struct PacketState {
     std::vector<KvResultMessage> results;
+    std::vector<uint64_t> traces;
     size_t remaining;
     std::function<void(std::vector<uint8_t>)> respond;
+    RequestTracer* tracer = nullptr;
   };
   auto state = std::make_shared<PacketState>();
   state->results.resize(ops.size());
   state->remaining = ops.size();
   state->respond = std::move(respond);
+  if (traced_sequence != 0 && active_request_tracer_->enabled()) {
+    // Resolve each op's trace handle from the client-registered packet map
+    // and stamp kServerReceive (first delivery wins, so retransmissions and
+    // injected duplicates cannot move it).
+    state->tracer = active_request_tracer_;
+    state->traces.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); i++) {
+      const uint64_t handle = state->tracer->LookupOp(traced_sequence, i);
+      state->traces[i] = handle;
+      ops[i].trace = handle;
+      if (handle != 0) {
+        state->tracer->Point(handle, TracePoint::kServerReceive);
+      }
+    }
+  }
   for (size_t i = 0; i < ops.size(); i++) {
     processor_->Submit(std::move(ops[i]), [state, i](KvResultMessage result) {
       state->results[i] = std::move(result);
       if (--state->remaining == 0) {
+        if (state->tracer != nullptr) {
+          for (const uint64_t handle : state->traces) {
+            if (handle != 0) {
+              state->tracer->Point(handle, TracePoint::kResponseSent);
+            }
+          }
+        }
         state->respond(EncodeResults(state->results));
       }
     });
@@ -233,17 +313,19 @@ void KvDirectServer::DeliverFrame(std::vector<uint8_t> packet,
   replay_.emplace(frame.sequence, ReplayEntry{});
   replay_order_.push_back(frame.sequence);
   const uint64_t sequence = frame.sequence;
-  DeliverPacket(std::move(frame.payload),
-                [this, sequence, respond = std::move(respond)](
-                    std::vector<uint8_t> response) {
-                  std::vector<uint8_t> framed = FramePacket(sequence, response);
-                  if (const auto it = replay_.find(sequence); it != replay_.end()) {
-                    it->second.done = true;
-                    it->second.done_at = sim_.Now();
-                    it->second.response = framed;
-                  }
-                  respond(std::move(framed));
-                });
+  DeliverPacket(
+      std::move(frame.payload),
+      [this, sequence, respond = std::move(respond)](
+          std::vector<uint8_t> response) {
+        std::vector<uint8_t> framed = FramePacket(sequence, response);
+        if (const auto it = replay_.find(sequence); it != replay_.end()) {
+          it->second.done = true;
+          it->second.done_at = sim_.Now();
+          it->second.response = framed;
+        }
+        respond(std::move(framed));
+      },
+      /*traced_sequence=*/sequence);
 }
 
 KvResultMessage KvDirectServer::Execute(const KvOperation& op) {
@@ -392,6 +474,7 @@ std::vector<KvResultMessage> Client::Flush() {
 // arrivals must find live state, not a dead stack frame.
 struct Client::FlushState {
   std::vector<KvResultMessage> results;
+  std::vector<uint64_t> traces;  // per-op trace handles (0 when untraced)
   size_t outstanding = 0;
 };
 
@@ -401,6 +484,7 @@ struct Client::PacketCtx {
   uint64_t sequence = 0;
   std::vector<uint8_t> frame;       // full framed bytes, re-sent verbatim
   std::vector<size_t> op_indices;   // result slots, in packet order
+  std::vector<uint64_t> traces;     // trace handles, in packet order
   uint32_t attempts = 0;
   bool completed = false;
   std::shared_ptr<FlushState> flush;
@@ -421,17 +505,32 @@ void Client::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
   if (ctx->attempts > 1) {
     stats_.retransmits++;
   }
+  RequestTracer& rt = server_.request_tracer();
+  if (!ctx->traces.empty() && rt.enabled()) {
+    for (const uint64_t handle : ctx->traces) {
+      rt.CountAttempt(handle);
+      if (ctx->attempts > 1) {
+        // Timeout-driven retransmission marker (detail: attempt number).
+        rt.Span(handle, SpanKind::kRetransmit, sim.Now(), sim.Now(),
+                ctx->attempts - 1);
+      }
+    }
+  }
   std::vector<uint8_t> copy = ctx->frame;
   server_.network().SendPayloadToServer(
-      std::move(copy), [this, ctx](std::vector<uint8_t> request) {
+      std::move(copy),
+      [this, ctx](std::vector<uint8_t> request) {
         server_.DeliverFrame(
             std::move(request), [this, ctx](std::vector<uint8_t> response) {
               server_.network().SendPayloadToClient(
-                  std::move(response), [this, ctx](std::vector<uint8_t> delivered) {
+                  std::move(response),
+                  [this, ctx](std::vector<uint8_t> delivered) {
                     OnResponse(ctx, std::move(delivered));
-                  });
+                  },
+                  ctx->traces);
             });
-      });
+      },
+      ctx->traces);
   // Retransmission timer for this attempt; exponential backoff. A timer that
   // fires after completion (or after a newer attempt took over) is a no-op.
   const uint32_t attempt = ctx->attempts;
@@ -481,6 +580,17 @@ void Client::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
   }
   ctx->completed = true;
   ctx->flush->outstanding--;
+  RequestTracer& rt = server_.request_tracer();
+  if (!ctx->traces.empty() && rt.enabled()) {
+    for (size_t i = 0; i < ctx->op_indices.size(); i++) {
+      const uint64_t handle = ctx->traces[i];
+      const ResultCode code = results[ctx->op_indices[i]].code;
+      if (handle == 0 || code == ResultCode::kBusy) {
+        continue;  // busy ops stay live: they are re-sent under a new sequence
+      }
+      rt.Finish(handle, code);
+    }
+  }
 }
 
 void Client::SendBatch(const std::vector<KvOperation>& ops,
@@ -506,6 +616,23 @@ void Client::SendBatch(const std::vector<KvOperation>& ops,
     ctx->op_indices.assign(indices.begin() + first, indices.begin() + next);
     ctx->frame = FramePacket(ctx->sequence, builder.Finish());
     ctx->flush = flush;
+    RequestTracer& rt = server_.request_tracer();
+    if (rt.enabled()) {
+      // First send starts the trace; a busy re-send keeps its handle and
+      // re-registers it under the new wire sequence so the server-side
+      // lookup still resolves.
+      ctx->traces.reserve(ctx->op_indices.size());
+      for (size_t i = 0; i < ctx->op_indices.size(); i++) {
+        const size_t idx = ctx->op_indices[i];
+        uint64_t& handle = flush->traces[idx];
+        if (handle == 0) {
+          handle = rt.Start(ops[idx].opcode, ctx->sequence,
+                            static_cast<uint32_t>(i));
+        }
+        ctx->traces.push_back(handle);
+      }
+      rt.RegisterPacket(ctx->sequence, ctx->traces);
+    }
     flush->outstanding++;
     stats_.packets_sent++;
     TransmitPacket(ctx);
@@ -516,6 +643,7 @@ std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops)
   Simulator& sim = server_.simulator();
   auto flush = std::make_shared<FlushState>();
   flush->results.resize(ops.size());
+  flush->traces.resize(ops.size(), 0);
 
   std::vector<size_t> indices(ops.size());
   for (size_t i = 0; i < ops.size(); i++) {
@@ -545,7 +673,15 @@ std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops)
                             << std::min(busy_round, uint32_t{20});
     busy_round++;
     stats_.busy_retries += busy.size();
+    const SimTime backoff_start = sim.Now();
     RunFor(backoff);
+    RequestTracer& rt = server_.request_tracer();
+    if (rt.enabled()) {
+      for (const size_t idx : busy) {
+        rt.Span(flush->traces[idx], SpanKind::kBusyRetry, backoff_start,
+                sim.Now(), busy_round);
+      }
+    }
     indices = std::move(busy);
   }
   return std::move(flush->results);

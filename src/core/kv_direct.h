@@ -31,7 +31,9 @@
 #include "src/net/network_model.h"
 #include "src/net/wire_format.h"
 #include "src/obs/event_tracer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/request_trace.h"
 #include "src/pcie/dma_engine.h"
 #include "src/sim/simulator.h"
 
@@ -58,6 +60,14 @@ struct ServerConfig {
   // Record simulator events (DMA, dispatch, station, network) for Chrome
   // trace export. Off by default; costs one branch per hook when disabled.
   bool enable_tracing = false;
+
+  // Per-request tracing (src/obs/request_trace.h): trace contexts created at
+  // client send, propagated through every layer, aggregated into the latency
+  // breakdown, the SLO monitor, and the flight recorder. Off by default; when
+  // disabled every hook is one branch on a zero handle.
+  bool enable_request_tracing = false;
+  SloConfig slo;
+  FlightRecorderConfig flight;
 
   // Deterministic fault injection across the network, PCIe, and NIC DRAM
   // models (src/fault). All-zero probabilities (the default) inject nothing.
@@ -93,8 +103,11 @@ class KvDirectServer {
   void Submit(KvOperation op, KvProcessor::Completion done);
   // Delivers a client request packet; `respond` fires with the encoded
   // response payload once every operation in the packet has retired.
+  // `traced_sequence` (if nonzero) resolves each op's trace handle via the
+  // request tracer's packet registry and stamps server-side checkpoints.
   void DeliverPacket(std::vector<uint8_t> payload,
-                     std::function<void(std::vector<uint8_t>)> respond);
+                     std::function<void(std::vector<uint8_t>)> respond,
+                     uint64_t traced_sequence = 0);
   // Delivers a *framed* request ([sequence | checksum | payload]). Frames
   // that fail the checksum are dropped (the client retransmits on timeout);
   // a sequence seen before is answered from the replay cache without
@@ -133,6 +146,19 @@ class KvDirectServer {
   // tracer().set_enabled(true).
   EventTracer& tracer() { return tracer_; }
 
+  // Request-tracing consumers. `request_tracer()` returns the *active* tracer
+  // — the owned one, or the external one after UseRequestTracer (replication
+  // groups share one tracer per group).
+  RequestTracer& request_tracer() { return *active_request_tracer_; }
+  FlightRecorder& flight_recorder() { return *active_flight_; }
+  LatencyBreakdown& breakdown() { return breakdown_; }
+  SloMonitor& slo_monitor() { return slo_monitor_; }
+  // Re-points every component (and the framed delivery path) at an external
+  // tracer/recorder. The owned instances stay alive, so registered metric
+  // readers never dangle.
+  void UseRequestTracer(RequestTracer* tracer);
+  void UseFlightRecorder(FlightRecorder* recorder);
+
  private:
   ServerConfig config_;
   // Null when running on an external (shared) simulator; sim_ aliases either
@@ -142,6 +168,12 @@ class KvDirectServer {
   Simulator& sim_;
   MetricRegistry metrics_;
   EventTracer tracer_{sim_};
+  RequestTracer request_tracer_{sim_};
+  LatencyBreakdown breakdown_;
+  SloMonitor slo_monitor_{sim_};
+  FlightRecorder flight_recorder_{sim_};
+  RequestTracer* active_request_tracer_ = &request_tracer_;
+  FlightRecorder* active_flight_ = &flight_recorder_;
   UpdateFunctionRegistry registry_;
   std::unique_ptr<HostMemory> memory_;
   std::unique_ptr<DirectEngine> direct_engine_;

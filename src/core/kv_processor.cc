@@ -149,6 +149,11 @@ SimTime KvProcessor::NextCycleTime() {
 }
 
 void KvProcessor::Submit(KvOperation op, Completion done) {
+  if (op.trace != 0 && request_tracer_ != nullptr) {
+    // First-write-wins: a busy-bounced retry keeps the original submit time,
+    // so the queue stage honestly includes the backoff.
+    request_tracer_->Point(op.trace, TracePoint::kSubmit);
+  }
   if (config_.max_backlog > 0 && waiting_.size() >= config_.max_backlog) {
     // Decode-stage backpressure: the operation is bounced with kBusy after
     // one decode cycle instead of queueing without bound; clients back off
@@ -156,6 +161,16 @@ void KvProcessor::Submit(KvOperation op, Completion done) {
     stats_.busy_rejected++;
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant("proc", "busy_reject", {{"backlog", waiting_.size()}});
+    }
+    if (flight_ != nullptr && config_.busy_burst_threshold > 0) {
+      if (sim_.Now() >= busy_window_start_ + config_.busy_burst_window) {
+        busy_window_start_ = sim_.Now();
+        busy_window_count_ = 0;
+      }
+      if (++busy_window_count_ == config_.busy_burst_threshold) {
+        flight_->Trigger(FlightTrigger::kBusyBurst,
+                         "kBusy rejection burst at the admission queue");
+      }
     }
     sim_.ScheduleAt(NextCycleTime(), [done = std::move(done)]() mutable {
       KvResultMessage result;
@@ -189,6 +204,9 @@ void KvProcessor::Pump() {
     inflight.slot = slot;
     inflight.digest = kh.digest;
     inflight.submitted_at = sim_.Now();
+    if (inflight.op.trace != 0 && request_tracer_ != nullptr) {
+      request_tracer_->Point(inflight.op.trace, TracePoint::kAdmit);
+    }
 
     // Functional execution at admission: the station guarantees per-key
     // admission order is execution order, so results are exact.
@@ -254,6 +272,7 @@ void KvProcessor::Pump() {
       case ReservationStation::Action::kPark: {
         // Waits in the station chain; timing resumes at CompletePipeline or
         // TryIssueNext.
+        inflight.parked_at = sim_.Now();
         auto [it, inserted] = inflight_.emplace(id, std::move(inflight));
         KVD_CHECK(inserted);
         break;
@@ -276,7 +295,21 @@ void KvProcessor::StepPipelineOp(uint64_t id) {
   // read before write-back), so they run serially.
   const AccessRecord access = inflight.trace[inflight.next_access++];
   dispatcher_.Access(access.kind, access.address, access.length,
-                     [this, id] { StepPipelineOp(id); });
+                     [this, id] { StepPipelineOp(id); }, inflight.op.trace);
+}
+
+void KvProcessor::RecordUnpark(uint64_t id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    return;
+  }
+  Inflight& inflight = it->second;
+  if (inflight.parked_at != 0 && inflight.op.trace != 0 &&
+      request_tracer_ != nullptr) {
+    request_tracer_->Span(inflight.op.trace, SpanKind::kStationWait,
+                          inflight.parked_at, sim_.Now(), inflight.slot);
+  }
+  inflight.parked_at = 0;
 }
 
 void KvProcessor::OnPipelineComplete(uint64_t id) {
@@ -295,6 +328,7 @@ void KvProcessor::OnPipelineComplete(uint64_t id) {
   for (const uint64_t fast_id : fast_path) {
     retire_at = NextCycleTime();
     stats_.fast_path_ops++;
+    RecordUnpark(fast_id);
     sim_.ScheduleAt(retire_at, [this, fast_id] { Retire(fast_id); });
   }
   if (fast_path.empty()) {
@@ -326,6 +360,7 @@ void KvProcessor::AdvanceSlot(uint16_t slot, uint64_t bucket_address) {
   if (const auto next = station_.TryIssueNext(slot); next.has_value()) {
     stats_.pipeline_ops++;
     const uint64_t op_id = *next;
+    RecordUnpark(op_id);
     sim_.ScheduleAt(NextCycleTime(), [this, op_id] { StepPipelineOp(op_id); });
   }
 }
@@ -337,6 +372,9 @@ void KvProcessor::Retire(uint64_t id) {
   inflight_.erase(it);
   stats_.retired++;
   stats_.latency_ns.Add((sim_.Now() - inflight.submitted_at) / kNanosecond);
+  if (inflight.op.trace != 0 && request_tracer_ != nullptr) {
+    request_tracer_->Point(inflight.op.trace, TracePoint::kRetire);
+  }
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Complete("proc", "op", inflight.submitted_at, sim_.Now(),
                       {{"op", id}, {"slot", inflight.slot}});

@@ -37,7 +37,9 @@
 #include "src/mem/access_engine.h"
 #include "src/net/kv_types.h"
 #include "src/obs/event_tracer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/request_trace.h"
 #include "src/ooo/reservation_station.h"
 #include "src/sim/simulator.h"
 
@@ -52,6 +54,10 @@ struct KvProcessorConfig {
   // submissions bounce with kBusy instead of queueing without bound.
   // 0 = unbounded (the seed behavior).
   uint32_t max_backlog = 0;
+  // A flight-recorder trigger fires when this many kBusy rejections land
+  // within one busy_burst_window of simulated time. 0 disables detection.
+  uint32_t busy_burst_threshold = 64;
+  SimTime busy_burst_window = kMillisecond;
 };
 
 struct KvProcessorStats {
@@ -86,6 +92,9 @@ class KvProcessor {
   // live stats structs; no behavior change).
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetRequestTracer(RequestTracer* tracer) { request_tracer_ = tracer; }
+  // kBusy rejection bursts fire the flight recorder.
+  void SetFlightRecorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   const KvProcessorStats& stats() const { return stats_; }
   const ReservationStation& station() const { return station_; }
@@ -101,6 +110,7 @@ class KvProcessor {
     uint16_t slot = 0;
     uint64_t digest = 0;
     SimTime submitted_at = 0;
+    SimTime parked_at = 0;  // nonzero while waiting in a station chain
     Completion done;
   };
 
@@ -114,6 +124,8 @@ class KvProcessor {
   void AdvanceSlot(uint16_t slot, uint64_t bucket_address);
   void Retire(uint64_t id);
   SimTime NextCycleTime();
+  // Closes the kStationWait span of a parked op that just resumed.
+  void RecordUnpark(uint64_t id);
 
   Simulator& sim_;
   HashIndex& index_;
@@ -123,9 +135,14 @@ class KvProcessor {
   KvProcessorConfig config_;
   const SyncStats* slab_sync_stats_ = nullptr;
   EventTracer* tracer_ = nullptr;
+  RequestTracer* request_tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   ReservationStation station_;
   SimTime cycle_;
   SimTime next_issue_at_ = 0;
+  // Busy-burst detection (tumbling window).
+  SimTime busy_window_start_ = 0;
+  uint64_t busy_window_count_ = 0;
 
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, Inflight> inflight_;

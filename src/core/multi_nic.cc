@@ -52,6 +52,14 @@ SimTime MultiNicServer::MaxSimTime() const {
   return latest;
 }
 
+LatencyHistogram MultiNicServer::MergedLatency() {
+  LatencyHistogram merged;
+  for (const auto& nic : nics_) {
+    merged.Merge(nic->processor().stats().latency_ns);
+  }
+  return merged;
+}
+
 MultiNicClient::MultiNicClient(MultiNicServer& cluster, Client::Options options)
     : cluster_(cluster) {
   for (uint32_t i = 0; i < cluster.num_nics(); i++) {

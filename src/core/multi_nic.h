@@ -50,6 +50,10 @@ class MultiNicServer {
   uint64_t TotalRetired() const;
   // The slowest NIC's simulated clock — the wall-clock of the parallel rig.
   SimTime MaxSimTime() const;
+  // Cluster-wide submission->retirement latency distribution: every NIC's
+  // histogram merged exactly (Merge sums per-bucket counts, so quantiles over
+  // the merged histogram equal quantiles over the pooled samples).
+  LatencyHistogram MergedLatency();
 
  private:
   KeyRouter router_;

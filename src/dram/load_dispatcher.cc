@@ -58,8 +58,20 @@ LoadDispatcher::LineOutcome LoadDispatcher::TouchLine(uint64_t address, bool is_
   return outcome;
 }
 
+std::function<void()> LoadDispatcher::TraceDone(uint64_t trace, uint64_t route,
+                                                std::function<void()> done) {
+  if (trace == 0 || request_tracer_ == nullptr) {
+    return done;
+  }
+  const SimTime start = sim_.Now();
+  return [this, trace, route, start, done = std::move(done)] {
+    request_tracer_->Span(trace, SpanKind::kMemAccess, start, sim_.Now(), route);
+    done();
+  };
+}
+
 void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
-                            std::function<void()> done) {
+                            std::function<void()> done, uint64_t op_trace) {
   KVD_CHECK(bytes > 0);
   const bool trace = tracer_ != nullptr && tracer_->enabled();
   if (!IsCacheable(address)) {
@@ -67,10 +79,12 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
     if (trace) {
       tracer_->Instant("dispatch", "pcie", {{"bytes", bytes}});
     }
+    done = TraceDone(op_trace, kRoutePcie, std::move(done));
     if (kind == AccessKind::kRead) {
-      dma_.Read(address, bytes, std::move(done));
+      dma_.Read(address, bytes, std::move(done), /*random_access=*/true,
+                op_trace);
     } else {
-      dma_.Write(address, bytes, std::move(done));
+      dma_.Write(address, bytes, std::move(done), op_trace);
     }
     return;
   }
@@ -84,15 +98,27 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
       if (trace) {
         tracer_->Instant("dispatch", "ecc_demote", {{"bytes", bytes}});
       }
-      dma_.Read(address, bytes, [this, bytes, done = std::move(done)]() mutable {
-        dram_.Access(bytes, [] {});
-        done();
-      });
+      done = TraceDone(op_trace, kRouteEccDemotion, std::move(done));
+      dma_.Read(
+          address, bytes,
+          [this, bytes, op_trace, done = std::move(done)]() mutable {
+            dram_.Access(bytes, [] {}, op_trace);
+            done();
+            // Fire once the recovery read has landed (and `done` has closed
+            // the route span) so the dump's live trace carries the demoted
+            // access's full span tree.
+            if (flight_ != nullptr) {
+              flight_->Trigger(FlightTrigger::kEccDemotion,
+                               "uncorrectable ECC; line demoted to host");
+            }
+          },
+          /*random_access=*/true, op_trace);
       return;
     }
     // Pinned data: always a DRAM hit, never a fill or writeback.
     stats_.dram_hits++;
-    dram_.Access(bytes, std::move(done));
+    dram_.Access(bytes, TraceDone(op_trace, kRouteCacheHit, std::move(done)),
+                 op_trace);
     return;
   }
 
@@ -125,17 +151,26 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
             ((address + offset) / kCacheLineBytes) % num_cache_lines_;
         line_dirty_[slot] = false;
       }
-      dma_.Read(address, bytes, [this, bytes, done = std::move(done)]() mutable {
-        dram_.Access(bytes, [] {});
-        done();
-      });
+      done = TraceDone(op_trace, kRouteEccDemotion, std::move(done));
+      dma_.Read(
+          address, bytes,
+          [this, bytes, op_trace, done = std::move(done)]() mutable {
+            dram_.Access(bytes, [] {}, op_trace);
+            done();
+            if (flight_ != nullptr) {
+              flight_->Trigger(FlightTrigger::kEccDemotion,
+                               "uncorrectable ECC; cached line demoted");
+            }
+          },
+          /*random_access=*/true, op_trace);
       return;
     }
     stats_.dram_hits++;
     if (trace) {
       tracer_->Instant("dispatch", "hit", {{"bytes", bytes}});
     }
-    dram_.Access(bytes, std::move(done));
+    dram_.Access(bytes, TraceDone(op_trace, kRouteCacheHit, std::move(done)),
+                 op_trace);
     return;
   }
 
@@ -144,22 +179,26 @@ void LoadDispatcher::Access(AccessKind kind, uint64_t address, uint32_t bytes,
   if (trace) {
     tracer_->Instant("dispatch", "miss", {{"bytes", bytes}, {"writebacks", writebacks}});
   }
+  done = TraceDone(op_trace, kRouteCacheMiss, std::move(done));
   // Dirty evictions drain to host memory in the background (posted writes).
   for (uint32_t i = 0; i < writebacks; i++) {
-    dma_.Write(address, kCacheLineBytes, [] {});
+    dma_.Write(address, kCacheLineBytes, [] {}, op_trace);
   }
   if (is_write) {
     // Write miss: the line is allocated in DRAM and marked dirty; the write
     // is durable (w.r.t. NIC-side ordering) once the DRAM accepts it.
-    dram_.Access(bytes, std::move(done));
+    dram_.Access(bytes, std::move(done), op_trace);
     return;
   }
   // Read miss: fetch over PCIe, then fill DRAM (fill overlaps the return
   // path; data is available to the pipeline when PCIe completes).
-  dma_.Read(address, bytes, [this, bytes, done = std::move(done)]() mutable {
-    dram_.Access(bytes, [] {});
-    done();
-  });
+  dma_.Read(
+      address, bytes,
+      [this, bytes, op_trace, done = std::move(done)]() mutable {
+        dram_.Access(bytes, [] {}, op_trace);
+        done();
+      },
+      /*random_access=*/true, op_trace);
 }
 
 void LoadDispatcher::RegisterMetrics(MetricRegistry& registry) const {

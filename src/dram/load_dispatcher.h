@@ -31,7 +31,9 @@
 #include "src/dram/nic_dram.h"
 #include "src/mem/access_engine.h"
 #include "src/obs/event_tracer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/request_trace.h"
 #include "src/pcie/dma_engine.h"
 #include "src/sim/simulator.h"
 
@@ -72,15 +74,19 @@ class LoadDispatcher {
                  const LoadDispatcherConfig& config);
 
   // Routes one timed memory access. `done` fires when the data is available
-  // (read) or accepted (write).
+  // (read) or accepted (write). `trace` (if nonzero) records a kMemAccess
+  // span with the chosen route as detail, plus the underlying DMA/DRAM spans.
   void Access(AccessKind kind, uint64_t address, uint32_t bytes,
-              std::function<void()> done);
+              std::function<void()> done, uint64_t trace = 0);
 
   const DispatchStats& stats() const { return stats_; }
   const LoadDispatcherConfig& config() const { return config_; }
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetRequestTracer(RequestTracer* tracer) { request_tracer_ = tracer; }
+  // ECC demotions fire the flight recorder once the recovery read completes.
+  void SetFlightRecorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   // Solves the paper's load-balance condition for the optimal dispatch ratio:
   // PCIe demand [(1-l) + l(1-h(l))] / tput_pcie equals DRAM demand
@@ -98,12 +104,17 @@ class LoadDispatcher {
     bool writeback = false;
   };
   LineOutcome TouchLine(uint64_t address, bool is_write);
+  // Wraps `done` so its invocation closes a kMemAccess span tagged `route`.
+  std::function<void()> TraceDone(uint64_t trace, uint64_t route,
+                                  std::function<void()> done);
 
   Simulator& sim_;
   DmaEngine& dma_;
   NicDram& dram_;
   LoadDispatcherConfig config_;
   EventTracer* tracer_ = nullptr;
+  RequestTracer* request_tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   uint64_t cacheable_threshold_;  // dispatch ratio scaled to the hash range
   uint64_t num_cache_lines_;
 

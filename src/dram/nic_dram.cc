@@ -18,7 +18,7 @@ NicDram::NicDram(Simulator& sim, const NicDramConfig& config)
       picos_per_byte_(PicosPerByte(config.bandwidth_bytes_per_sec *
                                    config.random_access_efficiency)) {}
 
-void NicDram::Access(uint32_t bytes, std::function<void()> done) {
+void NicDram::Access(uint32_t bytes, std::function<void()> done, uint64_t trace) {
   KVD_CHECK(bytes > 0);
   accesses_++;
   bytes_ += bytes;
@@ -30,6 +30,11 @@ void NicDram::Access(uint32_t bytes, std::function<void()> done) {
     tracer_->Complete("nic_dram", "access", start,
                       channel_free_at_ + config_.access_latency,
                       {{"bytes", bytes}});
+  }
+  if (trace != 0 && request_tracer_ != nullptr) {
+    // The whole channel occupancy plus access latency is known at issue time.
+    request_tracer_->Span(trace, SpanKind::kNicDramAccess, sim_.Now(),
+                          channel_free_at_ + config_.access_latency, bytes);
   }
   sim_.ScheduleAt(channel_free_at_ + config_.access_latency, std::move(done));
 }

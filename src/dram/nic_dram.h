@@ -15,6 +15,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/obs/event_tracer.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/request_trace.h"
 #include "src/sim/simulator.h"
 
 namespace kvd {
@@ -42,8 +43,9 @@ class NicDram {
  public:
   NicDram(Simulator& sim, const NicDramConfig& config);
 
-  // Performs a timed access of `bytes`; `done` fires when complete.
-  void Access(uint32_t bytes, std::function<void()> done);
+  // Performs a timed access of `bytes`; `done` fires when complete. `trace`
+  // (if nonzero) records a kNicDramAccess span covering queueing + access.
+  void Access(uint32_t bytes, std::function<void()> done, uint64_t trace = 0);
 
   // Consults the fault injector for a bit flip on a line read at `address`
   // and, if one fires, pushes it through the real ECC codec
@@ -61,12 +63,14 @@ class NicDram {
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetRequestTracer(RequestTracer* tracer) { request_tracer_ = tracer; }
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
  private:
   Simulator& sim_;
   NicDramConfig config_;
   EventTracer* tracer_ = nullptr;
+  RequestTracer* request_tracer_ = nullptr;
   FaultInjector* fault_ = nullptr;
   double picos_per_byte_;
   SimTime channel_free_at_ = 0;

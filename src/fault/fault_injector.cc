@@ -77,6 +77,9 @@ bool FaultInjector::ShouldInject(FaultSite site) {
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant("fault", FaultSiteName(site), {{"event", stats.events}});
     }
+    if (flight_ != nullptr && flight_->config().trigger_on_fault_injection) {
+      flight_->Trigger(FlightTrigger::kFaultInjected, FaultSiteName(site));
+    }
   }
   return inject;
 }

@@ -26,6 +26,7 @@
 
 #include "src/common/random.h"
 #include "src/obs/event_tracer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metric_registry.h"
 
 namespace kvd {
@@ -101,10 +102,14 @@ class FaultInjector {
   // Per-site event/injection counters labelled {site="..."}.
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Each injection fires the flight recorder — but only when the recorder's
+  // config opts in (chaos runs inject thousands of faults by design).
+  void SetFlightRecorder(FlightRecorder* recorder) { flight_ = recorder; }
 
  private:
   FaultPlan plan_;
   EventTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   std::array<Rng, kNumFaultSites> rng_;
   std::array<FaultSiteStats, kNumFaultSites> stats_{};
   // Scheduled ordinals per site, sorted; consumed front to back.

@@ -116,6 +116,9 @@ struct KvOperation {
   // Vector updates optionally skip returning the original vector, halving
   // network traffic (Table 2 "vector update without return").
   bool return_value = true;
+  // Request-trace handle (src/obs/request_trace.h). In-memory only — never
+  // encoded on the wire; 0 means untraced.
+  uint64_t trace = 0;
 };
 
 struct KvResultMessage {

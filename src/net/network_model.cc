@@ -14,9 +14,9 @@ NetworkModel::NetworkModel(Simulator& sim, const NetworkConfig& config)
       config_(config),
       picos_per_byte_(PicosPerByte(config.bandwidth_bytes_per_sec)) {}
 
-void NetworkModel::Send(const char* direction, uint32_t payload_bytes,
-                        SimTime& wire_free_at, uint64_t& packets, uint64_t& bytes,
-                        std::function<void()> delivered) {
+NetworkModel::WireInterval NetworkModel::Send(
+    const char* direction, uint32_t payload_bytes, SimTime& wire_free_at,
+    uint64_t& packets, uint64_t& bytes, std::function<void()> delivered) {
   // Payloads above the MTU budget are segmented into multiple wire packets,
   // each paying the per-packet overhead; delivery fires when the last
   // segment arrives.
@@ -39,6 +39,7 @@ void NetworkModel::Send(const char* direction, uint32_t payload_bytes,
                       {{"payload_bytes", payload_bytes}, {"packets", num_packets}});
   }
   sim_.ScheduleAt(wire_free_at + config_.one_way_latency, std::move(delivered));
+  return {start, wire_free_at + config_.one_way_latency};
 }
 
 void NetworkModel::SendToServer(uint32_t payload_bytes,
@@ -54,12 +55,23 @@ void NetworkModel::SendToClient(uint32_t payload_bytes,
 }
 
 void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
-                               PayloadHandler delivered) {
+                               PayloadHandler delivered,
+                               const std::vector<uint64_t>* traces,
+                               SpanKind kind) {
   const char* direction = to_server ? "to_server" : "to_client";
   SimTime& free_at = to_server ? to_server_free_at_ : to_client_free_at_;
   uint64_t& packets = to_server ? to_server_packets_ : to_client_packets_;
   uint64_t& bytes = to_server ? to_server_bytes_ : to_client_bytes_;
   const auto size = static_cast<uint32_t>(payload.size());
+  auto record = [&](const WireInterval& wire) {
+    if (request_tracer_ == nullptr || traces == nullptr) {
+      return;
+    }
+    for (const uint64_t trace : *traces) {
+      request_tracer_->Span(trace, kind, wire.start, wire.delivery,
+                            to_server ? 0 : 1);
+    }
+  };
   if (fault_ != nullptr) {
     // At most one fault per packet, decided in fixed order so that each
     // site's event stream stays deterministic.
@@ -72,7 +84,7 @@ void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
     if (fault_->ShouldInject(drop)) {
       // The packet occupies the wire like any other, then vanishes.
       dropped_++;
-      Send(direction, size, free_at, packets, bytes, [] {});
+      record(Send(direction, size, free_at, packets, bytes, [] {}));
       return;
     }
     if (fault_->ShouldInject(duplicate)) {
@@ -81,12 +93,14 @@ void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
       duplicated_++;
       auto handler = std::make_shared<PayloadHandler>(std::move(delivered));
       std::vector<uint8_t> copy = payload;
-      Send(direction, size, free_at, packets, bytes,
-           [handler, copy = std::move(copy)]() mutable { (*handler)(std::move(copy)); });
-      Send(direction, size, free_at, packets, bytes,
-           [handler, payload = std::move(payload)]() mutable {
-             (*handler)(std::move(payload));
-           });
+      record(Send(direction, size, free_at, packets, bytes,
+                  [handler, copy = std::move(copy)]() mutable {
+                    (*handler)(std::move(copy));
+                  }));
+      record(Send(direction, size, free_at, packets, bytes,
+                  [handler, payload = std::move(payload)]() mutable {
+                    (*handler)(std::move(payload));
+                  }));
       return;
     }
     if (fault_->ShouldInject(corrupt)) {
@@ -94,20 +108,37 @@ void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
       fault_->CorruptBytes(payload, corrupt);
     }
   }
-  Send(direction, size, free_at, packets, bytes,
-       [payload = std::move(payload), delivered = std::move(delivered)]() mutable {
-         delivered(std::move(payload));
-       });
+  record(Send(direction, size, free_at, packets, bytes,
+              [payload = std::move(payload),
+               delivered = std::move(delivered)]() mutable {
+                delivered(std::move(payload));
+              }));
 }
 
 void NetworkModel::SendPayloadToServer(std::vector<uint8_t> payload,
                                        PayloadHandler delivered) {
-  SendPayload(true, std::move(payload), std::move(delivered));
+  SendPayload(true, std::move(payload), std::move(delivered), nullptr,
+              SpanKind::kNetWire);
 }
 
 void NetworkModel::SendPayloadToClient(std::vector<uint8_t> payload,
                                        PayloadHandler delivered) {
-  SendPayload(false, std::move(payload), std::move(delivered));
+  SendPayload(false, std::move(payload), std::move(delivered), nullptr,
+              SpanKind::kNetWire);
+}
+
+void NetworkModel::SendPayloadToServer(std::vector<uint8_t> payload,
+                                       PayloadHandler delivered,
+                                       const std::vector<uint64_t>& traces,
+                                       SpanKind kind) {
+  SendPayload(true, std::move(payload), std::move(delivered), &traces, kind);
+}
+
+void NetworkModel::SendPayloadToClient(std::vector<uint8_t> payload,
+                                       PayloadHandler delivered,
+                                       const std::vector<uint64_t>& traces,
+                                       SpanKind kind) {
+  SendPayload(false, std::move(payload), std::move(delivered), &traces, kind);
 }
 
 void NetworkModel::RegisterMetrics(MetricRegistry& registry) const {

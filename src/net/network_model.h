@@ -15,6 +15,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/obs/event_tracer.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/request_trace.h"
 #include "src/sim/simulator.h"
 
 namespace kvd {
@@ -51,6 +52,16 @@ class NetworkModel {
   void SendPayloadToServer(std::vector<uint8_t> payload, PayloadHandler delivered);
   void SendPayloadToClient(std::vector<uint8_t> payload, PayloadHandler delivered);
 
+  // Traced variants: every nonzero handle in `traces` gets one span of
+  // `kind` per wire transmission (dropped packets included — they occupied
+  // the wire; duplicates record two spans).
+  void SendPayloadToServer(std::vector<uint8_t> payload, PayloadHandler delivered,
+                           const std::vector<uint64_t>& traces,
+                           SpanKind kind = SpanKind::kNetWire);
+  void SendPayloadToClient(std::vector<uint8_t> payload, PayloadHandler delivered,
+                           const std::vector<uint64_t>& traces,
+                           SpanKind kind = SpanKind::kNetWire);
+
   const NetworkConfig& config() const { return config_; }
   uint64_t packets_to_server() const { return to_server_packets_; }
   uint64_t packets_to_client() const { return to_client_packets_; }
@@ -62,17 +73,26 @@ class NetworkModel {
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+  void SetRequestTracer(RequestTracer* tracer) { request_tracer_ = tracer; }
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
  private:
-  void Send(const char* direction, uint32_t payload_bytes, SimTime& wire_free_at,
-            uint64_t& packets, uint64_t& bytes, std::function<void()> delivered);
+  // Wire occupancy and delivery are decided synchronously at send time.
+  struct WireInterval {
+    SimTime start = 0;
+    SimTime delivery = 0;
+  };
+  WireInterval Send(const char* direction, uint32_t payload_bytes,
+                    SimTime& wire_free_at, uint64_t& packets, uint64_t& bytes,
+                    std::function<void()> delivered);
   void SendPayload(bool to_server, std::vector<uint8_t> payload,
-                   PayloadHandler delivered);
+                   PayloadHandler delivered,
+                   const std::vector<uint64_t>* traces, SpanKind kind);
 
   Simulator& sim_;
   NetworkConfig config_;
   EventTracer* tracer_ = nullptr;
+  RequestTracer* request_tracer_ = nullptr;
   FaultInjector* fault_ = nullptr;
   double picos_per_byte_;
   SimTime to_server_free_at_ = 0;

@@ -89,6 +89,14 @@ std::string EventTracer::ToChromeTraceJson() const {
   }
   json.EndArray();
   json.Field("displayTimeUnit", std::string_view("ns"));
+  json.Key("metadata").BeginObject();
+  json.Field("dropped_events", dropped_);
+  if (dropped_ > 0) {
+    json.Field("warning",
+               std::string_view("event buffer overflowed; trailing events "
+                                "were dropped"));
+  }
+  json.EndObject();
   json.EndObject();
   return json.TakeString();
 }

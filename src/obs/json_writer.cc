@@ -146,6 +146,13 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view raw) {
+  KVD_CHECK_MSG(!raw.empty(), "RawValue requires a non-empty JSON value");
+  BeforeValue();
+  out_ += raw;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Field(std::string_view key, std::string_view value) {
   return Key(key).String(value);
 }

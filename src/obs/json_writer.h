@@ -30,6 +30,11 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
+  // Splices `raw` — which must already be a complete, valid JSON value — in
+  // value position. Lets prerendered documents (a metrics snapshot) nest
+  // inside a larger one without reparsing.
+  JsonWriter& RawValue(std::string_view raw);
+
   // Shorthand for Key(k) followed by the value.
   JsonWriter& Field(std::string_view key, std::string_view value);
   JsonWriter& Field(std::string_view key, uint64_t value);

@@ -27,7 +27,7 @@ PcieLink& DmaEngine::PickLink(uint64_t address) {
 }
 
 void DmaEngine::Read(uint64_t address, uint32_t bytes, std::function<void()> done,
-                     bool random_access) {
+                     bool random_access, uint64_t trace) {
   KVD_CHECK(bytes > 0);
   reads_issued_++;
   const uint32_t max_payload = config_.link.max_payload_bytes;
@@ -48,18 +48,26 @@ void DmaEngine::Read(uint64_t address, uint32_t bytes, std::function<void()> don
     const uint64_t chunk_address = address + offset;
     offset += chunk;
     // Each in-flight read TLP needs a unique tag to match its completion.
-    read_tags_.Acquire(1, [this, chunk, chunk_address, random_access, on_tlp_done] {
-      SubmitReadTlp(chunk_address, chunk, random_access, 1, on_tlp_done);
-    });
+    read_tags_.Acquire(
+        1, [this, chunk, chunk_address, random_access, trace, on_tlp_done] {
+          SubmitReadTlp(chunk_address, chunk, random_access, 1, trace,
+                        on_tlp_done);
+        });
   }
 }
 
 void DmaEngine::SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_access,
-                              uint32_t attempt, std::function<void()> on_done) {
+                              uint32_t attempt, uint64_t trace,
+                              std::function<void()> on_done) {
+  const SimTime start = sim_.Now();
   PickLink(address).SubmitRead(
       bytes, random_access,
-      [this, address, bytes, random_access, attempt,
+      [this, address, bytes, random_access, attempt, trace, start,
        on_done = std::move(on_done)]() mutable {
+        if (trace != 0 && request_tracer_ != nullptr) {
+          request_tracer_->Span(trace, SpanKind::kDmaTlp, start, sim_.Now(),
+                                bytes);
+        }
         if (fault_ != nullptr &&
             fault_->ShouldInject(FaultSite::kPcieReadCompletion)) {
           // Transient completion error: replay the TLP. The tag stays held
@@ -68,7 +76,7 @@ void DmaEngine::SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_acce
           KVD_CHECK_MSG(attempt < config_.max_tlp_attempts,
                         "PCIe read TLP failed after retry budget");
           read_retries_++;
-          SubmitReadTlp(address, bytes, random_access, attempt + 1,
+          SubmitReadTlp(address, bytes, random_access, attempt + 1, trace,
                         std::move(on_done));
           return;
         }
@@ -77,22 +85,30 @@ void DmaEngine::SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_acce
 }
 
 void DmaEngine::SubmitWriteTlp(uint64_t address, uint32_t bytes, uint32_t attempt,
-                               std::function<void()> on_done) {
+                               uint64_t trace, std::function<void()> on_done) {
+  const SimTime start = sim_.Now();
   PickLink(address).SubmitWrite(
-      bytes, [this, address, bytes, attempt, on_done = std::move(on_done)]() mutable {
+      bytes, [this, address, bytes, attempt, trace, start,
+              on_done = std::move(on_done)]() mutable {
+        if (trace != 0 && request_tracer_ != nullptr) {
+          request_tracer_->Span(trace, SpanKind::kDmaTlp, start, sim_.Now(),
+                                bytes);
+        }
         if (fault_ != nullptr &&
             fault_->ShouldInject(FaultSite::kPcieWriteCompletion)) {
           KVD_CHECK_MSG(attempt < config_.max_tlp_attempts,
                         "PCIe write TLP failed after retry budget");
           write_retries_++;
-          SubmitWriteTlp(address, bytes, attempt + 1, std::move(on_done));
+          SubmitWriteTlp(address, bytes, attempt + 1, trace,
+                         std::move(on_done));
           return;
         }
         on_done();
       });
 }
 
-void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> done) {
+void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> done,
+                      uint64_t trace) {
   KVD_CHECK(bytes > 0);
   writes_issued_++;
   const uint32_t max_payload = config_.link.max_payload_bytes;
@@ -110,7 +126,7 @@ void DmaEngine::Write(uint64_t address, uint32_t bytes, std::function<void()> do
     const uint32_t chunk = std::min(max_payload, bytes - offset);
     const uint64_t chunk_address = address + offset;
     offset += chunk;
-    SubmitWriteTlp(chunk_address, chunk, 1, on_tlp_done);
+    SubmitWriteTlp(chunk_address, chunk, 1, trace, on_tlp_done);
   }
 }
 

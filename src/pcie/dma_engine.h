@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/request_trace.h"
 #include "src/pcie/pcie_link.h"
 #include "src/sim/simulator.h"
 #include "src/sim/token_pool.h"
@@ -36,11 +37,13 @@ class DmaEngine {
 
   // DMA read of `bytes` starting at `address`; `done` fires when all
   // completions have arrived. `random_access` selects uncached latency.
+  // `trace` (if nonzero) records one kDmaTlp span per TLP attempt.
   void Read(uint64_t address, uint32_t bytes, std::function<void()> done,
-            bool random_access = true);
+            bool random_access = true, uint64_t trace = 0);
 
   // Posted DMA write; `done` fires when the last TLP is on the wire.
-  void Write(uint64_t address, uint32_t bytes, std::function<void()> done);
+  void Write(uint64_t address, uint32_t bytes, std::function<void()> done,
+             uint64_t trace = 0);
 
   const DmaEngineConfig& config() const { return config_; }
 
@@ -48,6 +51,7 @@ class DmaEngine {
   // tracer to the links.
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer);
+  void SetRequestTracer(RequestTracer* tracer) { request_tracer_ = tracer; }
   // Attaches fault injection for transient completion errors; each failed
   // TLP re-runs through the link (holding its tag) with a bounded budget.
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
@@ -69,13 +73,15 @@ class DmaEngine {
   // One TLP transmission; on an injected transient completion error, re-runs
   // itself with `attempt + 1` until the budget is spent.
   void SubmitReadTlp(uint64_t address, uint32_t bytes, bool random_access,
-                     uint32_t attempt, std::function<void()> on_done);
+                     uint32_t attempt, uint64_t trace,
+                     std::function<void()> on_done);
   void SubmitWriteTlp(uint64_t address, uint32_t bytes, uint32_t attempt,
-                      std::function<void()> on_done);
+                      uint64_t trace, std::function<void()> on_done);
 
   Simulator& sim_;
   DmaEngineConfig config_;
   FaultInjector* fault_ = nullptr;
+  RequestTracer* request_tracer_ = nullptr;
   std::vector<std::unique_ptr<PcieLink>> links_;
   TokenPool read_tags_;
   uint64_t reads_issued_ = 0;

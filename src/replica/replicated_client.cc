@@ -25,6 +25,7 @@ struct ReplicatedClient::PacketCtx {
   uint32_t attempts = 0;
   uint32_t attempts_at_target = 0;
   bool completed = false;
+  std::vector<uint64_t> traces;  // one handle per op, packet order (or empty)
   std::shared_ptr<FlushState> flush;
 };
 
@@ -87,8 +88,20 @@ void ReplicatedClient::BeginFlush() {
   }
 
   flush_->outstanding = packets.size();
+  RequestTracer& rt = group_.request_tracer();
   for (const auto& packet : packets) {
     packet->sequence = next_sequence_++;
+    if (rt.enabled()) {
+      // Unlike the single-server client, the sequence never changes across
+      // retransmissions or redirects, so one registration covers them all.
+      packet->traces.reserve(packet->op_indices.size());
+      for (size_t i = 0; i < packet->op_indices.size(); i++) {
+        packet->traces.push_back(rt.Start(ops[packet->op_indices[i]].opcode,
+                                          packet->sequence,
+                                          static_cast<uint32_t>(i)));
+      }
+      rt.RegisterPacket(packet->sequence, packet->traces);
+    }
     GroupRequest request;
     request.required_index = packet->required;
     request.ops_payload = packet->ops_payload;
@@ -136,18 +149,38 @@ void ReplicatedClient::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
                 "replicated request exhausted its attempts");
   ctx->attempts++;
   ctx->attempts_at_target++;
+  RequestTracer& rt = group_.request_tracer();
+  for (uint64_t handle : ctx->traces) {
+    rt.CountAttempt(handle);
+    if (ctx->attempts > 1) {
+      rt.Span(handle, SpanKind::kRetransmit, group_.simulator().Now(),
+              group_.simulator().Now(), ctx->attempts - 1);
+    }
+  }
   const uint32_t target = ctx->target;
-  group_.client_network(target).SendPayloadToServer(
-      ctx->framed, [this, ctx, target](std::vector<uint8_t> packet) {
-        group_.DeliverClientFrame(
-            target, std::move(packet),
-            [this, ctx, target](std::vector<uint8_t> response) {
-              group_.client_network(target).SendPayloadToClient(
-                  std::move(response), [this, ctx](std::vector<uint8_t> bytes) {
-                    OnResponse(ctx, std::move(bytes));
-                  });
-            });
-      });
+  auto deliver = [this, ctx, target](std::vector<uint8_t> packet) {
+    group_.DeliverClientFrame(
+        target, std::move(packet),
+        [this, ctx, target](std::vector<uint8_t> response) {
+          auto done = [this, ctx](std::vector<uint8_t> bytes) {
+            OnResponse(ctx, std::move(bytes));
+          };
+          if (ctx->traces.empty()) {
+            group_.client_network(target).SendPayloadToClient(
+                std::move(response), std::move(done));
+          } else {
+            group_.client_network(target).SendPayloadToClient(
+                std::move(response), std::move(done), ctx->traces);
+          }
+        });
+  };
+  if (ctx->traces.empty()) {
+    group_.client_network(target).SendPayloadToServer(ctx->framed,
+                                                      std::move(deliver));
+  } else {
+    group_.client_network(target).SendPayloadToServer(
+        ctx->framed, std::move(deliver), ctx->traces);
+  }
 
   const uint32_t shift = std::min(ctx->attempts - 1, 6u);
   const uint32_t seen = ctx->attempts;
@@ -191,11 +224,20 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     // group converges instead of being hammered mid-failover.
     believed_primary_ = response.primary_id;
     Retarget(ctx, response.primary_id);
-    group_.simulator().Schedule(options_.redirect_backoff, [this, ctx] {
-      if (!ctx->completed) {
-        TransmitPacket(ctx);
-      }
-    });
+    const bool redirect = (response.flags & kGroupRedirect) != 0;
+    const SimTime bounced_at = group_.simulator().Now();
+    group_.simulator().Schedule(
+        options_.redirect_backoff, [this, ctx, redirect, bounced_at] {
+          if (ctx->completed) {
+            return;
+          }
+          RequestTracer& rt = group_.request_tracer();
+          for (uint64_t handle : ctx->traces) {
+            rt.Span(handle, SpanKind::kBusyRetry, bounced_at,
+                    group_.simulator().Now(), redirect ? 1 : 2);
+          }
+          TransmitPacket(ctx);
+        });
     return;
   }
 
@@ -221,6 +263,11 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     return;
   }
   ctx->completed = true;
+  RequestTracer& rt = group_.request_tracer();
+  for (size_t i = 0; i < ctx->traces.size(); i++) {
+    rt.Finish(ctx->traces[i],
+              ctx->flush->results[ctx->op_indices[i]].code);
+  }
   believed_primary_ = response.primary_id;
   for (const auto& key : ctx->write_keys) {
     uint64_t& mark = watermarks_[key];
@@ -246,6 +293,22 @@ ReplicatedCluster::ReplicatedCluster(uint32_t num_shards,
 Status ReplicatedCluster::Load(std::span<const uint8_t> key,
                                std::span<const uint8_t> value) {
   return shards_[OwnerOf(key)]->Load(key, value);
+}
+
+LatencyHistogram ReplicatedCluster::MergedCommitWait() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->commit_wait_ns());
+  }
+  return merged;
+}
+
+LatencyHistogram ReplicatedCluster::MergedPropagationLag() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->propagation_lag_ns());
+  }
+  return merged;
 }
 
 ClusterClient::ClusterClient(ReplicatedCluster& cluster,

@@ -114,6 +114,12 @@ class ReplicatedCluster {
   // Loads into the owning shard (every replica of it).
   Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
 
+  // Cluster-wide replication health: per-shard histograms merged exactly
+  // (LatencyHistogram::Merge sums per-bucket counts, so quantiles over the
+  // merged histogram equal quantiles over the pooled samples).
+  LatencyHistogram MergedCommitWait() const;
+  LatencyHistogram MergedPropagationLag() const;
+
  private:
   Simulator sim_;
   KeyRouter router_;

@@ -36,18 +36,43 @@ ReplicationGroup::ReplicationGroup(const ReplicationConfig& config,
   fault_ = std::make_unique<FaultInjector>(config_.faults);
   fault_->SetTracer(&tracer_);
 
+  // One tracer/recorder pair for the whole group: a write's trace spans the
+  // primary's pipeline, the replication links, and the quorum wait, and must
+  // survive a mid-flight failover to another replica's server.
+  request_tracer_.set_enabled(config_.enable_request_tracing);
+  request_tracer_.SetBreakdown(&breakdown_);
+  slo_monitor_.Configure(config_.slo);
+  request_tracer_.SetSloMonitor(&slo_monitor_);
+  flight_recorder_.Configure(config_.flight);
+  flight_recorder_.set_enabled(config_.enable_request_tracing);
+  flight_recorder_.SetRequestTracer(&request_tracer_);
+  flight_recorder_.SetMetricRegistry(&metrics_);
+  flight_recorder_.SetEventTracer(&tracer_);
+  request_tracer_.set_on_complete(
+      [this](const OpTrace& trace) { flight_recorder_.OnTraceComplete(trace); });
+  slo_monitor_.set_on_breach([this](const std::string& detail) {
+    flight_recorder_.Trigger(FlightTrigger::kSloBreach, detail);
+  });
+  fault_->SetFlightRecorder(&flight_recorder_);
+
   ServerConfig server_config = config_.server;
   // Backups apply log entries strictly in log order; a bounded backlog would
   // bounce entries with kBusy and break that.
   server_config.processor.max_backlog = 0;
+  // Per-server tracing stays off; every replica is re-pointed at the group
+  // tracer below so handles resolve identically on any replica.
+  server_config.enable_request_tracing = false;
   for (uint32_t id = 0; id < config_.num_replicas; id++) {
     auto rep = std::make_unique<Replica>();
     rep->id = id;
     rep->server = std::make_unique<KvDirectServer>(server_config, &sim_);
+    rep->server->UseRequestTracer(&request_tracer_);
+    rep->server->UseFlightRecorder(&flight_recorder_);
     rep->repl_net =
         std::make_unique<NetworkModel>(sim_, config_.replication_network);
     rep->repl_net->SetFaultInjector(fault_.get());
     rep->repl_net->SetTracer(&tracer_);
+    rep->repl_net->SetRequestTracer(&request_tracer_);
     rep->match.assign(config_.num_replicas, 0);
     rep->next.assign(config_.num_replicas, 1);
     replicas_.push_back(std::move(rep));
@@ -55,6 +80,13 @@ ReplicationGroup::ReplicationGroup(const ReplicationConfig& config,
   replicas_[0]->is_primary = true;
   RegisterMetrics();
   fault_->RegisterMetrics(metrics_);
+  if (config_.enable_request_tracing) {
+    // Keep the default exposition unchanged when tracing is off.
+    request_tracer_.RegisterMetrics(metrics_);
+    breakdown_.RegisterMetrics(metrics_);
+    slo_monitor_.RegisterMetrics(metrics_);
+    flight_recorder_.RegisterMetrics(metrics_);
+  }
 
   std::shared_ptr<bool> alive = liveness_;
   sim_.ScheduleAt(sim_.Now() + config_.heartbeat_interval, [this, alive] {
@@ -225,6 +257,16 @@ void ReplicationGroup::HandleClientRequest(
     return;
   }
 
+  if (request_tracer_.enabled()) {
+    // The handles were registered by the replicated client under this
+    // sequence; the lookup is non-consuming, so redirects and retransmits
+    // resolve to the same trace on whichever replica they land.
+    for (size_t i = 0; i < ops.size(); i++) {
+      ops[i].trace =
+          request_tracer_.LookupOp(sequence, static_cast<uint32_t>(i));
+    }
+  }
+
   bool any_write = false;
   for (const KvOperation& op : ops) {
     any_write = any_write || IsWriteOpcode(op.opcode);
@@ -243,6 +285,9 @@ void ReplicationGroup::HandleClientRequest(
       FinishResponse(rep, sequence, std::move(resp), respond, false);
       return;
     }
+    for (const KvOperation& op : ops) {
+      request_tracer_.Point(op.trace, TracePoint::kServerReceive);
+    }
     ServeWrites(rep, sequence, std::move(ops), std::move(respond));
     return;
   }
@@ -260,6 +305,9 @@ void ReplicationGroup::HandleClientRequest(
     resp.primary_id = rep.believed_primary;
     FinishResponse(rep, sequence, std::move(resp), respond, false);
     return;
+  }
+  for (const KvOperation& op : ops) {
+    request_tracer_.Point(op.trace, TracePoint::kServerReceive);
   }
   ServeReads(rep, sequence, std::move(ops), std::move(respond));
 }
@@ -323,6 +371,7 @@ void ReplicationGroup::ExecuteWrites(
     size_t remaining = 0;
     uint64_t needed_index = 0;
     bool appended = false;
+    SimTime appended_at = 0;
     std::function<void(std::vector<uint8_t>)> respond;
   };
   auto state = std::make_shared<WriteState>();
@@ -360,11 +409,13 @@ void ReplicationGroup::ExecuteWrites(
     }
     if (rp->commit >= state->needed_index) {
       RespondWrite(*rp, sequence, state->needed_index,
-                   std::move(state->results), state->respond);
+                   std::move(state->results), state->respond,
+                   state->appended_at);
     } else {
       PendingAck pending;
       pending.needed_index = state->needed_index;
       pending.sequence = sequence;
+      pending.appended_at = state->appended_at;
       pending.results = std::move(state->results);
       pending.respond = state->respond;
       rp->pending.push_back(std::move(pending));
@@ -396,6 +447,7 @@ void ReplicationGroup::ExecuteWrites(
                                  result);
             state->needed_index = rp->log.end();
             state->appended = true;
+            state->appended_at = sim_.Now();
           }
           state->results[i] = std::move(result);
           if (--state->remaining > 0) {
@@ -412,7 +464,20 @@ void ReplicationGroup::ExecuteWrites(
 void ReplicationGroup::RespondWrite(
     Replica& rep, uint64_t sequence, uint64_t needed_index,
     std::vector<KvResultMessage> results,
-    const std::function<void(std::vector<uint8_t>)>& respond) {
+    const std::function<void(std::vector<uint8_t>)>& respond,
+    SimTime appended_at) {
+  if (appended_at != 0) {
+    commit_wait_ns_.Add(
+        static_cast<uint64_t>((sim_.Now() - appended_at) / kNanosecond));
+  }
+  if (request_tracer_.enabled()) {
+    for (size_t i = 0; i < results.size(); i++) {
+      const uint64_t handle =
+          request_tracer_.LookupOp(sequence, static_cast<uint32_t>(i));
+      request_tracer_.Point(handle, TracePoint::kReplCommit);
+      request_tracer_.Point(handle, TracePoint::kResponseSent);
+    }
+  }
   GroupResponse resp;
   resp.epoch = rep.current_epoch;
   resp.primary_id = rep.id;
@@ -427,11 +492,15 @@ void ReplicationGroup::RespondWrite(
 void ReplicationGroup::AppendEffectiveWrite(Replica& rep, uint64_t sequence,
                                             uint16_t slot, const KvOperation& op,
                                             const KvResultMessage& result) {
+  request_tracer_.Point(op.trace, TracePoint::kReplAppend);
   LogEntry entry;
   entry.epoch = rep.current_epoch;
   entry.client_sequence = sequence;
   entry.slot = slot;
   entry.op = op;
+  // Backups re-execute the entry through their own timed pipeline; the
+  // client's live trace must not collect those replica-local spans.
+  entry.op.trace = 0;
   entry.result = result;
   rep.log.Append(std::move(entry));
   rep.append_time[rep.log.end()] = sim_.Now();
@@ -530,19 +599,26 @@ void ReplicationGroup::DropInFlight(Replica& rep) {
 // --- replication path ---
 
 void ReplicationGroup::SendReplicaMessage(uint32_t from, uint32_t to,
-                                          const ReplicaMessage& msg) {
+                                          const ReplicaMessage& msg,
+                                          const std::vector<uint64_t>* traces) {
   if (replicas_[from]->crashed) {
     return;
   }
   std::vector<uint8_t> frame =
       FramePacket(++next_repl_sequence_, EncodeReplicaMessage(msg));
   std::shared_ptr<bool> alive = liveness_;
-  replicas_[to]->repl_net->SendPayloadToServer(
-      std::move(frame), [this, alive, to](std::vector<uint8_t> packet) {
-        if (*alive) {
-          OnReplicaFrame(to, std::move(packet));
-        }
-      });
+  auto deliver = [this, alive, to](std::vector<uint8_t> packet) {
+    if (*alive) {
+      OnReplicaFrame(to, std::move(packet));
+    }
+  };
+  if (traces != nullptr) {
+    replicas_[to]->repl_net->SendPayloadToServer(
+        std::move(frame), std::move(deliver), *traces, SpanKind::kReplShip);
+  } else {
+    replicas_[to]->repl_net->SendPayloadToServer(std::move(frame),
+                                                 std::move(deliver));
+  }
 }
 
 void ReplicationGroup::OnReplicaFrame(uint32_t to, std::vector<uint8_t> packet) {
@@ -799,7 +875,21 @@ void ReplicationGroup::SendWindow(Replica& primary, uint32_t peer) {
   primary.next[peer] = first + msg.entries.size();
   stats_.appends_sent++;
   stats_.entries_shipped += msg.entries.size();
-  SendReplicaMessage(primary.id, peer, msg);
+  std::vector<uint64_t> traces;
+  if (request_tracer_.enabled()) {
+    for (const LogEntry& entry : msg.entries) {
+      if (entry.client_sequence == 0) {
+        continue;  // promotion barrier
+      }
+      const uint64_t handle =
+          request_tracer_.LookupOp(entry.client_sequence, entry.slot);
+      if (handle != 0) {
+        traces.push_back(handle);
+      }
+    }
+  }
+  SendReplicaMessage(primary.id, peer, msg,
+                     traces.empty() ? nullptr : &traces);
 }
 
 void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
@@ -838,7 +928,8 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
   primary.pending = std::move(still);
   for (PendingAck& pending : ready) {
     RespondWrite(primary, pending.sequence, pending.needed_index,
-                 std::move(pending.results), pending.respond);
+                 std::move(pending.results), pending.respond,
+                 pending.appended_at);
   }
 }
 
@@ -969,6 +1060,10 @@ void ReplicationGroup::StartElection(Replica& rep) {
   stats_.elections++;
   tracer_.Instant(kTraceCategory, "election",
                   {{"replica", rep.id}, {"ballot", ballot}});
+  flight_recorder_.Trigger(
+      FlightTrigger::kFailover,
+      "replica " + std::to_string(rep.id) + " campaigns with ballot " +
+          std::to_string(ballot));
   for (uint32_t peer = 0; peer < num_replicas(); peer++) {
     if (peer == rep.id) {
       continue;
@@ -1314,6 +1409,34 @@ void ReplicationGroup::RegisterMetrics() {
                            labels, [this, id] {
                              return replicas_[id]->crashed ? 1.0 : 0.0;
                            });
+    // Replication health: how far this replica trails the primary's view.
+    // Lags clamp to zero so a freshly promoted primary with stale peer state
+    // never exposes negative values.
+    metrics_.RegisterGauge(
+        "kvd_repl_match_lag",
+        "Primary log end minus this replica's confirmed match index", labels,
+        [this, id] {
+          const Replica& primary = *replicas_[primary_view_];
+          const uint64_t match = primary.match[id];
+          const uint64_t end = primary.log.end();
+          return static_cast<double>(end > match ? end - match : 0);
+        });
+    metrics_.RegisterGauge(
+        "kvd_repl_applied_lag",
+        "Quorum commit index minus this replica's applied index", labels,
+        [this, id] {
+          const uint64_t commit = commit_index();
+          const uint64_t applied = replicas_[id]->applied;
+          return static_cast<double>(commit > applied ? commit - applied : 0);
+        });
+    metrics_.RegisterGauge(
+        "kvd_repl_commit_lag",
+        "Quorum commit index minus this replica's local commit index", labels,
+        [this, id] {
+          const uint64_t commit = commit_index();
+          const uint64_t local = replicas_[id]->commit;
+          return static_cast<double>(commit > local ? commit - local : 0);
+        });
   }
   metrics_.RegisterHistogram("kvd_repl_propagation_lag_ns",
                              "Append-to-quorum-commit lag per entry", {},
@@ -1321,6 +1444,10 @@ void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterHistogram("kvd_repl_failover_downtime_ns",
                              "Primary-crash-to-promotion downtime", {},
                              [this] { return failover_downtime_ns_; });
+  metrics_.RegisterHistogram(
+      "kvd_repl_commit_wait_ns",
+      "Client write wait from log append to quorum-commit response", {},
+      [this] { return commit_wait_ns_; });
 }
 
 }  // namespace kvd

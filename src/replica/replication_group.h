@@ -105,6 +105,14 @@ struct ReplicationConfig {
 
   bool enable_tracing = false;
 
+  // Group-level request tracing: one RequestTracer/FlightRecorder pair shared
+  // by every replica (the per-server ones are bypassed), so a write's trace
+  // follows it from the client through the primary's pipeline, the log, the
+  // replication links, and the quorum wait. Off by default.
+  bool enable_request_tracing = false;
+  SloConfig slo;
+  FlightRecorderConfig flight;
+
   uint32_t EffectiveQuorum() const {
     return quorum != 0 ? quorum : num_replicas / 2 + 1;
   }
@@ -166,6 +174,10 @@ class ReplicationGroup {
   const MetricRegistry& metrics() const { return metrics_; }
   EventTracer& tracer() { return tracer_; }
   FaultInjector& faults() { return *fault_; }
+  RequestTracer& request_tracer() { return request_tracer_; }
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
+  LatencyBreakdown& breakdown() { return breakdown_; }
+  SloMonitor& slo_monitor() { return slo_monitor_; }
   const ReplicationConfig& config() const { return config_; }
 
   struct GroupStats {
@@ -193,10 +205,21 @@ class ReplicationGroup {
   };
   const GroupStats& stats() const { return stats_; }
 
+  // Per-group latency histograms — exposed so multi-shard deployments can
+  // Merge() them into cluster-wide distributions (exact bucket merge).
+  const LatencyHistogram& propagation_lag_ns() const {
+    return propagation_lag_ns_;
+  }
+  const LatencyHistogram& failover_downtime_ns() const {
+    return failover_downtime_ns_;
+  }
+  const LatencyHistogram& commit_wait_ns() const { return commit_wait_ns_; }
+
  private:
   struct PendingAck {
     uint64_t needed_index = 0;
     uint64_t sequence = 0;
+    SimTime appended_at = 0;  // log-append time (commit-wait histogram)
     std::vector<KvResultMessage> results;
     std::function<void(std::vector<uint8_t>)> respond;
   };
@@ -307,7 +330,8 @@ class ReplicationGroup {
                      std::function<void(std::vector<uint8_t>)> respond);
   void RespondWrite(Replica& rep, uint64_t sequence, uint64_t needed_index,
                     std::vector<KvResultMessage> results,
-                    const std::function<void(std::vector<uint8_t>)>& respond);
+                    const std::function<void(std::vector<uint8_t>)>& respond,
+                    SimTime appended_at = 0);
   void AppendEffectiveWrite(Replica& rep, uint64_t sequence, uint16_t slot,
                             const KvOperation& op, const KvResultMessage& result);
   void RecordSession(Replica& rep, uint64_t sequence, uint16_t slot,
@@ -321,7 +345,10 @@ class ReplicationGroup {
   void DropInFlight(Replica& rep);  // step-down / crash: forget pending work
 
   // --- replication path ---
-  void SendReplicaMessage(uint32_t from, uint32_t to, const ReplicaMessage& msg);
+  // `traces` (optional) records a kReplShip span per handle over the frame's
+  // wire flight (append windows carrying traced writes).
+  void SendReplicaMessage(uint32_t from, uint32_t to, const ReplicaMessage& msg,
+                          const std::vector<uint64_t>* traces = nullptr);
   void OnReplicaFrame(uint32_t to, std::vector<uint8_t> packet);
   void OnAppend(Replica& rep, const ReplicaMessage& msg);
   void OnAppendAck(Replica& rep, const ReplicaMessage& msg);
@@ -375,6 +402,10 @@ class ReplicationGroup {
   Simulator& sim_;
   MetricRegistry metrics_;
   EventTracer tracer_{sim_};
+  RequestTracer request_tracer_{sim_};
+  LatencyBreakdown breakdown_;
+  SloMonitor slo_monitor_{sim_};
+  FlightRecorder flight_recorder_{sim_};
   std::unique_ptr<FaultInjector> fault_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   uint32_t primary_view_ = 0;
@@ -387,6 +418,7 @@ class ReplicationGroup {
   GroupStats stats_;
   LatencyHistogram propagation_lag_ns_;
   LatencyHistogram failover_downtime_ns_;
+  LatencyHistogram commit_wait_ns_;  // client write: log append -> quorum
   // Guards the self-rescheduling heartbeat tick against outliving the group
   // on an external simulator.
   std::shared_ptr<bool> liveness_ = std::make_shared<bool>(true);
