@@ -50,14 +50,24 @@ bench::DriveResult Measure(uint32_t kv_bytes, double get_ratio, bool long_tail) 
   return bench::Drive(server, workload, options);
 }
 
-void Panel(bool long_tail, bench::JsonReport& report) {
+void Panel(bool long_tail, bench::JsonReport& report, bool golden) {
   std::printf("\n--- %s ---\n", long_tail ? "(b) long-tail (Zipf 0.99)" : "(a) uniform");
   report.BeginSeries(long_tail ? "long_tail" : "uniform");
-  TablePrinter table({"kv_B", "100%GET_Mops", "95%GET_Mops", "50%GET_Mops",
-                      "100%PUT_Mops"});
-  for (uint32_t kv : {8u, 13u, 23u, 60u, 124u, 252u}) {
+  // Golden mode: one representative non-inline cell (60 B KV, 50% GET).
+  const std::vector<uint32_t> kv_sizes =
+      golden ? std::vector<uint32_t>{60u}
+             : std::vector<uint32_t>{8u, 13u, 23u, 60u, 124u, 252u};
+  const std::vector<double> get_ratios =
+      golden ? std::vector<double>{0.5}
+             : std::vector<double>{1.0, 0.95, 0.5, 0.0};
+  TablePrinter table(golden
+                         ? std::vector<std::string>{"kv_B", "50%GET_Mops"}
+                         : std::vector<std::string>{"kv_B", "100%GET_Mops",
+                                                    "95%GET_Mops", "50%GET_Mops",
+                                                    "100%PUT_Mops"});
+  for (uint32_t kv : kv_sizes) {
     std::vector<std::string> row = {TablePrinter::Int(kv)};
-    for (double get_ratio : {1.0, 0.95, 0.5, 0.0}) {
+    for (double get_ratio : get_ratios) {
       const bench::DriveResult result = Measure(kv, get_ratio, long_tail);
       row.push_back(result.mops < 0 ? "n/a" : TablePrinter::Num(result.mops, 1));
       if (result.mops >= 0) {
@@ -75,9 +85,12 @@ void Panel(bool long_tail, bench::JsonReport& report) {
 
 int main(int argc, char** argv) {
   std::printf("\n=== Figure 16 — YCSB throughput of KV-Direct ===\n");
+  const bool golden = kvd::bench::GoldenArg(argc, argv);
   kvd::bench::JsonReport report("fig16_throughput");
-  kvd::Panel(false, report);
-  kvd::Panel(true, report);
+  kvd::Panel(false, report, golden);
+  if (!golden) {
+    kvd::Panel(true, report, golden);
+  }
   std::printf(
       "\npaper: small inline KVs up to 180 Mops (long-tail, read-heavy);\n"
       "uniform PUT-heavy mixes roughly halve throughput; >= 62 B KVs are\n"

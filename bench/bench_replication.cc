@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "bench/json_report.h"
 #include "src/common/random.h"
 #include "src/common/table_printer.h"
@@ -68,7 +69,7 @@ FactorPoint RunFactor(uint32_t replicas, uint64_t seed) {
   ReplicationConfig config = BaseConfig(replicas);
   ReplicationGroup group(config);
   ReplicatedClient client(group);
-  Simulator& sim = group.simulator();
+  KvEndpoint& ep = client;  // the driver sees only the endpoint interface
 
   constexpr uint64_t kKeys = 256;
   constexpr uint64_t kOps = 8000;
@@ -76,25 +77,20 @@ FactorPoint RunFactor(uint32_t replicas, uint64_t seed) {
   Rng mix(seed);
   uint64_t writes = 0;
   uint64_t reads = 0;
-  const SimTime start = sim.Now();
-  for (uint64_t issued = 0; issued < kOps;) {
-    for (uint64_t i = 0; i < kBatch && issued < kOps; i++, issued++) {
-      const uint64_t k = mix.NextBelow(kKeys);
-      KvOperation op;
-      op.key = Key(k);
-      if (mix.NextDouble() < 0.5) {
-        op.opcode = Opcode::kPut;
-        op.value = U64Value(mix.Next());
-        writes++;
-      } else {
-        op.opcode = Opcode::kGet;
-        reads++;
-      }
-      client.Enqueue(std::move(op));
+  const SimTime elapsed = bench::DriveBatches(ep, kOps, kBatch, [&] {
+    const uint64_t k = mix.NextBelow(kKeys);
+    KvOperation op;
+    op.key = Key(k);
+    if (mix.NextDouble() < 0.5) {
+      op.opcode = Opcode::kPut;
+      op.value = U64Value(mix.Next());
+      writes++;
+    } else {
+      op.opcode = Opcode::kGet;
+      reads++;
     }
-    client.Flush();
-  }
-  const SimTime elapsed = sim.Now() - start;
+    return op;
+  });
 
   FactorPoint point;
   point.replicas = replicas;
@@ -131,6 +127,7 @@ FailoverPoint RunFailover(uint64_t seed) {
   config.faults.schedule.push_back({FaultSite::kReplicaCrash, 1});
   ReplicationGroup group(config);
   ReplicatedClient client(group);
+  KvEndpoint& ep = client;  // the driver sees only the endpoint interface
   Simulator& sim = group.simulator();
 
   Rng mix(seed ^ 0xfa110f);
@@ -145,10 +142,10 @@ FailoverPoint RunFailover(uint64_t seed) {
       op.opcode = Opcode::kPut;
       op.key = Key(id);
       op.value = U64Value(value);
-      client.Enqueue(std::move(op));
+      ep.Enqueue(std::move(op));
       writes.emplace_back(id, value);
     }
-    std::vector<KvResultMessage> results = client.Flush();
+    std::vector<KvResultMessage> results = ep.Flush();
     for (size_t s = 0; s < results.size(); s++) {
       if (results[s].code == ResultCode::kOk) {
         acked[writes[s].first] = writes[s].second;
@@ -162,7 +159,7 @@ FailoverPoint RunFailover(uint64_t seed) {
   FailoverPoint point;
   point.downtime_us = static_cast<double>(group.stats().last_failover_downtime_ns) /
                       1e3;
-  const ReplicatedClient::Stats& stats = client.stats();
+  const ReliableSender::Stats stats = ep.endpoint_stats();
   point.amplification =
       stats.packets_sent > 0
           ? static_cast<double>(stats.packets_sent + stats.retransmits) /
@@ -193,26 +190,24 @@ void TracedBreakdown(kvd::bench::JsonReport& report) {
   config.enable_request_tracing = true;
   ReplicationGroup group(config);
   ReplicatedClient client(group);
+  KvEndpoint& ep = client;  // the driver sees only the endpoint interface
 
   constexpr uint64_t kKeys = 256;
   constexpr uint64_t kOps = 4000;
   constexpr uint64_t kBatch = 64;
   Rng mix(2026);
-  for (uint64_t issued = 0; issued < kOps;) {
-    for (uint64_t i = 0; i < kBatch && issued < kOps; i++, issued++) {
-      const uint64_t k = mix.NextBelow(kKeys);
-      KvOperation op;
-      op.key = Key(k);
-      if (mix.NextDouble() < 0.5) {
-        op.opcode = Opcode::kPut;
-        op.value = U64Value(mix.Next());
-      } else {
-        op.opcode = Opcode::kGet;
-      }
-      client.Enqueue(std::move(op));
+  bench::DriveBatches(ep, kOps, kBatch, [&] {
+    const uint64_t k = mix.NextBelow(kKeys);
+    KvOperation op;
+    op.key = Key(k);
+    if (mix.NextDouble() < 0.5) {
+      op.opcode = Opcode::kPut;
+      op.value = U64Value(mix.Next());
+    } else {
+      op.opcode = Opcode::kGet;
     }
-    client.Flush();
-  }
+    return op;
+  });
 
   const LatencyBreakdown& breakdown = group.breakdown();
   std::printf("\n=== Replication — per-stage latency attribution (RF 3) ===\n");
@@ -266,26 +261,24 @@ void ShardedClusterHealth(kvd::bench::JsonReport& report) {
   ReplicationConfig per_shard = BaseConfig(3);
   ReplicatedCluster cluster(2, per_shard);
   ClusterClient client(cluster);
+  KvEndpoint& ep = client;  // the driver sees only the endpoint interface
 
   constexpr uint64_t kKeys = 256;
   constexpr uint64_t kOps = 2000;
   constexpr uint64_t kBatch = 64;
   Rng mix(11);
-  for (uint64_t issued = 0; issued < kOps;) {
-    for (uint64_t i = 0; i < kBatch && issued < kOps; i++, issued++) {
-      const uint64_t k = mix.NextBelow(kKeys);
-      KvOperation op;
-      op.key = Key(k);
-      if (mix.NextDouble() < 0.5) {
-        op.opcode = Opcode::kPut;
-        op.value = U64Value(mix.Next());
-      } else {
-        op.opcode = Opcode::kGet;
-      }
-      client.Enqueue(std::move(op));
+  bench::DriveBatches(ep, kOps, kBatch, [&] {
+    const uint64_t k = mix.NextBelow(kKeys);
+    KvOperation op;
+    op.key = Key(k);
+    if (mix.NextDouble() < 0.5) {
+      op.opcode = Opcode::kPut;
+      op.value = U64Value(mix.Next());
+    } else {
+      op.opcode = Opcode::kGet;
     }
-    client.Flush();
-  }
+    return op;
+  });
 
   const LatencyHistogram commit_wait = cluster.MergedCommitWait();
   const LatencyHistogram propagation = cluster.MergedPropagationLag();
@@ -318,6 +311,19 @@ void ShardedClusterHealth(kvd::bench::JsonReport& report) {
 int main(int argc, char** argv) {
   using kvd::TablePrinter;
   kvd::bench::JsonReport report("replication");
+
+  if (kvd::bench::GoldenArg(argc, argv)) {
+    // Golden mode: the RF-3 throughput cell alone (same seed, so the row
+    // matches the full sweep's RF-3 row byte-for-byte).
+    report.BeginSeries("replication_factor");
+    const kvd::FactorPoint p = kvd::RunFactor(3, /*seed=*/2026);
+    report.AddRow({{"replicas", static_cast<double>(p.replicas)},
+                   {"quorum", static_cast<double>(p.quorum)},
+                   {"throughput_mops", p.throughput_mops},
+                   {"entries_per_write", p.entries_per_write},
+                   {"backup_read_share", p.backup_read_share}});
+    return report.WriteIfRequested(kvd::bench::JsonPathArg(argc, argv)) ? 0 : 1;
+  }
 
   std::printf("\n=== Replication — throughput vs replication factor ===\n");
   std::printf("(majority quorum, YCSB-A 50/50 put/get, reads round-robin\n"

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "bench/json_report.h"
+#include "src/common/assert.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/kv_direct.h"
 #include "src/net/wire_format.h"
+#include "src/transport/kv_endpoint.h"
 #include "src/workload/ycsb.h"
 
 namespace kvd {
@@ -47,73 +49,100 @@ struct DriveResult {
   LatencyHistogram latency_ns;  // per-operation (submit -> result)
 };
 
+// Closed-loop packetized driver over any KvEndpoint that supports the raw
+// datagram path (KvEndpoint::SubmitPacket): keeps pipeline_depth /
+// ops_per_packet packets outstanding until `total_ops` operations retire.
+// Topology-agnostic — the endpoint decides what a packet round trip means.
+inline DriveResult DriveEndpoint(KvEndpoint& ep, YcsbWorkload& workload,
+                                 const DriveOptions& options) {
+  DriveResult result;
+  const SimTime start = ep.now();
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  const uint32_t packets_outstanding_target =
+      std::max<uint32_t>(1, options.pipeline_depth / options.ops_per_packet);
+  std::function<void()> send_packet = [&] {
+    if (submitted >= options.total_ops) {
+      return;
+    }
+    PacketBuilder builder(options.packet_payload);
+    uint32_t in_packet = 0;
+    while (in_packet < options.ops_per_packet && submitted < options.total_ops) {
+      const KvOperation op = workload.NextOp();
+      if (!builder.Add(op)) {
+        break;
+      }
+      in_packet++;
+      submitted++;
+    }
+    const SimTime issued = ep.now();
+    KVD_CHECK_MSG(ep.SubmitPacket(builder.Finish(),
+                                  [&, issued, in_packet] {
+                                    completed += in_packet;
+                                    result.latency_ns.Add((ep.now() - issued) /
+                                                          kNanosecond);
+                                    send_packet();
+                                  }),
+                  "endpoint does not support the raw datagram path");
+  };
+  for (uint32_t i = 0; i < packets_outstanding_target; i++) {
+    send_packet();
+  }
+  while (completed < options.total_ops && ep.Step()) {
+  }
+  result.elapsed_us = static_cast<double>(ep.now() - start) / kMicrosecond;
+  result.mops = static_cast<double>(completed) / result.elapsed_us;
+  return result;
+}
+
+// Closed-batch driver over any KvEndpoint: issues `total_ops` operations from
+// `next_op` in batches of `batch`, flushing each batch to completion through
+// the endpoint's own reliability/topology. Returns elapsed simulated time.
+inline SimTime DriveBatches(KvEndpoint& ep, uint64_t total_ops, uint64_t batch,
+                            const std::function<KvOperation()>& next_op) {
+  const SimTime start = ep.now();
+  for (uint64_t issued = 0; issued < total_ops;) {
+    for (uint64_t i = 0; i < batch && issued < total_ops; i++, issued++) {
+      ep.Enqueue(next_op());
+    }
+    ep.Flush();
+  }
+  return ep.now() - start;
+}
+
 // Closed-loop throughput measurement: keeps `pipeline_depth` operations (or
 // the equivalent number of packets) outstanding until `total_ops` retire.
 inline DriveResult Drive(KvDirectServer& server, YcsbWorkload& workload,
                          const DriveOptions& options) {
+  if (options.use_network) {
+    // Network mode wraps ops in packets over the 40 GbE model: exactly the
+    // endpoint driver over a single-server client's raw datagram path.
+    Client client(server);
+    return DriveEndpoint(client, workload, options);
+  }
+
   Simulator& sim = server.simulator();
   DriveResult result;
   const SimTime start = sim.Now();
   uint64_t submitted = 0;
   uint64_t completed = 0;
 
-  if (!options.use_network) {
-    std::function<void()> submit_one = [&] {
-      if (submitted >= options.total_ops) {
-        return;
-      }
-      submitted++;
-      const SimTime issued = sim.Now();
-      server.Submit(workload.NextOp(), [&, issued](KvResultMessage) {
-        completed++;
-        result.latency_ns.Add((sim.Now() - issued) / kNanosecond);
-        submit_one();
-      });
-    };
-    for (uint32_t i = 0; i < options.pipeline_depth; i++) {
+  std::function<void()> submit_one = [&] {
+    if (submitted >= options.total_ops) {
+      return;
+    }
+    submitted++;
+    const SimTime issued = sim.Now();
+    server.Submit(workload.NextOp(), [&, issued](KvResultMessage) {
+      completed++;
+      result.latency_ns.Add((sim.Now() - issued) / kNanosecond);
       submit_one();
-    }
-    while (completed < options.total_ops && sim.Step()) {
-    }
-  } else {
-    NetworkModel& network = server.network();
-    const uint32_t packets_outstanding_target =
-        std::max<uint32_t>(1, options.pipeline_depth / options.ops_per_packet);
-    std::function<void()> send_packet = [&] {
-      if (submitted >= options.total_ops) {
-        return;
-      }
-      PacketBuilder builder(options.packet_payload);
-      uint32_t in_packet = 0;
-      while (in_packet < options.ops_per_packet && submitted < options.total_ops) {
-        const KvOperation op = workload.NextOp();
-        if (!builder.Add(op)) {
-          break;
-        }
-        in_packet++;
-        submitted++;
-      }
-      const SimTime issued = sim.Now();
-      std::vector<uint8_t> payload = builder.Finish();
-      const auto payload_size = static_cast<uint32_t>(payload.size());
-      network.SendToServer(payload_size, [&, issued, in_packet,
-                                          payload = std::move(payload)]() mutable {
-        server.DeliverPacket(std::move(payload), [&, issued, in_packet](
-                                                     std::vector<uint8_t> response) {
-          const auto response_size = static_cast<uint32_t>(response.size());
-          network.SendToClient(response_size, [&, issued, in_packet] {
-            completed += in_packet;
-            result.latency_ns.Add((sim.Now() - issued) / kNanosecond);
-            send_packet();
-          });
-        });
-      });
-    };
-    for (uint32_t i = 0; i < packets_outstanding_target; i++) {
-      send_packet();
-    }
-    while (completed < options.total_ops && sim.Step()) {
-    }
+    });
+  };
+  for (uint32_t i = 0; i < options.pipeline_depth; i++) {
+    submit_one();
+  }
+  while (completed < options.total_ops && sim.Step()) {
   }
 
   result.elapsed_us = static_cast<double>(sim.Now() - start) / kMicrosecond;

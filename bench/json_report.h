@@ -100,6 +100,19 @@ class JsonReport {
   std::vector<Series> series_;
 };
 
+// Returns true when `--golden` is present: the bench runs only its single
+// golden-reference cell (compared byte-for-byte against bench/golden/*.json)
+// instead of the full sweep. Cells are independent runs, so the golden cell's
+// row is identical to the corresponding row of the full sweep.
+inline bool GoldenArg(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--golden") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // Returns the value of a `--json <path>` argument, or nullptr.
 inline const char* JsonPathArg(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i++) {

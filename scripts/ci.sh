@@ -2,9 +2,13 @@
 # One-command CI gate: the tier-1 build + test pass, then the sanitizer
 # sweeps. Mirrors exactly what a reviewer runs by hand:
 #
-#   1. configure + build (default flags) and run the full ctest suite;
-#   2. scripts/verify_asan.sh  — ASan+UBSan build, full suite;
-#   3. scripts/verify_ubsan.sh — pure-UBSan build, full suite.
+#   1. layering guard — the transport layer (src/transport) must hold the only
+#      copy of the framing/replay-dedup logic;
+#   2. configure + build (default flags) and run the full ctest suite;
+#   3. golden determinism — the benchmark --golden rows must match the
+#      checked-in bench/golden/*.json byte for byte;
+#   4. scripts/verify_asan.sh  — ASan+UBSan build, full suite;
+#   5. scripts/verify_ubsan.sh — pure-UBSan build, full suite.
 #
 # The tier-1 stage runs first and alone decides pass/fail for correctness;
 # the sanitizer stages catch memory/UB bugs that the plain build hides.
@@ -16,10 +20,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
 
+echo "=== layering guard: one transport implementation ==="
+# The reliable channel lives in src/transport and nowhere else. A second copy
+# of the replay-entry bookkeeping or of the frame checksum constant is exactly
+# the duplication the layering refactor removed; fail fast if one reappears.
+leaks=$(grep -rnE 'ReplayEntry|0xf4a3e' src bench tests --include='*.h' --include='*.cc' \
+          | grep -v '^src/transport/' || true)
+if [[ -n "${leaks}" ]]; then
+  echo "framing/replay logic found outside src/transport:" >&2
+  echo "${leaks}" >&2
+  exit 1
+fi
+
 echo "=== tier-1: configure + build + ctest ==="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "=== golden determinism: bench --golden vs bench/golden/*.json ==="
+GOLDEN_TMP=$(mktemp -d)
+trap 'rm -rf "${GOLDEN_TMP}"' EXIT
+"${BUILD_DIR}/bench/bench_fig16_throughput" --golden --json "${GOLDEN_TMP}/fig16_throughput.json" >/dev/null
+"${BUILD_DIR}/bench/bench_chaos"            --golden --json "${GOLDEN_TMP}/chaos.json"            >/dev/null
+"${BUILD_DIR}/bench/bench_replication"      --golden --json "${GOLDEN_TMP}/replication.json"      >/dev/null
+for golden in fig16_throughput chaos replication; do
+  cmp "bench/golden/${golden}.json" "${GOLDEN_TMP}/${golden}.json"
+done
+echo "golden rows byte-identical"
 
 if [[ "${KVD_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
   echo "ci pass (sanitizers skipped)"

@@ -3,7 +3,9 @@
 # runs the test suite. The fault-injection tests (ctest -L fault) exercise the
 # retry/replay/ECC paths under sanitizers, which is where use-after-free bugs
 # in completion callbacks would surface (late duplicate responses arriving
-# after a flush completes).
+# after a flush completes). The transport tests (ctest -L transport) are then
+# repeated explicitly: the reliable-channel layer owns every retransmission
+# buffer and replay-cache entry, so a lifetime bug there poisons all clients.
 #
 # Usage: scripts/verify_asan.sh [build-dir]    (default: build-asan)
 set -euo pipefail
@@ -20,4 +22,5 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L transport
 echo "sanitizer run clean"

@@ -5,7 +5,10 @@
 # simulated-time arithmetic, misaligned loads in the wire codecs, and invalid
 # enum values decoded from (fault-injected) corrupt frames. The replication
 # tests (ctest -L replica) drive the epoch/log-index arithmetic through
-# failover, where an overflow would silently reorder the log.
+# failover, where an overflow would silently reorder the log. The transport
+# tests (ctest -L transport) are then repeated explicitly: frame parsing and
+# the exponential-backoff shift are the tree's densest unaligned-load and
+# shift-width territory.
 #
 # Usage: scripts/verify_ubsan.sh [build-dir]    (default: build-ubsan)
 set -euo pipefail
@@ -21,4 +24,5 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L transport
 echo "ubsan run clean"

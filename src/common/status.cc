@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kResourceBusy:
       return "RESOURCE_BUSY";
+    case StatusCode::kTimedOut:
+      return "TIMED_OUT";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kOutOfMemory,      // slab allocator or hash index exhausted
   kInvalidArgument,  // malformed key/value/parameters
   kResourceBusy,     // pipeline / reservation station full
+  kTimedOut,         // reliable channel exhausted its retransmissions
   kUnimplemented,
   kInternal,
 };

@@ -21,185 +21,37 @@ Status ToStatus(ResultCode code) {
       return Status::InvalidArgument();
     case ResultCode::kBusy:
       return Status(StatusCode::kResourceBusy);
+    case ResultCode::kTimedOut:
+      return Status(StatusCode::kTimedOut);
   }
   return Status::Internal();
 }
 
 }  // namespace
 
-void ServerConfig::AutoTune(uint32_t kv_bytes, bool long_tail) {
-  long_tail_workload = long_tail;
-  constexpr double kSlotPacking = 0.7;  // usable fraction of hash slots
-  if (kv_bytes <= kMaxInlineKvBytes) {
-    // Inline everything of this size: the corpus lives in the hash index, so
-    // the index takes nearly the whole region (a margin remains for chained
-    // buckets and stragglers).
-    inline_threshold_bytes = std::min<uint32_t>(kv_bytes, kMaxInlineKvBytes);
-    hash_index_ratio = 0.9;
-  } else {
-    // Non-inline: the index holds one 5-byte slot per KV, the heap holds the
-    // rounded slab. Ratio = index bytes : total bytes per KV, scale-free.
-    inline_threshold_bytes = 10;
-    const double index_per_kv = kSlotBytes / kSlotPacking;
-    const double slab_per_kv =
-        static_cast<double>(std::bit_ceil(kv_bytes + HashIndex::kSlabHeaderBytes));
-    hash_index_ratio = index_per_kv / (index_per_kv + slab_per_kv);
-  }
-  // Load dispatch ratio from the paper's balance condition (§3.3.4).
-  const double k = static_cast<double>(nic_dram.capacity_bytes) /
-                   static_cast<double>(kvs_memory_bytes);
-  const double pcie_tput =
-      pcie.link.bandwidth_bytes_per_sec * pcie.num_links * 0.84;  // achievable
-  dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
-      pcie_tput, nic_dram.bandwidth_bytes_per_sec, std::min(k, 1.0), long_tail,
-      static_cast<double>(kvs_memory_bytes) / std::max<uint32_t>(kv_bytes, 1));
-}
-
 KvDirectServer::KvDirectServer(const ServerConfig& config, Simulator* external_sim)
-    : config_(config),
-      owned_sim_(external_sim != nullptr ? nullptr : std::make_unique<Simulator>()),
-      sim_(external_sim != nullptr ? *external_sim : *owned_sim_) {
-  HashIndexConfig index_config;
-  index_config.memory_base = 0;
-  index_config.memory_size = config.kvs_memory_bytes;
-  index_config.hash_index_ratio = config.hash_index_ratio;
-  index_config.inline_threshold_bytes = config.inline_threshold_bytes;
-  index_config.min_slab_bytes = config.min_slab_bytes;
-  index_config.max_slab_bytes = config.max_slab_bytes;
-  const auto regions = index_config.ComputeRegions();
-
-  memory_ = std::make_unique<HostMemory>(config.kvs_memory_bytes);
-  direct_engine_ = std::make_unique<DirectEngine>(*memory_);
-  trace_engine_ = std::make_unique<TraceRecordingEngine>(*direct_engine_);
-
-  SlabConfig slab_config;
-  slab_config.region_base = regions.heap_base;
-  slab_config.region_size = regions.heap_size;
-  slab_config.min_slab_bytes = config.min_slab_bytes;
-  slab_config.max_slab_bytes = config.max_slab_bytes;
-  allocator_ = std::make_unique<SlabAllocator>(slab_config);
-
-  index_ = std::make_unique<HashIndex>(*trace_engine_, *allocator_, index_config);
-
-  fault_ = std::make_unique<FaultInjector>(config.faults);
-  dma_ = std::make_unique<DmaEngine>(sim_, config.pcie);
-  nic_dram_ = std::make_unique<NicDram>(sim_, config.nic_dram);
-
-  LoadDispatcherConfig dispatch_config;
-  dispatch_config.policy = config.dispatch_policy;
-  dispatch_config.host_memory_bytes = config.kvs_memory_bytes;
-  dispatch_config.nic_dram_bytes = config.nic_dram.capacity_bytes;
-  if (config.dispatch_ratio >= 0) {
-    dispatch_config.dispatch_ratio = config.dispatch_ratio;
-  } else {
-    const double k = std::min(1.0, static_cast<double>(config.nic_dram.capacity_bytes) /
-                                       static_cast<double>(config.kvs_memory_bytes));
-    dispatch_config.dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
-        config.pcie.link.bandwidth_bytes_per_sec * config.pcie.num_links * 0.84,
-        config.nic_dram.bandwidth_bytes_per_sec, k, config.long_tail_workload);
-  }
-  dispatcher_ = std::make_unique<LoadDispatcher>(sim_, *dma_, *nic_dram_,
-                                                 dispatch_config);
-
-  network_ = std::make_unique<NetworkModel>(sim_, config.network);
-
-  processor_ = std::make_unique<KvProcessor>(sim_, *index_, *trace_engine_,
-                                             *dispatcher_, registry_,
-                                             config.processor);
-  processor_->AttachSlabSyncStats(&allocator_->sync_stats());
-
-  // Fault wiring: one injector shared by every site so the plan's per-site
-  // streams stay independent of which subsystems are active.
-  dma_->SetFaultInjector(fault_.get());
-  nic_dram_->SetFaultInjector(fault_.get());
-  network_->SetFaultInjector(fault_.get());
-
-  // Request tracing: the tracer feeds the breakdown, the SLO monitor, and
-  // the flight-recorder ring; SLO breaches fire the recorder. Components get
-  // the pointers unconditionally (a zero handle short-circuits every hook).
-  request_tracer_.set_enabled(config.enable_request_tracing);
-  request_tracer_.SetBreakdown(&breakdown_);
-  slo_monitor_.Configure(config.slo);
-  request_tracer_.SetSloMonitor(&slo_monitor_);
-  flight_recorder_.Configure(config.flight);
-  flight_recorder_.set_enabled(config.enable_request_tracing);
-  flight_recorder_.SetRequestTracer(&request_tracer_);
-  flight_recorder_.SetMetricRegistry(&metrics_);
-  flight_recorder_.SetEventTracer(&tracer_);
-  request_tracer_.set_on_complete(
-      [this](const OpTrace& trace) { active_flight_->OnTraceComplete(trace); });
-  slo_monitor_.set_on_breach([this](const std::string& detail) {
-    active_flight_->Trigger(FlightTrigger::kSloBreach, detail);
-  });
-  processor_->SetRequestTracer(&request_tracer_);
-  processor_->SetFlightRecorder(&flight_recorder_);
-  dispatcher_->SetRequestTracer(&request_tracer_);
-  dispatcher_->SetFlightRecorder(&flight_recorder_);
-  dma_->SetRequestTracer(&request_tracer_);
-  nic_dram_->SetRequestTracer(&request_tracer_);
-  network_->SetRequestTracer(&request_tracer_);
-  fault_->SetFlightRecorder(&flight_recorder_);
-  if (config.enable_request_tracing) {
-    // Registered only when tracing is on, so the default metric exposition
-    // is byte-identical to the untraced build.
-    request_tracer_.RegisterMetrics(metrics_);
-    breakdown_.RegisterMetrics(metrics_);
-    slo_monitor_.RegisterMetrics(metrics_);
-    flight_recorder_.RegisterMetrics(metrics_);
-  }
-
-  // Observability: every subsystem registers readers over its live stats into
-  // the shared registry and learns about the tracer. Neither changes timing.
-  tracer_.set_enabled(config.enable_tracing);
-  metrics_.RegisterCounter("kvd_events_dropped_total",
-                           "Events dropped at the EventTracer capacity limit",
-                           {}, [this] { return tracer_.dropped(); });
-  fault_->RegisterMetrics(metrics_);
-  fault_->SetTracer(&tracer_);
-  metrics_.RegisterCounter("kvd_server_replayed_responses_total",
-                           "Retransmitted requests answered from the replay cache",
-                           {}, &replayed_responses_);
-  metrics_.RegisterCounter("kvd_server_corrupt_frames_total",
-                           "Request frames dropped on checksum failure", {},
-                           &corrupt_frames_);
-  metrics_.RegisterCounter("kvd_server_stale_retransmits_total",
-                           "Retransmits dropped while the original executes", {},
-                           &stale_retransmits_);
-  processor_->RegisterMetrics(metrics_);
-  processor_->SetTracer(&tracer_);
-  index_->RegisterMetrics(metrics_);
-  allocator_->RegisterMetrics(metrics_);
-  allocator_->SetTracer(&tracer_);
-  dispatcher_->RegisterMetrics(metrics_);
-  dispatcher_->SetTracer(&tracer_);
-  dma_->RegisterMetrics(metrics_);
-  dma_->SetTracer(&tracer_);
-  nic_dram_->RegisterMetrics(metrics_);
-  nic_dram_->SetTracer(&tracer_);
-  network_->RegisterMetrics(metrics_);
-  network_->SetTracer(&tracer_);
-}
-
-void KvDirectServer::UseRequestTracer(RequestTracer* tracer) {
-  KVD_CHECK(tracer != nullptr);
-  active_request_tracer_ = tracer;
-  processor_->SetRequestTracer(tracer);
-  dispatcher_->SetRequestTracer(tracer);
-  dma_->SetRequestTracer(tracer);
-  nic_dram_->SetRequestTracer(tracer);
-  network_->SetRequestTracer(tracer);
-}
-
-void KvDirectServer::UseFlightRecorder(FlightRecorder* recorder) {
-  KVD_CHECK(recorder != nullptr);
-  active_flight_ = recorder;
-  processor_->SetFlightRecorder(recorder);
-  dispatcher_->SetFlightRecorder(recorder);
-  fault_->SetFlightRecorder(recorder);
+    : runtime_(config, external_sim),
+      endpoint_(runtime_.simulator(),
+                {config.replay_cache_entries, config.replay_retain_time}) {
+  // The transport endpoint's counters join the runtime's registry so one
+  // exposition covers the whole node.
+  MetricRegistry& metrics = runtime_.metrics_mutable();
+  metrics.RegisterCounter("kvd_server_replayed_responses_total",
+                          "Retransmitted requests answered from the replay cache",
+                          {}, endpoint_.replayed_responses_counter());
+  metrics.RegisterCounter("kvd_server_corrupt_frames_total",
+                          "Request frames dropped on checksum failure", {},
+                          endpoint_.corrupt_frames_counter());
+  metrics.RegisterCounter("kvd_server_stale_retransmits_total",
+                          "Retransmits dropped while the original executes", {},
+                          endpoint_.stale_retransmits_counter());
+  metrics.RegisterCounter("kvd_replay_evict_scan_steps_total",
+                          "Replay-cache eviction queue entries examined", {},
+                          endpoint_.evict_scan_steps_counter());
 }
 
 void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done) {
-  processor_->Submit(std::move(op), std::move(done));
+  runtime_.processor().Submit(std::move(op), std::move(done));
 }
 
 void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
@@ -237,11 +89,11 @@ void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
   state->results.resize(ops.size());
   state->remaining = ops.size();
   state->respond = std::move(respond);
-  if (traced_sequence != 0 && active_request_tracer_->enabled()) {
+  if (traced_sequence != 0 && runtime_.request_tracer().enabled()) {
     // Resolve each op's trace handle from the client-registered packet map
     // and stamp kServerReceive (first delivery wins, so retransmissions and
     // injected duplicates cannot move it).
-    state->tracer = active_request_tracer_;
+    state->tracer = &runtime_.request_tracer();
     state->traces.resize(ops.size());
     for (size_t i = 0; i < ops.size(); i++) {
       const uint64_t handle = state->tracer->LookupOp(traced_sequence, i);
@@ -253,7 +105,7 @@ void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
     }
   }
   for (size_t i = 0; i < ops.size(); i++) {
-    processor_->Submit(std::move(ops[i]), [state, i](KvResultMessage result) {
+    runtime_.processor().Submit(std::move(ops[i]), [state, i](KvResultMessage result) {
       state->results[i] = std::move(result);
       if (--state->remaining == 0) {
         if (state->tracer != nullptr) {
@@ -271,76 +123,47 @@ void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
 
 void KvDirectServer::DeliverFrame(std::vector<uint8_t> packet,
                                   std::function<void(std::vector<uint8_t>)> respond) {
-  Result<Frame> parsed = ParseFrame(packet);
-  if (!parsed.ok()) {
-    // Corrupted or truncated in flight: drop silently; the client's
-    // retransmission timer covers it.
-    corrupt_frames_++;
+  // The endpoint drops corrupt frames (the client's retransmission timer
+  // covers them), replays cached responses, and swallows retransmissions of
+  // still-executing sequences; only genuinely new frames come back.
+  std::optional<Frame> frame = endpoint_.Accept(packet, respond);
+  if (!frame.has_value()) {
     return;
   }
-  Frame frame = std::move(*parsed);
-  if (const auto it = replay_.find(frame.sequence); it != replay_.end()) {
-    if (it->second.done) {
-      // Idempotent replay: the original executed, its response was lost.
-      replayed_responses_++;
-      respond(it->second.response);
-    } else {
-      // The original is still executing; its eventual response (or the next
-      // retransmission) resolves this sequence.
-      stale_retransmits_++;
-    }
-    return;
-  }
-  // Admit the new sequence, evicting the oldest *completed* entries beyond
-  // the cache budget. An in-flight entry must survive until it responds, and
-  // a recently completed one must outlive any retransmission still in flight
-  // (the client may have re-sent just before the response landed); both stop
-  // eviction, letting the cache run over budget rather than break
-  // exactly-once execution.
-  while (replay_order_.size() >= config_.replay_cache_entries) {
-    const uint64_t victim = replay_order_.front();
-    const auto vit = replay_.find(victim);
-    if (vit != replay_.end() &&
-        (!vit->second.done ||
-         sim_.Now() < vit->second.done_at + config_.replay_retain_time)) {
-      break;
-    }
-    replay_order_.pop_front();
-    if (vit != replay_.end()) {
-      replay_.erase(vit);
-    }
-  }
-  replay_.emplace(frame.sequence, ReplayEntry{});
-  replay_order_.push_back(frame.sequence);
-  const uint64_t sequence = frame.sequence;
+  endpoint_.Admit(frame->sequence);
+  const uint64_t sequence = frame->sequence;
   DeliverPacket(
-      std::move(frame.payload),
+      std::move(frame->payload),
       [this, sequence, respond = std::move(respond)](
           std::vector<uint8_t> response) {
-        std::vector<uint8_t> framed = FramePacket(sequence, response);
-        if (const auto it = replay_.find(sequence); it != replay_.end()) {
-          it->second.done = true;
-          it->second.done_at = sim_.Now();
-          it->second.response = framed;
-        }
-        respond(std::move(framed));
+        respond(endpoint_.Complete(sequence, response, /*cache=*/true));
       },
       /*traced_sequence=*/sequence);
 }
 
 KvResultMessage KvDirectServer::Execute(const KvOperation& op) {
-  return processor_->ExecuteFunctional(op);
+  return runtime_.processor().ExecuteFunctional(op);
 }
 
 Status KvDirectServer::Load(std::span<const uint8_t> key,
                             std::span<const uint8_t> value) {
-  return index_->Put(key, value);
+  return runtime_.index().Put(key, value);
 }
 
 Client::Client(KvDirectServer& server, Options options)
     : server_(server),
       options_(options),
-      next_sequence_(server.AcquireClientSequenceBase()) {}
+      next_sequence_(server.AcquireClientSequenceBase()),
+      sender_(
+          server.simulator(),
+          ReliableSender::RetryPolicy{options_.retry.timeout,
+                                      options_.retry.max_attempts,
+                                      /*backoff_shift_cap=*/20,
+                                      /*attempts_per_target=*/0,
+                                      /*num_targets=*/1},
+          &stats_, [this]() -> RequestTracer& { return server_.request_tracer(); },
+          [this](const ReliableSender::PacketPtr& packet) { Wire(packet); },
+          [this](const ReliableSender::PacketPtr& packet) { OnFail(packet); }) {}
 
 
 KvResultMessage Client::Call(KvOperation op) {
@@ -479,14 +302,11 @@ struct Client::FlushState {
 };
 
 // Per-packet state shared by the transmission chain, the retransmission
-// timer, and (possibly duplicated) response deliveries.
-struct Client::PacketCtx {
-  uint64_t sequence = 0;
-  std::vector<uint8_t> frame;       // full framed bytes, re-sent verbatim
-  std::vector<size_t> op_indices;   // result slots, in packet order
-  std::vector<uint64_t> traces;     // trace handles, in packet order
-  uint32_t attempts = 0;
-  bool completed = false;
+// timer, and (possibly duplicated) response deliveries. The retry fields
+// (sequence, framed bytes, attempts, completion) live in the ReliablePacket
+// base the sender drives.
+struct Client::PacketCtx : ReliablePacket {
+  std::vector<size_t> op_indices;  // result slots, in packet order
   std::shared_ptr<FlushState> flush;
 };
 
@@ -499,24 +319,12 @@ void Client::RunFor(SimTime duration) {
   }
 }
 
-void Client::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
-  Simulator& sim = server_.simulator();
-  ctx->attempts++;
-  if (ctx->attempts > 1) {
-    stats_.retransmits++;
-  }
-  RequestTracer& rt = server_.request_tracer();
-  if (!ctx->traces.empty() && rt.enabled()) {
-    for (const uint64_t handle : ctx->traces) {
-      rt.CountAttempt(handle);
-      if (ctx->attempts > 1) {
-        // Timeout-driven retransmission marker (detail: attempt number).
-        rt.Span(handle, SpanKind::kRetransmit, sim.Now(), sim.Now(),
-                ctx->attempts - 1);
-      }
-    }
-  }
-  std::vector<uint8_t> copy = ctx->frame;
+// One wire round trip for the sender: frame copy to the server, framed
+// delivery, framed response back to OnResponse. Fault sites on both wire
+// directions may drop/duplicate/corrupt; the sender's timer recovers.
+void Client::Wire(const ReliableSender::PacketPtr& packet) {
+  auto ctx = std::static_pointer_cast<PacketCtx>(packet);
+  std::vector<uint8_t> copy = ctx->framed;
   server_.network().SendPayloadToServer(
       std::move(copy),
       [this, ctx](std::vector<uint8_t> request) {
@@ -531,36 +339,39 @@ void Client::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
             });
       },
       ctx->traces);
-  // Retransmission timer for this attempt; exponential backoff. A timer that
-  // fires after completion (or after a newer attempt took over) is a no-op.
-  const uint32_t attempt = ctx->attempts;
-  const SimTime timeout = options_.retry.timeout
-                          << std::min(attempt - 1, uint32_t{20});
-  sim.ScheduleAt(sim.Now() + timeout, [this, ctx, attempt] {
-    if (ctx->completed || ctx->attempts != attempt) {
-      return;
+}
+
+// Retransmission budget exhausted: the server is unreachable (or drops every
+// frame). Surface kTimedOut on every operation in the packet and unblock the
+// flush — callers get a status, not a dead process.
+void Client::OnFail(const ReliableSender::PacketPtr& packet) {
+  auto ctx = std::static_pointer_cast<PacketCtx>(packet);
+  KvResultMessage timed_out;
+  timed_out.code = ResultCode::kTimedOut;
+  for (const size_t idx : ctx->op_indices) {
+    ctx->flush->results[idx] = timed_out;
+  }
+  RequestTracer& rt = server_.request_tracer();
+  if (!ctx->traces.empty() && rt.enabled()) {
+    for (const uint64_t handle : ctx->traces) {
+      if (handle != 0) {
+        rt.Finish(handle, ResultCode::kTimedOut);
+      }
     }
-    KVD_CHECK_MSG(attempt < options_.retry.max_attempts,
-                  "request retransmissions exhausted");
-    TransmitPacket(ctx);
-  });
+  }
+  ctx->flush->outstanding--;
 }
 
 void Client::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
                         std::vector<uint8_t> packet) {
-  if (ctx->completed) {
-    stats_.duplicate_responses++;  // injected duplicate or late retransmit
-    return;
+  std::optional<std::vector<uint8_t>> payload =
+      sender_.AcceptResponse(ctx, packet);
+  if (!payload.has_value()) {
+    return;  // duplicate, corrupt, or foreign frame — counted by the sender
   }
-  Result<Frame> parsed = ParseFrame(packet);
-  if (!parsed.ok() || parsed->sequence != ctx->sequence) {
-    // Bit-flipped in flight (or a foreign frame): await the timer.
-    stats_.corrupt_responses++;
-    return;
-  }
-  Result<std::vector<KvResultMessage>> decoded = DecodeResults(parsed->payload);
+  Result<std::vector<KvResultMessage>> decoded = DecodeResults(*payload);
   if (!decoded.ok()) {
-    stats_.corrupt_responses++;
+    sender_.NoteCorruptResponse();
     return;
   }
   std::vector<KvResultMessage>& results = ctx->flush->results;
@@ -575,7 +386,7 @@ void Client::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
       results[idx] = (*decoded)[0];
     }
   } else {
-    stats_.corrupt_responses++;  // checksum-valid but inconsistent: re-ask
+    sender_.NoteCorruptResponse();  // checksum-valid but inconsistent: re-ask
     return;
   }
   ctx->completed = true;
@@ -614,7 +425,7 @@ void Client::SendBatch(const std::vector<KvOperation>& ops,
     auto ctx = std::make_shared<PacketCtx>();
     ctx->sequence = next_sequence_++;
     ctx->op_indices.assign(indices.begin() + first, indices.begin() + next);
-    ctx->frame = FramePacket(ctx->sequence, builder.Finish());
+    ctx->framed = FramePacket(ctx->sequence, builder.Finish());
     ctx->flush = flush;
     RequestTracer& rt = server_.request_tracer();
     if (rt.enabled()) {
@@ -635,7 +446,7 @@ void Client::SendBatch(const std::vector<KvOperation>& ops,
     }
     flush->outstanding++;
     stats_.packets_sent++;
-    TransmitPacket(ctx);
+    sender_.Send(ctx);
   }
 }
 
@@ -667,8 +478,20 @@ std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops)
     if (busy.empty()) {
       break;
     }
-    KVD_CHECK_MSG(busy_round < options_.retry.max_busy_retries,
-                  "kBusy retries exhausted");
+    if (busy_round >= options_.retry.max_busy_retries) {
+      // Budget exhausted: the still-busy operations time out instead of
+      // retrying forever (or killing the process).
+      KvResultMessage timed_out;
+      timed_out.code = ResultCode::kTimedOut;
+      RequestTracer& rt = server_.request_tracer();
+      for (const size_t idx : busy) {
+        flush->results[idx] = timed_out;
+        if (rt.enabled() && flush->traces[idx] != 0) {
+          rt.Finish(flush->traces[idx], ResultCode::kTimedOut);
+        }
+      }
+      break;
+    }
     const SimTime backoff = options_.retry.busy_backoff
                             << std::min(busy_round, uint32_t{20});
     busy_round++;
@@ -746,6 +569,28 @@ std::vector<KvResultMessage> Client::FlushUnreliable(std::vector<KvOperation> op
     KVD_CHECK_MSG(sim.Step(), "simulation idle with packets outstanding");
   }
   return results;
+}
+
+bool Client::SubmitPacket(std::vector<uint8_t> ops_payload,
+                          std::function<void()> done) {
+  stats_.packets_sent++;
+  NetworkModel& network = server_.network();
+  // The payload size must be read before the move below captures it (the
+  // evaluation order of arguments vs. captures is unspecified).
+  const auto payload_size = static_cast<uint32_t>(ops_payload.size());
+  network.SendToServer(
+      payload_size,
+      [this, payload = std::move(ops_payload), done = std::move(done),
+       &network]() mutable {
+        server_.DeliverPacket(
+            std::move(payload),
+            [done = std::move(done), &network](std::vector<uint8_t> response) {
+              const auto response_size = static_cast<uint32_t>(response.size());
+              network.SendToClient(response_size,
+                                   [done = std::move(done)] { done(); });
+            });
+      });
+  return true;
 }
 
 }  // namespace kvd

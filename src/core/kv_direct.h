@@ -1,9 +1,14 @@
 // Public entry points of the KV-Direct library.
 //
-// KvDirectServer assembles the full system of paper Figure 2/4: host memory
-// holding the hash index and slab heap, the PCIe DMA engine, the NIC DRAM
-// load dispatcher, the reservation station, the KV processor, and the 40 GbE
-// network model — all driven by one discrete-event simulator.
+// The layered architecture (DESIGN.md §11):
+//   - NodeRuntime (src/core/node_runtime.h) assembles the per-node subsystem
+//     stack of paper Figure 2/4 — memory, index, allocator, DMA, NIC DRAM,
+//     dispatcher, processor, network — on one simulator.
+//   - The transport layer (src/transport) owns reliability: FrameEndpoint
+//     terminates framed requests server-side (checksum, replay dedup);
+//     ReliableSender drives client-side retransmission.
+//   - KvDirectServer composes one runtime with one frame endpoint; Client is
+//     the matching single-server KvEndpoint.
 //
 // Client provides remote direct key-value access: single synchronous
 // operations for convenience, and batched pipelined operations (the paper's
@@ -12,80 +17,18 @@
 #define SRC_CORE_KV_DIRECT_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
-#include "src/alloc/slab_allocator.h"
 #include "src/common/units.h"
-#include "src/core/kv_processor.h"
-#include "src/core/update_functions.h"
-#include "src/dram/load_dispatcher.h"
-#include "src/dram/nic_dram.h"
-#include "src/fault/fault_injector.h"
-#include "src/hash/hash_index.h"
-#include "src/mem/access_engine.h"
-#include "src/mem/host_memory.h"
-#include "src/net/network_model.h"
+#include "src/core/node_runtime.h"
 #include "src/net/wire_format.h"
-#include "src/obs/event_tracer.h"
-#include "src/obs/flight_recorder.h"
-#include "src/obs/metric_registry.h"
-#include "src/obs/request_trace.h"
-#include "src/pcie/dma_engine.h"
-#include "src/sim/simulator.h"
+#include "src/transport/frame_endpoint.h"
+#include "src/transport/kv_endpoint.h"
+#include "src/transport/reliable_sender.h"
 
 namespace kvd {
-
-struct ServerConfig {
-  // KVS region in host memory (the paper reserves 64 GiB; scaled here).
-  uint64_t kvs_memory_bytes = 64 * kMiB;
-  double hash_index_ratio = 0.5;
-  uint32_t inline_threshold_bytes = 10;
-  uint32_t min_slab_bytes = 32;
-  uint32_t max_slab_bytes = 512;
-
-  DmaEngineConfig pcie;
-  NicDramConfig nic_dram;
-  DispatchPolicy dispatch_policy = DispatchPolicy::kHybrid;
-  // < 0 selects the analytically optimal ratio for the workload skew.
-  double dispatch_ratio = -1.0;
-  bool long_tail_workload = false;
-
-  NetworkConfig network;
-  KvProcessorConfig processor;
-
-  // Record simulator events (DMA, dispatch, station, network) for Chrome
-  // trace export. Off by default; costs one branch per hook when disabled.
-  bool enable_tracing = false;
-
-  // Per-request tracing (src/obs/request_trace.h): trace contexts created at
-  // client send, propagated through every layer, aggregated into the latency
-  // breakdown, the SLO monitor, and the flight recorder. Off by default; when
-  // disabled every hook is one branch on a zero handle.
-  bool enable_request_tracing = false;
-  SloConfig slo;
-  FlightRecorderConfig flight;
-
-  // Deterministic fault injection across the network, PCIe, and NIC DRAM
-  // models (src/fault). All-zero probabilities (the default) inject nothing.
-  FaultPlan faults;
-  // Server-side idempotent-replay cache for the framed request path: the
-  // most recent N responses are kept so a retransmitted request is answered
-  // from the cache instead of re-executing its (non-idempotent) operations.
-  uint32_t replay_cache_entries = 4096;
-  // Completed replay entries younger than this are never evicted, even when
-  // the cache is over budget: a retransmission of a just-answered frame may
-  // still be in flight, and evicting its entry would re-execute the ops.
-  // The cache may temporarily exceed `replay_cache_entries` to honor this.
-  SimTime replay_retain_time = 100 * kMillisecond;
-
-  // Tunes hash_index_ratio / inline_threshold / dispatch_ratio for a workload
-  // of `kv_bytes` key+value pairs, as §5.2.1 does before each benchmark.
-  void AutoTune(uint32_t kv_bytes, bool long_tail);
-};
 
 class KvDirectServer {
  public:
@@ -121,92 +64,56 @@ class KvDirectServer {
   Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
 
   // --- component access for benchmarks and diagnostics ---
-  Simulator& simulator() { return sim_; }
-  KvProcessor& processor() { return *processor_; }
-  HashIndex& index() { return *index_; }
-  SlabAllocator& allocator() { return *allocator_; }
-  LoadDispatcher& dispatcher() { return *dispatcher_; }
-  DmaEngine& dma() { return *dma_; }
-  NicDram& nic_dram() { return *nic_dram_; }
-  NetworkModel& network() { return *network_; }
-  UpdateFunctionRegistry& registry() { return registry_; }
-  FaultInjector& faults() { return *fault_; }
-  const ServerConfig& config() const { return config_; }
-  uint64_t replayed_responses() const { return replayed_responses_; }
-  uint64_t corrupt_frames() const { return corrupt_frames_; }
-  uint64_t stale_retransmits() const { return stale_retransmits_; }
+  NodeRuntime& runtime() { return runtime_; }
+  Simulator& simulator() { return runtime_.simulator(); }
+  KvProcessor& processor() { return runtime_.processor(); }
+  HashIndex& index() { return runtime_.index(); }
+  SlabAllocator& allocator() { return runtime_.allocator(); }
+  LoadDispatcher& dispatcher() { return runtime_.dispatcher(); }
+  DmaEngine& dma() { return runtime_.dma(); }
+  NicDram& nic_dram() { return runtime_.nic_dram(); }
+  NetworkModel& network() { return runtime_.network(); }
+  UpdateFunctionRegistry& registry() { return runtime_.registry(); }
+  FaultInjector& faults() { return runtime_.faults(); }
+  const ServerConfig& config() const { return runtime_.config(); }
+  uint64_t replayed_responses() const { return endpoint_.stats().replayed_responses; }
+  uint64_t corrupt_frames() const { return endpoint_.stats().corrupt_frames; }
+  uint64_t stale_retransmits() const { return endpoint_.stats().stale_retransmits; }
+  const FrameEndpoint& frame_endpoint() const { return endpoint_; }
   // Hands each client a disjoint 2^40-sequence space so frames from
   // different clients never collide in the replay cache.
   uint64_t AcquireClientSequenceBase() { return ++next_client_id_ << 40; }
-  const AccessStats& memory_stats() const { return direct_engine_->stats(); }
+  const AccessStats& memory_stats() const { return runtime_.memory_stats(); }
   // Every subsystem's counters, gauges, and histograms (Prometheus / JSON /
   // plain-text exposition).
-  const MetricRegistry& metrics() const { return metrics_; }
+  const MetricRegistry& metrics() const { return runtime_.metrics(); }
   // Simulator event trace; enable via ServerConfig::enable_tracing or
   // tracer().set_enabled(true).
-  EventTracer& tracer() { return tracer_; }
+  EventTracer& tracer() { return runtime_.tracer(); }
 
   // Request-tracing consumers. `request_tracer()` returns the *active* tracer
   // — the owned one, or the external one after UseRequestTracer (replication
   // groups share one tracer per group).
-  RequestTracer& request_tracer() { return *active_request_tracer_; }
-  FlightRecorder& flight_recorder() { return *active_flight_; }
-  LatencyBreakdown& breakdown() { return breakdown_; }
-  SloMonitor& slo_monitor() { return slo_monitor_; }
+  RequestTracer& request_tracer() { return runtime_.request_tracer(); }
+  FlightRecorder& flight_recorder() { return runtime_.flight_recorder(); }
+  LatencyBreakdown& breakdown() { return runtime_.breakdown(); }
+  SloMonitor& slo_monitor() { return runtime_.slo_monitor(); }
   // Re-points every component (and the framed delivery path) at an external
   // tracer/recorder. The owned instances stay alive, so registered metric
   // readers never dangle.
-  void UseRequestTracer(RequestTracer* tracer);
-  void UseFlightRecorder(FlightRecorder* recorder);
+  void UseRequestTracer(RequestTracer* tracer) { runtime_.UseRequestTracer(tracer); }
+  void UseFlightRecorder(FlightRecorder* recorder) { runtime_.UseFlightRecorder(recorder); }
 
  private:
-  ServerConfig config_;
-  // Null when running on an external (shared) simulator; sim_ aliases either
-  // the owned instance or the external one. Declared before every member
-  // that captures Simulator& at construction.
-  std::unique_ptr<Simulator> owned_sim_;
-  Simulator& sim_;
-  MetricRegistry metrics_;
-  EventTracer tracer_{sim_};
-  RequestTracer request_tracer_{sim_};
-  LatencyBreakdown breakdown_;
-  SloMonitor slo_monitor_{sim_};
-  FlightRecorder flight_recorder_{sim_};
-  RequestTracer* active_request_tracer_ = &request_tracer_;
-  FlightRecorder* active_flight_ = &flight_recorder_;
-  UpdateFunctionRegistry registry_;
-  std::unique_ptr<HostMemory> memory_;
-  std::unique_ptr<DirectEngine> direct_engine_;
-  std::unique_ptr<TraceRecordingEngine> trace_engine_;
-  std::unique_ptr<SlabAllocator> allocator_;
-  std::unique_ptr<HashIndex> index_;
-  std::unique_ptr<FaultInjector> fault_;
-  std::unique_ptr<DmaEngine> dma_;
-  std::unique_ptr<NicDram> nic_dram_;
-  std::unique_ptr<LoadDispatcher> dispatcher_;
-  std::unique_ptr<NetworkModel> network_;
-  std::unique_ptr<KvProcessor> processor_;
-
-  // Replay-dedup cache: framed responses by sequence, evicted FIFO — except
-  // that in-flight entries and entries completed less than
-  // `replay_retain_time` ago are never evicted (see ServerConfig).
-  struct ReplayEntry {
-    bool done = false;
-    SimTime done_at = 0;            // completion time, valid when done
-    std::vector<uint8_t> response;  // framed, ready to resend
-  };
-  std::unordered_map<uint64_t, ReplayEntry> replay_;
-  std::deque<uint64_t> replay_order_;
+  NodeRuntime runtime_;
+  FrameEndpoint endpoint_;
   uint64_t next_client_id_ = 0;
-  uint64_t replayed_responses_ = 0;
-  uint64_t corrupt_frames_ = 0;
-  uint64_t stale_retransmits_ = 0;
 };
 
 // A client endpoint on the simulated network. Synchronous calls advance the
 // simulator until their response arrives, so examples read like ordinary
 // key-value code while every microsecond is accounted for.
-class Client {
+class Client : public KvEndpoint {
  public:
   // End-to-end reliability: sequence-numbered, checksummed frames with
   // per-packet timeouts, exponential-backoff retransmission (same sequence,
@@ -217,18 +124,19 @@ class Client {
     // only for byte-exact wire accounting in benchmarks).
     bool enabled = true;
     SimTime timeout = 500 * kMicrosecond;  // doubles per retransmission
-    uint32_t max_attempts = 8;             // transmissions per frame; then fatal
+    // Transmissions per frame; exhausting them fails the frame's operations
+    // with kTimedOut instead of retrying forever.
+    uint32_t max_attempts = 8;
     SimTime busy_backoff = 10 * kMicrosecond;  // doubles per kBusy round
-    uint32_t max_busy_retries = 16;            // kBusy re-send rounds; then fatal
+    // kBusy re-send rounds; exhausting them yields kTimedOut for the
+    // still-busy operations.
+    uint32_t max_busy_retries = 16;
   };
 
-  struct Stats {
-    uint64_t packets_sent = 0;         // distinct frames (first transmissions)
-    uint64_t retransmits = 0;          // timeout-driven re-sends
-    uint64_t busy_retries = 0;         // ops re-sent after a kBusy response
-    uint64_t corrupt_responses = 0;    // responses failing checksum/decode
-    uint64_t duplicate_responses = 0;  // responses for already-completed frames
-  };
+  // packets_sent: distinct frames (first transmissions); retransmits:
+  // timeout-driven re-sends; busy_retries: ops re-sent after kBusy;
+  // corrupt_responses / duplicate_responses: dropped response frames.
+  using Stats = ReliableSender::Stats;
 
   struct Options {
     uint32_t batch_payload_bytes = 4096;  // packet budget for batched calls
@@ -263,13 +171,20 @@ class Client {
   Result<std::vector<uint8_t>> Filter(std::span<const uint8_t> key, uint64_t param,
                                       uint16_t function_id, uint8_t element_width);
 
-  // --- batched pipeline ---
+  // --- batched pipeline (KvEndpoint) ---
   // Queues an operation for the next Flush(). Returns the index of its result.
-  size_t Enqueue(KvOperation op);
+  size_t Enqueue(KvOperation op) override;
   // Sends all queued operations (splitting across packets as needed), runs
   // the simulation until every response arrives, and returns results in
   // enqueue order.
-  std::vector<KvResultMessage> Flush();
+  std::vector<KvResultMessage> Flush() override;
+
+  ReliableSender::Stats endpoint_stats() const override { return stats_; }
+  SimTime now() const override { return server_.simulator().Now(); }
+  bool Step() override { return server_.simulator().Step(); }
+  // Raw datagram path (no framing, no retry): the closed-loop bench driver.
+  bool SubmitPacket(std::vector<uint8_t> ops_payload,
+                    std::function<void()> done) override;
 
   uint64_t packets_sent() const { return stats_.packets_sent; }
   const Stats& stats() const { return stats_; }
@@ -281,14 +196,15 @@ class Client {
   KvResultMessage Call(KvOperation op);
   std::vector<KvResultMessage> FlushReliable(std::vector<KvOperation> ops);
   std::vector<KvResultMessage> FlushUnreliable(std::vector<KvOperation> ops);
-  // Packs ops[indices...] into framed packets and transmits each.
+  // Packs ops[indices...] into framed packets and hands each to the sender.
   void SendBatch(const std::vector<KvOperation>& ops,
                  const std::vector<size_t>& indices,
                  const std::shared_ptr<FlushState>& flush);
-  // One transmission attempt plus its retransmission timer.
-  void TransmitPacket(const std::shared_ptr<PacketCtx>& ctx);
   void OnResponse(const std::shared_ptr<PacketCtx>& ctx,
                   std::vector<uint8_t> packet);
+  // ReliableSender hooks: one wire round trip; retry exhaustion.
+  void Wire(const ReliableSender::PacketPtr& packet);
+  void OnFail(const ReliableSender::PacketPtr& packet);
   // Advances the simulator by `duration` (backoff waits).
   void RunFor(SimTime duration);
 
@@ -297,6 +213,7 @@ class Client {
   std::vector<KvOperation> pending_;
   uint64_t next_sequence_;
   Stats stats_;
+  ReliableSender sender_;
 };
 
 }  // namespace kvd

@@ -116,4 +116,17 @@ std::vector<KvResultMessage> MultiNicClient::Flush() {
   return results;
 }
 
+ReliableSender::Stats MultiNicClient::endpoint_stats() const {
+  ReliableSender::Stats total;
+  for (const auto& client : clients_) {
+    const ReliableSender::Stats& nic = client->stats();
+    total.packets_sent += nic.packets_sent;
+    total.retransmits += nic.retransmits;
+    total.busy_retries += nic.busy_retries;
+    total.corrupt_responses += nic.corrupt_responses;
+    total.duplicate_responses += nic.duplicate_responses;
+  }
+  return total;
+}
+
 }  // namespace kvd

@@ -61,7 +61,7 @@ class MultiNicServer {
 };
 
 // Routes client operations to the owning NIC over each NIC's network model.
-class MultiNicClient {
+class MultiNicClient : public KvEndpoint {
  public:
   explicit MultiNicClient(MultiNicServer& cluster,
                           Client::Options options = Client::Options());
@@ -76,8 +76,16 @@ class MultiNicClient {
   // Batched pipeline: ops are partitioned per NIC, flushed in parallel
   // (each NIC's simulator runs its own packets), and results return in
   // enqueue order.
-  size_t Enqueue(KvOperation op);
-  std::vector<KvResultMessage> Flush();
+  size_t Enqueue(KvOperation op) override;
+  std::vector<KvResultMessage> Flush() override;
+
+  // Cluster-wide transport stats: the per-NIC clients' counters summed.
+  ReliableSender::Stats endpoint_stats() const override;
+  // The slowest NIC's clock — the wall-clock of the parallel rig. The NICs
+  // share nothing, so there is no single clock to Step(); Flush() drives
+  // each NIC's simulator itself.
+  SimTime now() const override { return cluster_.MaxSimTime(); }
+  bool Step() override { return false; }
 
  private:
   Client& ClientFor(std::span<const uint8_t> key);

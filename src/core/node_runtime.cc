@@ -1,0 +1,172 @@
+#include "src/core/node_runtime.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+void ServerConfig::AutoTune(uint32_t kv_bytes, bool long_tail) {
+  long_tail_workload = long_tail;
+  constexpr double kSlotPacking = 0.7;  // usable fraction of hash slots
+  if (kv_bytes <= kMaxInlineKvBytes) {
+    // Inline everything of this size: the corpus lives in the hash index, so
+    // the index takes nearly the whole region (a margin remains for chained
+    // buckets and stragglers).
+    inline_threshold_bytes = std::min<uint32_t>(kv_bytes, kMaxInlineKvBytes);
+    hash_index_ratio = 0.9;
+  } else {
+    // Non-inline: the index holds one 5-byte slot per KV, the heap holds the
+    // rounded slab. Ratio = index bytes : total bytes per KV, scale-free.
+    inline_threshold_bytes = 10;
+    const double index_per_kv = kSlotBytes / kSlotPacking;
+    const double slab_per_kv =
+        static_cast<double>(std::bit_ceil(kv_bytes + HashIndex::kSlabHeaderBytes));
+    hash_index_ratio = index_per_kv / (index_per_kv + slab_per_kv);
+  }
+  // Load dispatch ratio from the paper's balance condition (§3.3.4).
+  const double k = static_cast<double>(nic_dram.capacity_bytes) /
+                   static_cast<double>(kvs_memory_bytes);
+  const double pcie_tput =
+      pcie.link.bandwidth_bytes_per_sec * pcie.num_links * 0.84;  // achievable
+  dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
+      pcie_tput, nic_dram.bandwidth_bytes_per_sec, std::min(k, 1.0), long_tail,
+      static_cast<double>(kvs_memory_bytes) / std::max<uint32_t>(kv_bytes, 1));
+}
+
+NodeRuntime::NodeRuntime(const ServerConfig& config, Simulator* external_sim)
+    : config_(config),
+      owned_sim_(external_sim != nullptr ? nullptr : std::make_unique<Simulator>()),
+      sim_(external_sim != nullptr ? *external_sim : *owned_sim_) {
+  HashIndexConfig index_config;
+  index_config.memory_base = 0;
+  index_config.memory_size = config.kvs_memory_bytes;
+  index_config.hash_index_ratio = config.hash_index_ratio;
+  index_config.inline_threshold_bytes = config.inline_threshold_bytes;
+  index_config.min_slab_bytes = config.min_slab_bytes;
+  index_config.max_slab_bytes = config.max_slab_bytes;
+  const auto regions = index_config.ComputeRegions();
+
+  memory_ = std::make_unique<HostMemory>(config.kvs_memory_bytes);
+  direct_engine_ = std::make_unique<DirectEngine>(*memory_);
+  trace_engine_ = std::make_unique<TraceRecordingEngine>(*direct_engine_);
+
+  SlabConfig slab_config;
+  slab_config.region_base = regions.heap_base;
+  slab_config.region_size = regions.heap_size;
+  slab_config.min_slab_bytes = config.min_slab_bytes;
+  slab_config.max_slab_bytes = config.max_slab_bytes;
+  allocator_ = std::make_unique<SlabAllocator>(slab_config);
+
+  index_ = std::make_unique<HashIndex>(*trace_engine_, *allocator_, index_config);
+
+  fault_ = std::make_unique<FaultInjector>(config.faults);
+  dma_ = std::make_unique<DmaEngine>(sim_, config.pcie);
+  nic_dram_ = std::make_unique<NicDram>(sim_, config.nic_dram);
+
+  LoadDispatcherConfig dispatch_config;
+  dispatch_config.policy = config.dispatch_policy;
+  dispatch_config.host_memory_bytes = config.kvs_memory_bytes;
+  dispatch_config.nic_dram_bytes = config.nic_dram.capacity_bytes;
+  if (config.dispatch_ratio >= 0) {
+    dispatch_config.dispatch_ratio = config.dispatch_ratio;
+  } else {
+    const double k = std::min(1.0, static_cast<double>(config.nic_dram.capacity_bytes) /
+                                       static_cast<double>(config.kvs_memory_bytes));
+    dispatch_config.dispatch_ratio = LoadDispatcher::OptimalDispatchRatio(
+        config.pcie.link.bandwidth_bytes_per_sec * config.pcie.num_links * 0.84,
+        config.nic_dram.bandwidth_bytes_per_sec, k, config.long_tail_workload);
+  }
+  dispatcher_ = std::make_unique<LoadDispatcher>(sim_, *dma_, *nic_dram_,
+                                                 dispatch_config);
+
+  network_ = std::make_unique<NetworkModel>(sim_, config.network);
+
+  processor_ = std::make_unique<KvProcessor>(sim_, *index_, *trace_engine_,
+                                             *dispatcher_, registry_,
+                                             config.processor);
+  processor_->AttachSlabSyncStats(&allocator_->sync_stats());
+
+  // Fault wiring: one injector shared by every site so the plan's per-site
+  // streams stay independent of which subsystems are active.
+  dma_->SetFaultInjector(fault_.get());
+  nic_dram_->SetFaultInjector(fault_.get());
+  network_->SetFaultInjector(fault_.get());
+
+  // Request tracing: the tracer feeds the breakdown, the SLO monitor, and
+  // the flight-recorder ring; SLO breaches fire the recorder. Components get
+  // the pointers unconditionally (a zero handle short-circuits every hook).
+  request_tracer_.set_enabled(config.enable_request_tracing);
+  request_tracer_.SetBreakdown(&breakdown_);
+  slo_monitor_.Configure(config.slo);
+  request_tracer_.SetSloMonitor(&slo_monitor_);
+  flight_recorder_.Configure(config.flight);
+  flight_recorder_.set_enabled(config.enable_request_tracing);
+  flight_recorder_.SetRequestTracer(&request_tracer_);
+  flight_recorder_.SetMetricRegistry(&metrics_);
+  flight_recorder_.SetEventTracer(&tracer_);
+  request_tracer_.set_on_complete(
+      [this](const OpTrace& trace) { active_flight_->OnTraceComplete(trace); });
+  slo_monitor_.set_on_breach([this](const std::string& detail) {
+    active_flight_->Trigger(FlightTrigger::kSloBreach, detail);
+  });
+  processor_->SetRequestTracer(&request_tracer_);
+  processor_->SetFlightRecorder(&flight_recorder_);
+  dispatcher_->SetRequestTracer(&request_tracer_);
+  dispatcher_->SetFlightRecorder(&flight_recorder_);
+  dma_->SetRequestTracer(&request_tracer_);
+  nic_dram_->SetRequestTracer(&request_tracer_);
+  network_->SetRequestTracer(&request_tracer_);
+  fault_->SetFlightRecorder(&flight_recorder_);
+  if (config.enable_request_tracing) {
+    // Registered only when tracing is on, so the default metric exposition
+    // is byte-identical to the untraced build.
+    request_tracer_.RegisterMetrics(metrics_);
+    breakdown_.RegisterMetrics(metrics_);
+    slo_monitor_.RegisterMetrics(metrics_);
+    flight_recorder_.RegisterMetrics(metrics_);
+  }
+
+  // Observability: every subsystem registers readers over its live stats into
+  // the shared registry and learns about the tracer. Neither changes timing.
+  tracer_.set_enabled(config.enable_tracing);
+  metrics_.RegisterCounter("kvd_events_dropped_total",
+                           "Events dropped at the EventTracer capacity limit",
+                           {}, [this] { return tracer_.dropped(); });
+  fault_->RegisterMetrics(metrics_);
+  fault_->SetTracer(&tracer_);
+  processor_->RegisterMetrics(metrics_);
+  processor_->SetTracer(&tracer_);
+  index_->RegisterMetrics(metrics_);
+  allocator_->RegisterMetrics(metrics_);
+  allocator_->SetTracer(&tracer_);
+  dispatcher_->RegisterMetrics(metrics_);
+  dispatcher_->SetTracer(&tracer_);
+  dma_->RegisterMetrics(metrics_);
+  dma_->SetTracer(&tracer_);
+  nic_dram_->RegisterMetrics(metrics_);
+  nic_dram_->SetTracer(&tracer_);
+  network_->RegisterMetrics(metrics_);
+  network_->SetTracer(&tracer_);
+}
+
+void NodeRuntime::UseRequestTracer(RequestTracer* tracer) {
+  KVD_CHECK(tracer != nullptr);
+  active_request_tracer_ = tracer;
+  processor_->SetRequestTracer(tracer);
+  dispatcher_->SetRequestTracer(tracer);
+  dma_->SetRequestTracer(tracer);
+  nic_dram_->SetRequestTracer(tracer);
+  network_->SetRequestTracer(tracer);
+}
+
+void NodeRuntime::UseFlightRecorder(FlightRecorder* recorder) {
+  KVD_CHECK(recorder != nullptr);
+  active_flight_ = recorder;
+  processor_->SetFlightRecorder(recorder);
+  dispatcher_->SetFlightRecorder(recorder);
+  fault_->SetFlightRecorder(recorder);
+}
+
+}  // namespace kvd

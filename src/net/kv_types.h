@@ -36,6 +36,10 @@ enum class ResultCode : uint8_t {
   kOutOfMemory = 2,
   kInvalidArgument = 3,
   kBusy = 4,
+  // Client-local: the reliable channel exhausted its retransmission budget.
+  // Never wire-encoded — kMaxResultCodeByte below stays kBusy, so decoders
+  // reject this byte as corruption rather than a legal server answer.
+  kTimedOut = 5,
 };
 
 // Highest wire-legal bytes; decoders reject anything above instead of
@@ -84,6 +88,8 @@ constexpr const char* ResultCodeName(ResultCode code) {
       return "INVALID_ARGUMENT";
     case ResultCode::kBusy:
       return "BUSY";
+    case ResultCode::kTimedOut:
+      return "TIMED_OUT";
   }
   return "UNKNOWN_RESULT";
 }

@@ -3,7 +3,6 @@
 #include <cstring>
 
 #include "src/common/assert.h"
-#include "src/common/hashing.h"
 
 namespace kvd {
 namespace {
@@ -250,42 +249,6 @@ Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& p
     results.push_back(std::move(result));
   }
   return results;
-}
-
-namespace {
-
-// 32-bit payload checksum keyed by the sequence number, so a flip anywhere in
-// the frame (sequence, checksum, or payload) breaks verification.
-uint32_t FrameChecksum(uint64_t sequence, std::span<const uint8_t> payload) {
-  return static_cast<uint32_t>(
-      HashBytes(payload.data(), payload.size(), Mix64(sequence) ^ 0xf4a3e));
-}
-
-}  // namespace
-
-std::vector<uint8_t> FramePacket(uint64_t sequence, std::span<const uint8_t> payload) {
-  std::vector<uint8_t> out;
-  out.reserve(kFrameHeaderBytes + payload.size());
-  AppendU64(out, sequence);
-  AppendU32(out, FrameChecksum(sequence, payload));
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
-}
-
-Result<Frame> ParseFrame(std::span<const uint8_t> packet) {
-  if (packet.size() < kFrameHeaderBytes) {
-    return Status::InvalidArgument("truncated frame header");
-  }
-  Frame frame;
-  uint32_t checksum;
-  std::memcpy(&frame.sequence, packet.data(), 8);
-  std::memcpy(&checksum, packet.data() + 8, 4);
-  const std::span<const uint8_t> payload = packet.subspan(kFrameHeaderBytes);
-  if (checksum != FrameChecksum(frame.sequence, payload)) {
-    return Status::InvalidArgument("frame checksum mismatch");
-  }
-  frame.payload.assign(payload.begin(), payload.end());
-  return frame;
 }
 
 }  // namespace kvd

@@ -89,29 +89,8 @@ inline constexpr size_t kResultHeaderBytes = 17;
 std::vector<uint8_t> EncodeResults(const std::vector<KvResultMessage>& results);
 Result<std::vector<KvResultMessage>> DecodeResults(const std::vector<uint8_t>& payload);
 
-// --- reliable framing (retry/timeout layer) ---
-//
-// The lossless-wire encoding above carries no identity: a retransmitted
-// request is indistinguishable from a new one and a corrupted packet decodes
-// as garbage. The frame header adds both:
-//
-//   u64 sequence | u32 checksum | payload bytes
-//
-// `sequence` identifies the packet across retransmissions (the server dedups
-// on it for idempotent replay) and `checksum` covers sequence + payload, so
-// in-flight bit flips are detected and the frame is dropped rather than
-// decoded. Responses echo the request sequence.
-inline constexpr size_t kFrameHeaderBytes = 12;
-
-std::vector<uint8_t> FramePacket(uint64_t sequence, std::span<const uint8_t> payload);
-
-struct Frame {
-  uint64_t sequence = 0;
-  std::vector<uint8_t> payload;
-};
-
-// Verifies the checksum; kInvalidArgument on truncation or corruption.
-Result<Frame> ParseFrame(std::span<const uint8_t> packet);
+// Reliable framing (sequence + checksum) lives in src/transport/frame.h:
+// this file is only the lossless payload encoding the frames carry.
 
 // Encoded size of one operation given the previous op in the packet (used by
 // benchmarks to reason about network efficiency without building packets).

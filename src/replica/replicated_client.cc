@@ -1,10 +1,12 @@
 #include "src/replica/replicated_client.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "src/common/assert.h"
 #include "src/net/wire_format.h"
+#include "src/transport/frame.h"
 
 namespace kvd {
 
@@ -13,19 +15,12 @@ struct ReplicatedClient::FlushState {
   size_t outstanding = 0;
 };
 
-struct ReplicatedClient::PacketCtx {
-  uint64_t sequence = 0;
+struct ReplicatedClient::PacketCtx : ReliablePacket {
   std::vector<uint8_t> ops_payload;  // PacketBuilder output
-  std::vector<uint8_t> framed;       // FramePacket(sequence, GroupRequest)
   std::vector<size_t> op_indices;    // flush-result slots, packet order
   std::vector<std::vector<uint8_t>> write_keys;
   uint64_t required = 0;  // max watermark over the packet's keys
   bool is_write = false;
-  uint32_t target = 0;
-  uint32_t attempts = 0;
-  uint32_t attempts_at_target = 0;
-  bool completed = false;
-  std::vector<uint64_t> traces;  // one handle per op, packet order (or empty)
   std::shared_ptr<FlushState> flush;
 };
 
@@ -33,7 +28,16 @@ ReplicatedClient::ReplicatedClient(ReplicationGroup& group, Options options)
     : group_(group),
       options_(options),
       next_sequence_(group.AcquireClientSequenceBase()),
-      believed_primary_(group.primary_id()) {
+      believed_primary_(group.primary_id()),
+      sender_(group.simulator(),
+              ReliableSender::RetryPolicy{options_.timeout,
+                                          options_.max_attempts,
+                                          /*backoff_shift_cap=*/6,
+                                          options_.attempts_per_target,
+                                          group.num_replicas()},
+              &stats_, [this]() -> RequestTracer& { return group_.request_tracer(); },
+              [this](const ReliableSender::PacketPtr& packet) { Wire(packet); },
+              [this](const ReliableSender::PacketPtr& packet) { OnFail(packet); }) {
   KVD_CHECK_MSG(options_.batch_payload_bytes > kFrameHeaderBytes + 8 + 64,
                 "packet budget too small for the framing and routing headers");
 }
@@ -113,7 +117,7 @@ void ReplicatedClient::BeginFlush() {
       next_read_target_++;
     }
     stats_.packets_sent++;
-    TransmitPacket(packet);
+    sender_.Send(packet);
   }
 }
 
@@ -138,25 +142,8 @@ std::vector<KvResultMessage> ReplicatedClient::Flush() {
   return TakeResults();
 }
 
-void ReplicatedClient::Retarget(const std::shared_ptr<PacketCtx>& ctx,
-                                uint32_t target) {
-  ctx->target = target % group_.num_replicas();
-  ctx->attempts_at_target = 0;
-}
-
-void ReplicatedClient::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
-  KVD_CHECK_MSG(ctx->attempts < options_.max_attempts,
-                "replicated request exhausted its attempts");
-  ctx->attempts++;
-  ctx->attempts_at_target++;
-  RequestTracer& rt = group_.request_tracer();
-  for (uint64_t handle : ctx->traces) {
-    rt.CountAttempt(handle);
-    if (ctx->attempts > 1) {
-      rt.Span(handle, SpanKind::kRetransmit, group_.simulator().Now(),
-              group_.simulator().Now(), ctx->attempts - 1);
-    }
-  }
+void ReplicatedClient::Wire(const ReliableSender::PacketPtr& packet) {
+  auto ctx = std::static_pointer_cast<PacketCtx>(packet);
   const uint32_t target = ctx->target;
   auto deliver = [this, ctx, target](std::vector<uint8_t> packet) {
     group_.DeliverClientFrame(
@@ -181,35 +168,36 @@ void ReplicatedClient::TransmitPacket(const std::shared_ptr<PacketCtx>& ctx) {
     group_.client_network(target).SendPayloadToServer(
         ctx->framed, std::move(deliver), ctx->traces);
   }
+}
 
-  const uint32_t shift = std::min(ctx->attempts - 1, 6u);
-  const uint32_t seen = ctx->attempts;
-  group_.simulator().Schedule(options_.timeout << shift, [this, ctx, seen] {
-    if (ctx->completed || ctx->attempts != seen) {
-      return;  // answered, or a bounce already re-sent it
+void ReplicatedClient::OnFail(const ReliableSender::PacketPtr& packet) {
+  auto ctx = std::static_pointer_cast<PacketCtx>(packet);
+  KvResultMessage timed_out;
+  timed_out.code = ResultCode::kTimedOut;
+  for (size_t index : ctx->op_indices) {
+    ctx->flush->results[index] = timed_out;
+  }
+  RequestTracer& rt = group_.request_tracer();
+  if (!ctx->traces.empty() && rt.enabled()) {
+    for (uint64_t handle : ctx->traces) {
+      if (handle != 0) {
+        rt.Finish(handle, ResultCode::kTimedOut);
+      }
     }
-    stats_.retransmits++;
-    if (ctx->attempts_at_target >= options_.attempts_per_target) {
-      Retarget(ctx, ctx->target + 1);  // this replica may be crashed
-    }
-    TransmitPacket(ctx);
-  });
+  }
+  ctx->flush->outstanding--;
 }
 
 void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
                                   std::vector<uint8_t> packet) {
-  if (ctx->completed) {
-    stats_.duplicate_responses++;
-    return;
+  std::optional<std::vector<uint8_t>> payload =
+      sender_.AcceptResponse(ctx, packet);
+  if (!payload.has_value()) {
+    return;  // duplicate, corrupt, or foreign frame — counted by the sender
   }
-  Result<Frame> frame = ParseFrame(packet);
-  if (!frame.ok() || frame.value().sequence != ctx->sequence) {
-    stats_.corrupt_responses++;
-    return;
-  }
-  Result<GroupResponse> decoded = DecodeGroupResponse(frame.value().payload);
+  Result<GroupResponse> decoded = DecodeGroupResponse(*payload);
   if (!decoded.ok()) {
-    stats_.corrupt_responses++;
+    sender_.NoteCorruptResponse();
     return;
   }
   const GroupResponse& response = decoded.value();
@@ -223,7 +211,7 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     // watermark, and writes only land there anyway. Back off a beat so the
     // group converges instead of being hammered mid-failover.
     believed_primary_ = response.primary_id;
-    Retarget(ctx, response.primary_id);
+    sender_.Retarget(ctx, response.primary_id);
     const bool redirect = (response.flags & kGroupRedirect) != 0;
     const SimTime bounced_at = group_.simulator().Now();
     group_.simulator().Schedule(
@@ -236,7 +224,7 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
             rt.Span(handle, SpanKind::kBusyRetry, bounced_at,
                     group_.simulator().Now(), redirect ? 1 : 2);
           }
-          TransmitPacket(ctx);
+          sender_.Resend(ctx);
         });
     return;
   }
@@ -244,7 +232,7 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
   Result<std::vector<KvResultMessage>> results =
       DecodeResults(response.results_payload);
   if (!results.ok()) {
-    stats_.corrupt_responses++;
+    sender_.NoteCorruptResponse();
     return;  // retransmission timer recovers
   }
   std::vector<KvResultMessage>& slots = results.value();
@@ -259,7 +247,7 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
       ctx->flush->results[ctx->op_indices[i]] = std::move(slots[i]);
     }
   } else {
-    stats_.corrupt_responses++;
+    sender_.NoteCorruptResponse();
     return;
   }
   ctx->completed = true;
@@ -318,6 +306,19 @@ ClusterClient::ClusterClient(ReplicatedCluster& cluster,
     shard_clients_.push_back(
         std::make_unique<ReplicatedClient>(cluster.shard(i), options));
   }
+}
+
+ReliableSender::Stats ClusterClient::endpoint_stats() const {
+  ReliableSender::Stats total;
+  for (const auto& client : shard_clients_) {
+    const ReliableSender::Stats shard = client->endpoint_stats();
+    total.packets_sent += shard.packets_sent;
+    total.retransmits += shard.retransmits;
+    total.busy_retries += shard.busy_retries;
+    total.corrupt_responses += shard.corrupt_responses;
+    total.duplicate_responses += shard.duplicate_responses;
+  }
+  return total;
 }
 
 size_t ClusterClient::Enqueue(KvOperation op) {

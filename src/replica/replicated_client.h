@@ -25,17 +25,19 @@
 
 #include "src/common/key_router.h"
 #include "src/replica/replication_group.h"
+#include "src/transport/kv_endpoint.h"
 
 namespace kvd {
 
-class ReplicatedClient {
+class ReplicatedClient : public KvEndpoint {
  public:
   struct Options {
     uint32_t batch_payload_bytes = 4096;
     bool enable_compression = true;
     SimTime timeout = 500 * kMicrosecond;  // doubles per retransmission
-    // Transmissions of one packet before giving up (fatal): sized to ride
-    // out a failover (detection + election) under the doubling timeout.
+    // Transmissions of one packet before its operations fail with kTimedOut:
+    // sized to ride out a failover (detection + election) under the doubling
+    // timeout.
     uint32_t max_attempts = 24;
     // After this many attempts at one replica, rotate to the next — the
     // current target may be crashed.
@@ -45,13 +47,11 @@ class ReplicatedClient {
     SimTime redirect_backoff = 50 * kMicrosecond;
   };
 
-  struct Stats {
-    uint64_t packets_sent = 0;        // first transmissions
-    uint64_t retransmits = 0;         // timeout-driven re-sends
+  // packets_sent / retransmits / corrupt_responses / duplicate_responses as
+  // in ReliableSender::Stats, plus the group-protocol bounces.
+  struct Stats : ReliableSender::Stats {
     uint64_t redirects_followed = 0;  // kGroupRedirect bounces
     uint64_t stale_retries = 0;       // kGroupStaleRead bounces
-    uint64_t corrupt_responses = 0;
-    uint64_t duplicate_responses = 0;
   };
 
   explicit ReplicatedClient(ReplicationGroup& group)
@@ -59,11 +59,15 @@ class ReplicatedClient {
   ReplicatedClient(ReplicationGroup& group, Options options);
 
   // Queues an operation for the next flush; returns its result index.
-  size_t Enqueue(KvOperation op);
+  size_t Enqueue(KvOperation op) override;
 
   // Sends every queued operation and drives the group's simulator until all
   // responses arrive. Results are in enqueue order.
-  std::vector<KvResultMessage> Flush();
+  std::vector<KvResultMessage> Flush() override;
+
+  ReliableSender::Stats endpoint_stats() const override { return stats_; }
+  SimTime now() const override { return group_.simulator().Now(); }
+  bool Step() override { return group_.simulator().Step(); }
 
   // Split-phase flush for multi-shard composition: BeginFlush() transmits
   // without stepping the simulator; the caller steps the (shared) clock until
@@ -78,10 +82,11 @@ class ReplicatedClient {
   struct FlushState;
   struct PacketCtx;
 
-  void TransmitPacket(const std::shared_ptr<PacketCtx>& ctx);
-  void Retarget(const std::shared_ptr<PacketCtx>& ctx, uint32_t target);
   void OnResponse(const std::shared_ptr<PacketCtx>& ctx,
                   std::vector<uint8_t> packet);
+  // ReliableSender hooks: one wire round trip; retry exhaustion.
+  void Wire(const ReliableSender::PacketPtr& packet);
+  void OnFail(const ReliableSender::PacketPtr& packet);
 
   ReplicationGroup& group_;
   Options options_;
@@ -95,6 +100,7 @@ class ReplicatedClient {
   std::map<std::vector<uint8_t>, uint64_t> watermarks_;
   std::shared_ptr<FlushState> flush_;
   Stats stats_;
+  ReliableSender sender_;
 };
 
 // One ReplicationGroup per shard, all on one owned simulator, with the same
@@ -128,14 +134,19 @@ class ReplicatedCluster {
 
 // Batches across shards: partitions by key, flushes every shard client on the
 // shared clock concurrently, and merges results in enqueue order.
-class ClusterClient {
+class ClusterClient : public KvEndpoint {
  public:
   explicit ClusterClient(ReplicatedCluster& cluster)
       : ClusterClient(cluster, ReplicatedClient::Options()) {}
   ClusterClient(ReplicatedCluster& cluster, ReplicatedClient::Options options);
 
-  size_t Enqueue(KvOperation op);
-  std::vector<KvResultMessage> Flush();
+  size_t Enqueue(KvOperation op) override;
+  std::vector<KvResultMessage> Flush() override;
+
+  // Cluster-wide transport stats: the per-shard clients' counters summed.
+  ReliableSender::Stats endpoint_stats() const override;
+  SimTime now() const override { return cluster_.simulator().Now(); }
+  bool Step() override { return cluster_.simulator().Step(); }
 
   ReplicatedClient& shard_client(uint32_t index) { return *shard_clients_[index]; }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/assert.h"
 #include "src/net/wire_format.h"
+#include "src/transport/frame.h"
 
 namespace kvd {
 namespace {
@@ -73,6 +74,9 @@ ReplicationGroup::ReplicationGroup(const ReplicationConfig& config,
     rep->repl_net->SetFaultInjector(fault_.get());
     rep->repl_net->SetTracer(&tracer_);
     rep->repl_net->SetRequestTracer(&request_tracer_);
+    rep->endpoint = std::make_unique<FrameEndpoint>(
+        sim_, ReplayCache::Config{config_.replay_cache_entries,
+                                  config_.replay_retain_time});
     rep->match.assign(config_.num_replicas, 0);
     rep->next.assign(config_.num_replicas, 1);
     replicas_.push_back(std::move(rep));
@@ -194,23 +198,12 @@ void ReplicationGroup::DeliverClientFrame(
   if (rep.crashed) {
     return;  // the client's retransmission timer covers it
   }
-  Result<Frame> frame = ParseFrame(packet);
-  if (!frame.ok()) {
-    stats_.corrupt_client_frames++;
-    return;
+  std::optional<Frame> frame = rep.endpoint->Accept(packet, respond);
+  if (!frame.has_value()) {
+    return;  // corrupt (dropped), replayed (answered), or still in flight
   }
-  const uint64_t sequence = frame.value().sequence;
-  auto replayed = rep.replay.find(sequence);
-  if (replayed != rep.replay.end()) {
-    if (replayed->second.done) {
-      stats_.replayed_responses++;
-      respond(replayed->second.response);
-    } else {
-      stats_.stale_retransmits++;
-    }
-    return;
-  }
-  Result<GroupRequest> request = DecodeGroupRequest(frame.value().payload);
+  const uint64_t sequence = frame->sequence;
+  Result<GroupRequest> request = DecodeGroupRequest(frame->payload);
   if (!request.ok()) {
     AdmitReplay(rep, sequence);
     KvResultMessage err;
@@ -540,41 +533,11 @@ void ReplicationGroup::TrackKey(Replica& rep, const KvOperation& op) {
 void ReplicationGroup::FinishResponse(
     Replica& rep, uint64_t sequence, GroupResponse response,
     const std::function<void(std::vector<uint8_t>)>& respond, bool cache) {
-  std::vector<uint8_t> framed =
-      FramePacket(sequence, EncodeGroupResponse(response));
-  if (cache) {
-    auto [it, inserted] = rep.replay.try_emplace(sequence);
-    if (inserted) {
-      rep.replay_order.push_back(sequence);
-    }
-    it->second.done = true;
-    it->second.done_at = sim_.Now();
-    it->second.response = framed;
-  }
-  respond(std::move(framed));
+  respond(rep.endpoint->Complete(sequence, EncodeGroupResponse(response), cache));
 }
 
 void ReplicationGroup::AdmitReplay(Replica& rep, uint64_t sequence) {
-  EvictReplay(rep);
-  rep.replay.try_emplace(sequence);
-  rep.replay_order.push_back(sequence);
-}
-
-void ReplicationGroup::EvictReplay(Replica& rep) {
-  while (rep.replay_order.size() > config_.replay_cache_entries) {
-    const uint64_t oldest = rep.replay_order.front();
-    auto it = rep.replay.find(oldest);
-    if (it == rep.replay.end()) {
-      rep.replay_order.pop_front();  // already dropped (DropInFlight)
-      continue;
-    }
-    if (!it->second.done ||
-        sim_.Now() < it->second.done_at + config_.replay_retain_time) {
-      break;  // in flight, or a retransmission may still be on the wire
-    }
-    rep.replay.erase(it);
-    rep.replay_order.pop_front();
-  }
+  rep.endpoint->Admit(sequence);
 }
 
 void ReplicationGroup::DropInFlight(Replica& rep) {
@@ -583,17 +546,8 @@ void ReplicationGroup::DropInFlight(Replica& rep) {
   // Parked drain writes die with the reign; the clients' timers cover them.
   rep.draining_for_snapshot = false;
   rep.deferred_writes.clear();
-  std::vector<uint64_t> in_flight;
-  for (const auto& [sequence, entry] : rep.replay) {
-    if (!entry.done) {
-      in_flight.push_back(sequence);
-    }
-  }
-  // The erased set is order-independent; replay_order keeps stale sequences
-  // that the eviction loop skips over.
-  for (uint64_t sequence : in_flight) {
-    rep.replay.erase(sequence);
-  }
+  // In-flight replay entries die too: their executions will never respond.
+  rep.endpoint->DropInFlight();
 }
 
 // --- replication path ---
@@ -1331,6 +1285,17 @@ void ReplicationGroup::Tick() {
   });
 }
 
+ReplicationGroup::GroupStats ReplicationGroup::stats() const {
+  GroupStats snapshot = stats_;
+  for (const auto& rep : replicas_) {
+    const FrameEndpoint::Stats& endpoint = rep->endpoint->stats();
+    snapshot.replayed_responses += endpoint.replayed_responses;
+    snapshot.corrupt_client_frames += endpoint.corrupt_frames;
+    snapshot.stale_retransmits += endpoint.stale_retransmits;
+  }
+  return snapshot;
+}
+
 void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterCounter("kvd_repl_appends_total",
                            "kAppend windows sent, heartbeats included", {},
@@ -1377,18 +1342,47 @@ void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterCounter("kvd_repl_session_dedup_hits_total",
                            "Write slots answered from replicated sessions", {},
                            &stats_.session_dedup_hits);
+  // The replay/frame counters live in the per-replica transport endpoints;
+  // expose the group-wide sums.
   metrics_.RegisterCounter("kvd_repl_replayed_responses_total",
                            "Retransmissions answered from the replay cache", {},
-                           &stats_.replayed_responses);
+                           [this] {
+                             uint64_t total = 0;
+                             for (const auto& rep : replicas_) {
+                               total += rep->endpoint->stats().replayed_responses;
+                             }
+                             return total;
+                           });
   metrics_.RegisterCounter("kvd_repl_corrupt_client_frames_total",
                            "Client frames dropped by checksum/decode", {},
-                           &stats_.corrupt_client_frames);
+                           [this] {
+                             uint64_t total = 0;
+                             for (const auto& rep : replicas_) {
+                               total += rep->endpoint->stats().corrupt_frames;
+                             }
+                             return total;
+                           });
   metrics_.RegisterCounter("kvd_repl_corrupt_replica_frames_total",
                            "Replication frames dropped by checksum/decode", {},
                            &stats_.corrupt_replica_frames);
   metrics_.RegisterCounter("kvd_repl_stale_retransmits_total",
                            "Retransmissions of still-executing requests", {},
-                           &stats_.stale_retransmits);
+                           [this] {
+                             uint64_t total = 0;
+                             for (const auto& rep : replicas_) {
+                               total += rep->endpoint->stats().stale_retransmits;
+                             }
+                             return total;
+                           });
+  metrics_.RegisterCounter("kvd_repl_replay_evict_scan_steps_total",
+                           "Replay-cache eviction queue entries examined", {},
+                           [this] {
+                             uint64_t total = 0;
+                             for (const auto& rep : replicas_) {
+                               total += rep->endpoint->cache().evict_scan_steps();
+                             }
+                             return total;
+                           });
   metrics_.RegisterGauge("kvd_repl_epoch", "Current epoch at the primary", {},
                          [this] { return static_cast<double>(epoch()); });
   metrics_.RegisterGauge("kvd_repl_commit_index",

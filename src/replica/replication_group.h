@@ -51,13 +51,13 @@
 #include <memory>
 #include <set>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/core/kv_direct.h"
 #include "src/replica/replica_log.h"
 #include "src/replica/replica_wire.h"
+#include "src/transport/frame_endpoint.h"
 
 namespace kvd {
 
@@ -203,7 +203,9 @@ class ReplicationGroup {
     uint64_t stale_retransmits = 0;      // retransmits of in-flight requests
     uint64_t last_failover_downtime_ns = 0;
   };
-  const GroupStats& stats() const { return stats_; }
+  // By value: the replay/frame counters live in the per-replica transport
+  // endpoints and are summed into the snapshot here.
+  GroupStats stats() const;
 
   // Per-group latency histograms — exposed so multi-shard deployments can
   // Merge() them into cluster-wide distributions (exact bucket merge).
@@ -224,16 +226,14 @@ class ReplicationGroup {
     std::function<void(std::vector<uint8_t>)> respond;
   };
 
-  struct ReplayEntry {
-    bool done = false;
-    SimTime done_at = 0;
-    std::vector<uint8_t> response;
-  };
-
   struct Replica {
     uint32_t id = 0;
     std::unique_ptr<KvDirectServer> server;
     std::unique_ptr<NetworkModel> repl_net;  // inbound replication link
+    // Client-facing terminus of the reliable channel: framing, checksum, and
+    // replay dedup (src/transport). One per replica — a retransmission is
+    // answered from the cache only on the replica that produced the response.
+    std::unique_ptr<FrameEndpoint> endpoint;
 
     bool crashed = false;
     bool is_primary = false;
@@ -312,10 +312,6 @@ class ReplicationGroup {
     // evicted. Identical on every replica holding the same log prefix.
     std::map<uint64_t, std::map<uint16_t, KvResultMessage>> sessions;
     std::deque<uint64_t> session_order;
-
-    // Client replay cache (PR 2 semantics, incl. retain-time eviction).
-    std::unordered_map<uint64_t, ReplayEntry> replay;
-    std::deque<uint64_t> replay_order;
   };
 
   // --- client path ---
@@ -341,7 +337,6 @@ class ReplicationGroup {
                       const std::function<void(std::vector<uint8_t>)>& respond,
                       bool cache);
   void AdmitReplay(Replica& rep, uint64_t sequence);
-  void EvictReplay(Replica& rep);
   void DropInFlight(Replica& rep);  // step-down / crash: forget pending work
 
   // --- replication path ---

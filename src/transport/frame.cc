@@ -1,0 +1,48 @@
+#include "src/transport/frame.h"
+
+#include <cstring>
+
+#include "src/common/hashing.h"
+
+namespace kvd {
+namespace {
+
+// 32-bit payload checksum keyed by the sequence number, so a flip anywhere in
+// the frame (sequence, checksum, or payload) breaks verification.
+uint32_t FrameChecksum(uint64_t sequence, std::span<const uint8_t> payload) {
+  return static_cast<uint32_t>(
+      HashBytes(payload.data(), payload.size(), Mix64(sequence) ^ 0xf4a3e));
+}
+
+}  // namespace
+
+std::vector<uint8_t> FramePacket(uint64_t sequence, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  const size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &sequence, 8);
+  const uint32_t checksum = FrameChecksum(sequence, payload);
+  out.resize(at + 12);
+  std::memcpy(out.data() + at + 8, &checksum, 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Frame> ParseFrame(std::span<const uint8_t> packet) {
+  if (packet.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  Frame frame;
+  uint32_t checksum;
+  std::memcpy(&frame.sequence, packet.data(), 8);
+  std::memcpy(&checksum, packet.data() + 8, 4);
+  const std::span<const uint8_t> payload = packet.subspan(kFrameHeaderBytes);
+  if (checksum != FrameChecksum(frame.sequence, payload)) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace kvd

@@ -1,0 +1,38 @@
+#include "src/transport/frame_endpoint.h"
+
+#include <utility>
+
+namespace kvd {
+
+std::optional<Frame> FrameEndpoint::Accept(std::span<const uint8_t> packet,
+                                           const Responder& respond) {
+  Result<Frame> frame = ParseFrame(packet);
+  if (!frame.ok()) {
+    stats_.corrupt_frames++;
+    return std::nullopt;
+  }
+  const std::vector<uint8_t>* cached = nullptr;
+  switch (cache_.Lookup(frame->sequence, &cached)) {
+    case ReplayCache::Hit::kDone:
+      stats_.replayed_responses++;
+      respond(*cached);
+      return std::nullopt;
+    case ReplayCache::Hit::kInFlight:
+      stats_.stale_retransmits++;
+      return std::nullopt;
+    case ReplayCache::Hit::kMiss:
+      break;
+  }
+  return std::move(*frame);
+}
+
+std::vector<uint8_t> FrameEndpoint::Complete(
+    uint64_t sequence, std::span<const uint8_t> response_payload, bool cache) {
+  std::vector<uint8_t> framed = FramePacket(sequence, response_payload);
+  if (cache) {
+    cache_.Complete(sequence, framed);
+  }
+  return framed;
+}
+
+}  // namespace kvd

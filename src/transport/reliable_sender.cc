@@ -1,0 +1,74 @@
+#include "src/transport/reliable_sender.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kvd {
+
+void ReliableSender::Transmit(const PacketPtr& packet) {
+  packet->attempts++;
+  packet->attempts_at_target++;
+  RequestTracer& rt = tracer_();
+  if (!packet->traces.empty() && rt.enabled()) {
+    for (const uint64_t handle : packet->traces) {
+      rt.CountAttempt(handle);
+      if (packet->attempts > 1) {
+        // Timeout-driven retransmission marker (detail: attempt number).
+        rt.Span(handle, SpanKind::kRetransmit, sim_.Now(), sim_.Now(),
+                packet->attempts - 1);
+      }
+    }
+  }
+  wire_(packet);
+  // Retransmission timer for this attempt; exponential backoff. A timer that
+  // fires after completion (or after a newer attempt took over) is a no-op.
+  const uint32_t seen = packet->attempts;
+  const SimTime timeout =
+      policy_.timeout << std::min(seen - 1, policy_.backoff_shift_cap);
+  sim_.Schedule(timeout, [this, packet, seen] {
+    if (packet->completed || packet->attempts != seen) {
+      return;  // answered, or a bounce already re-sent it
+    }
+    if (packet->attempts >= policy_.max_attempts) {
+      Fail(packet);
+      return;
+    }
+    stats_->retransmits++;
+    if (policy_.attempts_per_target > 0 &&
+        packet->attempts_at_target >= policy_.attempts_per_target) {
+      Retarget(packet, packet->target + 1);  // this replica may be crashed
+    }
+    Transmit(packet);
+  });
+}
+
+void ReliableSender::Resend(const PacketPtr& packet) {
+  if (packet->attempts >= policy_.max_attempts) {
+    Fail(packet);
+    return;
+  }
+  Transmit(packet);
+}
+
+void ReliableSender::Fail(const PacketPtr& packet) {
+  packet->failed = true;
+  packet->completed = true;  // late responses dedup instead of double-filling
+  on_fail_(packet);
+}
+
+std::optional<std::vector<uint8_t>> ReliableSender::AcceptResponse(
+    const PacketPtr& packet, std::span<const uint8_t> response) {
+  if (packet->completed) {
+    stats_->duplicate_responses++;  // injected duplicate or late retransmit
+    return std::nullopt;
+  }
+  Result<Frame> frame = ParseFrame(response);
+  if (!frame.ok() || frame->sequence != packet->sequence) {
+    // Bit-flipped in flight (or a foreign frame): await the timer.
+    stats_->corrupt_responses++;
+    return std::nullopt;
+  }
+  return std::move(frame->payload);
+}
+
+}  // namespace kvd

@@ -1,0 +1,63 @@
+#include "src/transport/replay_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kvd {
+
+void ReplayCache::Admit(uint64_t sequence) {
+  // Bounded rotating scan: examine at most min(queue, kMaxEvictScanSteps)
+  // entries. An eligible victim is evicted; a pinned entry rotates to the
+  // back so the next admission starts past it. Stale slots (erased by
+  // DropInFlight) are reclaimed for free.
+  const size_t limit =
+      std::min<size_t>(order_.size(), kMaxEvictScanSteps);
+  size_t examined = 0;
+  while (order_.size() >= config_.entries && examined < limit) {
+    examined++;
+    evict_scan_steps_++;
+    const uint64_t victim = order_.front();
+    const auto it = entries_.find(victim);
+    if (it == entries_.end()) {
+      order_.pop_front();  // stale: already erased by DropInFlight
+      continue;
+    }
+    if (!it->second.done ||
+        sim_.Now() < it->second.done_at + config_.retain_time) {
+      // Pinned: in flight, or a retransmission may still be on the wire.
+      order_.pop_front();
+      order_.push_back(victim);
+      continue;
+    }
+    entries_.erase(it);
+    order_.pop_front();
+  }
+  entries_.try_emplace(sequence);
+  order_.push_back(sequence);
+}
+
+void ReplayCache::Complete(uint64_t sequence, std::vector<uint8_t> response) {
+  auto [it, inserted] = entries_.try_emplace(sequence);
+  if (inserted) {
+    order_.push_back(sequence);
+  }
+  it->second.done = true;
+  it->second.done_at = sim_.Now();
+  it->second.response = std::move(response);
+}
+
+void ReplayCache::DropInFlight() {
+  std::vector<uint64_t> in_flight;
+  for (const auto& [sequence, entry] : entries_) {
+    if (!entry.done) {
+      in_flight.push_back(sequence);
+    }
+  }
+  // The erased set is order-independent; order_ keeps stale slots that the
+  // eviction scan skips over and reclaims.
+  for (const uint64_t sequence : in_flight) {
+    entries_.erase(sequence);
+  }
+}
+
+}  // namespace kvd

@@ -1,0 +1,110 @@
+// Server-side idempotent-replay cache for the framed request path.
+//
+// One implementation shared by every frame-terminating endpoint (the single
+// server's client path and each replica's client path — see FrameEndpoint).
+// The most recent N responses are kept by sequence so a retransmitted request
+// is answered from the cache instead of re-executing its (non-idempotent)
+// operations.
+//
+// Eviction is FIFO with two pins that exactly-once execution depends on:
+//   - an in-flight entry (admitted, not yet completed) must survive until its
+//     response is recorded, and
+//   - a completed entry younger than `retain_time` must outlive any
+//     retransmission still on the wire (the client may have re-sent just
+//     before the response landed).
+// Pinned entries are never evicted; the cache runs over budget rather than
+// break exactly-once execution.
+//
+// The eviction scan is amortized O(1): each admission examines at most
+// kMaxEvictScanSteps queue entries, and a pinned entry it meets is re-queued
+// to the back (a rotating cursor) so later admissions make progress past it
+// instead of rescanning the same pinned prefix. Work done by the scan is
+// counted in evict_scan_steps() (exposed as
+// kvd_replay_evict_scan_steps_total).
+#ifndef SRC_TRANSPORT_REPLAY_CACHE_H_
+#define SRC_TRANSPORT_REPLAY_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace kvd {
+
+class ReplayCache {
+ public:
+  struct Config {
+    // Eviction budget: Admit() evicts eligible entries while the queue holds
+    // at least this many. Pins can keep the cache over budget.
+    uint32_t entries = 4096;
+    // Completed entries younger than this are pinned (see file comment).
+    SimTime retain_time = 100 * kMillisecond;
+  };
+
+  // Queue entries examined per Admit(): bounds the per-insert scan so a long
+  // pinned prefix costs O(1) rotations instead of an O(cache) walk.
+  static constexpr uint32_t kMaxEvictScanSteps = 8;
+
+  enum class Hit {
+    kMiss,      // unseen sequence: admit and execute
+    kInFlight,  // original still executing: drop the retransmission
+    kDone,      // answered before: replay the cached response
+  };
+
+  ReplayCache(Simulator& sim, Config config) : sim_(sim), config_(config) {}
+
+  // Classifies `sequence`; on kDone, `*response` points at the cached framed
+  // response (valid until the next cache mutation).
+  Hit Lookup(uint64_t sequence, const std::vector<uint8_t>** response) const {
+    const auto it = entries_.find(sequence);
+    if (it == entries_.end()) {
+      return Hit::kMiss;
+    }
+    if (!it->second.done) {
+      return Hit::kInFlight;
+    }
+    if (response != nullptr) {
+      *response = &it->second.response;
+    }
+    return Hit::kDone;
+  }
+
+  // Admits `sequence` as in-flight, first evicting unpinned entries beyond
+  // the budget (bounded rotating scan, see file comment).
+  void Admit(uint64_t sequence);
+
+  // Records the framed response for `sequence` and stamps its completion
+  // time. Inserts the entry if it is missing (DropInFlight may have erased it
+  // while the operation executed).
+  void Complete(uint64_t sequence, std::vector<uint8_t> response);
+
+  // Forgets every in-flight entry (crash / primary step-down): their
+  // operations will never respond under this regime, so a retransmission
+  // must re-execute rather than wait forever. Stale queue slots are left
+  // behind and skipped (and reclaimed) by the eviction scan.
+  void DropInFlight();
+
+  size_t size() const { return entries_.size(); }
+  uint64_t evict_scan_steps() const { return evict_scan_steps_; }
+  const uint64_t* evict_scan_steps_counter() const { return &evict_scan_steps_; }
+
+ private:
+  struct Entry {
+    bool done = false;
+    SimTime done_at = 0;            // completion time, valid when done
+    std::vector<uint8_t> response;  // framed, ready to resend
+  };
+
+  Simulator& sim_;
+  Config config_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::deque<uint64_t> order_;  // FIFO admission order (plus rotated pins)
+  uint64_t evict_scan_steps_ = 0;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_TRANSPORT_REPLAY_CACHE_H_

@@ -192,7 +192,10 @@ TEST(WireDecodeTest, NamesForEveryCode) {
                "UNKNOWN_OPCODE");
   EXPECT_STREQ(ResultCodeName(ResultCode::kBusy), "BUSY");
   EXPECT_STREQ(ResultCodeName(ResultCode::kOutOfMemory), "OUT_OF_MEMORY");
-  EXPECT_STREQ(ResultCodeName(static_cast<ResultCode>(kMaxResultCodeByte + 1)),
+  // kMaxResultCodeByte + 1 is kTimedOut — named, but client-local: the wire
+  // decoder still rejects the byte (RejectsUnknownResultCodeByte above).
+  EXPECT_STREQ(ResultCodeName(ResultCode::kTimedOut), "TIMED_OUT");
+  EXPECT_STREQ(ResultCodeName(static_cast<ResultCode>(kMaxResultCodeByte + 2)),
                "UNKNOWN_RESULT");
 }
 

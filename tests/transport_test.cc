@@ -1,0 +1,342 @@
+// The transport layer in isolation and end to end: the frame codec, the
+// replay cache (pinning, bounded eviction scan, in-flight drop), the
+// FrameEndpoint receive half, fatal-path timeouts surfaced as kTimedOut
+// instead of process aborts, and the disjoint per-client sequence spaces that
+// keep one shared replay cache collision-free across clients.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/core/kv_direct.h"
+#include "src/replica/replicated_client.h"
+#include "src/replica/replication_group.h"
+#include "src/sim/simulator.h"
+#include "src/transport/frame.h"
+#include "src/transport/frame_endpoint.h"
+#include "src/transport/replay_cache.h"
+
+namespace kvd {
+namespace {
+
+std::vector<uint8_t> Key(uint64_t id) {
+  std::vector<uint8_t> key(8);
+  std::memcpy(key.data(), &id, 8);
+  return key;
+}
+
+std::vector<uint8_t> U64Value(uint64_t v) {
+  std::vector<uint8_t> value(8);
+  std::memcpy(value.data(), &v, 8);
+  return value;
+}
+
+uint64_t AsU64(const std::vector<uint8_t>& value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value.data(), std::min<size_t>(8, value.size()));
+  return v;
+}
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+// --- frame codec ---
+
+TEST(FrameTest, RoundTrip) {
+  const std::vector<uint8_t> payload = Bytes({1, 2, 3, 4, 5});
+  const std::vector<uint8_t> packet = FramePacket(42, payload);
+  ASSERT_EQ(packet.size(), kFrameHeaderBytes + payload.size());
+  Result<Frame> frame = ParseFrame(packet);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->sequence, 42u);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, EveryBitFlipIsDetected) {
+  const std::vector<uint8_t> packet = FramePacket(7, Bytes({9, 8, 7}));
+  for (size_t byte = 0; byte < packet.size(); byte++) {
+    for (int bit = 0; bit < 8; bit++) {
+      std::vector<uint8_t> mutated = packet;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(ParseFrame(mutated).ok())
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(FrameTest, TruncationIsRejected) {
+  const std::vector<uint8_t> packet = FramePacket(7, Bytes({1, 2, 3}));
+  for (size_t len = 0; len < packet.size(); len++) {
+    EXPECT_FALSE(
+        ParseFrame(std::span<const uint8_t>(packet.data(), len)).ok());
+  }
+}
+
+// --- replay cache ---
+
+TEST(ReplayCacheTest, MissAdmitCompleteLifecycle) {
+  Simulator sim;
+  ReplayCache cache(sim, ReplayCache::Config{});
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kMiss);
+  cache.Admit(1);
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kInFlight);
+  cache.Complete(1, Bytes({0xaa, 0xbb}));
+  const std::vector<uint8_t>* response = nullptr;
+  EXPECT_EQ(cache.Lookup(1, &response), ReplayCache::Hit::kDone);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(*response, Bytes({0xaa, 0xbb}));
+}
+
+TEST(ReplayCacheTest, RetainTimePinsFreshCompletions) {
+  Simulator sim;
+  ReplayCache::Config config;
+  config.entries = 1;  // eviction pressure from the second admission on
+  config.retain_time = 100 * kMicrosecond;
+  ReplayCache cache(sim, config);
+
+  cache.Admit(1);
+  cache.Complete(1, Bytes({1}));
+  cache.Admit(2);  // over budget, but entry 1 is younger than retain_time
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kDone);
+  cache.Complete(2, Bytes({2}));
+
+  sim.RunUntil(sim.Now() + 200 * kMicrosecond);  // both completions age out
+  cache.Admit(3);  // now the oldest completed entry is evictable
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kMiss);
+}
+
+TEST(ReplayCacheTest, InFlightEntriesAreNeverEvicted) {
+  Simulator sim;
+  ReplayCache::Config config;
+  config.entries = 1;
+  config.retain_time = 0;
+  ReplayCache cache(sim, config);
+
+  cache.Admit(1);  // in flight: pinned regardless of pressure or age
+  for (uint64_t seq = 2; seq < 50; seq++) {
+    cache.Admit(seq);
+    cache.Complete(seq, Bytes({1}));
+  }
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kInFlight);
+}
+
+// Regression for the eviction scan: a pinned prefix must cost O(1) per
+// admission (rotating cursor), not an O(cache) rescan, and must not block
+// eviction of completed entries queued behind it. The pre-refactor scan
+// stopped at the first pinned entry, so a long-lived in-flight head made the
+// cache grow without bound.
+TEST(ReplayCacheTest, EvictionScanIsBoundedAndMakesProgress) {
+  Simulator sim;
+  ReplayCache::Config config;
+  config.entries = 4;
+  config.retain_time = 0;  // completed entries evictable immediately
+  ReplayCache cache(sim, config);
+
+  constexpr uint64_t kPins = 4;
+  for (uint64_t seq = 1; seq <= kPins; seq++) {
+    cache.Admit(seq);  // in flight forever: a pinned prefix at the head
+  }
+
+  constexpr uint64_t kAdmissions = 200;
+  for (uint64_t i = 0; i < kAdmissions; i++) {
+    const uint64_t before = cache.evict_scan_steps();
+    cache.Admit(1000 + i);
+    EXPECT_LE(cache.evict_scan_steps() - before, ReplayCache::kMaxEvictScanSteps);
+    cache.Complete(1000 + i, Bytes({1}));
+  }
+
+  // Progress: evictable entries behind the pins were reclaimed, so the cache
+  // stays near budget instead of holding all 200 completed admissions.
+  EXPECT_LE(cache.size(), kPins + config.entries + ReplayCache::kMaxEvictScanSteps);
+  // The pins themselves survived every scan.
+  for (uint64_t seq = 1; seq <= kPins; seq++) {
+    EXPECT_EQ(cache.Lookup(seq, nullptr), ReplayCache::Hit::kInFlight);
+  }
+}
+
+TEST(ReplayCacheTest, DropInFlightForgetsUnansweredExecutions) {
+  Simulator sim;
+  ReplayCache cache(sim, ReplayCache::Config{});
+  cache.Admit(1);
+  cache.Admit(2);
+  cache.Complete(2, Bytes({2}));
+  cache.DropInFlight();
+  // The unanswered execution is forgotten (a retransmission re-executes)...
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kMiss);
+  // ...while the answered one still replays.
+  EXPECT_EQ(cache.Lookup(2, nullptr), ReplayCache::Hit::kDone);
+  cache.Admit(1);  // re-admitting the dropped sequence works
+  EXPECT_EQ(cache.Lookup(1, nullptr), ReplayCache::Hit::kInFlight);
+}
+
+// --- frame endpoint ---
+
+TEST(FrameEndpointTest, CorruptFrameIsDroppedAndCounted) {
+  Simulator sim;
+  FrameEndpoint endpoint(sim, ReplayCache::Config{});
+  std::vector<uint8_t> packet = FramePacket(1, Bytes({1, 2, 3}));
+  packet.back() ^= 0x01;
+  bool responded = false;
+  std::optional<Frame> frame =
+      endpoint.Accept(packet, [&](std::vector<uint8_t>) { responded = true; });
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_FALSE(responded);
+  EXPECT_EQ(endpoint.stats().corrupt_frames, 1u);
+}
+
+TEST(FrameEndpointTest, RetransmissionIsAnsweredFromTheCache) {
+  Simulator sim;
+  FrameEndpoint endpoint(sim, ReplayCache::Config{});
+  const std::vector<uint8_t> packet = FramePacket(1, Bytes({1, 2, 3}));
+
+  std::optional<Frame> frame = endpoint.Accept(packet, [](std::vector<uint8_t>) {});
+  ASSERT_TRUE(frame.has_value());
+  endpoint.Admit(frame->sequence);
+  const std::vector<uint8_t> framed_response =
+      endpoint.Complete(frame->sequence, Bytes({0xee}), /*cache=*/true);
+
+  std::vector<uint8_t> replayed;
+  std::optional<Frame> dup = endpoint.Accept(
+      packet, [&](std::vector<uint8_t> response) { replayed = std::move(response); });
+  EXPECT_FALSE(dup.has_value());  // handled: answered without re-execution
+  EXPECT_EQ(replayed, framed_response);
+  EXPECT_EQ(endpoint.stats().replayed_responses, 1u);
+}
+
+TEST(FrameEndpointTest, InFlightDuplicateIsDropped) {
+  Simulator sim;
+  FrameEndpoint endpoint(sim, ReplayCache::Config{});
+  const std::vector<uint8_t> packet = FramePacket(1, Bytes({1, 2, 3}));
+
+  std::optional<Frame> frame = endpoint.Accept(packet, [](std::vector<uint8_t>) {});
+  ASSERT_TRUE(frame.has_value());
+  endpoint.Admit(frame->sequence);  // execution started, no response yet
+
+  bool responded = false;
+  std::optional<Frame> dup =
+      endpoint.Accept(packet, [&](std::vector<uint8_t>) { responded = true; });
+  EXPECT_FALSE(dup.has_value());
+  EXPECT_FALSE(responded);  // neither answered nor re-executed
+  EXPECT_EQ(endpoint.stats().stale_retransmits, 1u);
+}
+
+TEST(FrameEndpointTest, UncachedControlResponseIsReEvaluated) {
+  Simulator sim;
+  FrameEndpoint endpoint(sim, ReplayCache::Config{});
+  const std::vector<uint8_t> packet = FramePacket(1, Bytes({1, 2, 3}));
+
+  // A control response (e.g. a replica redirect) is framed but never admitted
+  // or cached: its answer depends on state that may change.
+  std::optional<Frame> frame = endpoint.Accept(packet, [](std::vector<uint8_t>) {});
+  ASSERT_TRUE(frame.has_value());
+  (void)endpoint.Complete(frame->sequence, Bytes({0xcc}), /*cache=*/false);
+
+  std::optional<Frame> again = endpoint.Accept(packet, [](std::vector<uint8_t>) {});
+  ASSERT_TRUE(again.has_value());  // re-evaluated, not replayed
+  EXPECT_EQ(endpoint.stats().replayed_responses, 0u);
+  EXPECT_EQ(endpoint.stats().stale_retransmits, 0u);
+}
+
+// --- fatal paths surface kTimedOut instead of aborting ---
+
+TEST(TimeoutTest, ClientSurfacesTimedOutWhenEveryFrameIsDropped) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 8 * kMiB;
+  config.nic_dram.capacity_bytes = 1 * kMiB;
+  config.faults.at(FaultSite::kNetDropToServer) = 1.0;  // nothing gets through
+  KvDirectServer server(config);
+  ASSERT_TRUE(server.Load(Key(1), U64Value(7)).ok());
+
+  Client::Options options;
+  options.retry.timeout = 10 * kMicrosecond;
+  options.retry.max_attempts = 3;
+  Client client(server, options);
+
+  client.Enqueue([] {
+    KvOperation op;
+    op.opcode = Opcode::kGet;
+    op.key = Key(1);
+    return op;
+  }());
+  std::vector<KvResultMessage> results = client.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].code, ResultCode::kTimedOut);
+  EXPECT_EQ(client.stats().packets_sent, 1u);
+  EXPECT_EQ(client.stats().retransmits, options.retry.max_attempts - 1);
+  // The synchronous wrappers map it to StatusCode::kTimedOut.
+  Result<std::vector<uint8_t>> value = client.Get(Key(1));
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kTimedOut);
+}
+
+TEST(TimeoutTest, ReplicatedClientSurfacesTimedOutWhenEveryFrameIsDropped) {
+  ReplicationConfig config;
+  config.num_replicas = 3;
+  config.server.kvs_memory_bytes = 8 * kMiB;
+  config.server.nic_dram.capacity_bytes = 1 * kMiB;
+  config.faults.at(FaultSite::kNetDropToServer) = 1.0;
+  ReplicationGroup group(config);
+
+  ReplicatedClient::Options options;
+  options.timeout = 10 * kMicrosecond;
+  options.max_attempts = 4;
+  options.attempts_per_target = 2;  // rotating targets must not defeat the cap
+  ReplicatedClient client(group, options);
+
+  KvOperation op;
+  op.opcode = Opcode::kPut;
+  op.key = Key(1);
+  op.value = U64Value(1);
+  client.Enqueue(std::move(op));
+  std::vector<KvResultMessage> results = client.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].code, ResultCode::kTimedOut);
+  EXPECT_EQ(client.stats().retransmits, options.max_attempts - 1);
+}
+
+// --- cross-client sequence spaces over the shared replay cache ---
+
+TEST(SequenceSpaceTest, ClientsAcquireDisjointSpaces) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 8 * kMiB;
+  config.nic_dram.capacity_bytes = 1 * kMiB;
+  KvDirectServer server(config);
+  const uint64_t first = server.AcquireClientSequenceBase();
+  const uint64_t second = server.AcquireClientSequenceBase();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(second - first, uint64_t{1} << 40);  // 2^40 sequences per client
+}
+
+TEST(SequenceSpaceTest, TwoClientsShareOneReplayCacheWithoutCollisions) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 8 * kMiB;
+  config.nic_dram.capacity_bytes = 1 * kMiB;
+  KvDirectServer server(config);
+  ASSERT_TRUE(server.Load(Key(1), U64Value(0)).ok());
+
+  // Both clients start at offset 0 inside their own 2^40 space. If the spaces
+  // collided, the second client's first frames would hit the first client's
+  // replay entries and be answered with the wrong responses.
+  Client a(server);
+  Client b(server);
+  for (uint64_t round = 0; round < 8; round++) {
+    Result<uint64_t> from_a = a.Update(Key(1), 1);  // fetch-and-add
+    ASSERT_TRUE(from_a.ok());
+    EXPECT_EQ(*from_a, 2 * round);
+    Result<uint64_t> from_b = b.Update(Key(1), 1);
+    ASSERT_TRUE(from_b.ok());
+    EXPECT_EQ(*from_b, 2 * round + 1);
+  }
+  // No frame was misclassified as a duplicate of the other client's traffic.
+  EXPECT_EQ(server.replayed_responses(), 0u);
+  EXPECT_EQ(server.stale_retransmits(), 0u);
+  Result<std::vector<uint8_t>> final_value = a.Get(Key(1));
+  ASSERT_TRUE(final_value.ok());
+  EXPECT_EQ(AsU64(*final_value), 16u);  // every add applied exactly once
+}
+
+}  // namespace
+}  // namespace kvd
