@@ -37,13 +37,19 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "=== overload-control suite (ctest -L overload) ==="
+# Deadlines, admission shedding, retry budgets, hedging, gray demotion
+# (DESIGN.md §12) — run again by label so a regression names itself.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L overload
+
 echo "=== golden determinism: bench --golden vs bench/golden/*.json ==="
 GOLDEN_TMP=$(mktemp -d)
 trap 'rm -rf "${GOLDEN_TMP}"' EXIT
 "${BUILD_DIR}/bench/bench_fig16_throughput" --golden --json "${GOLDEN_TMP}/fig16_throughput.json" >/dev/null
 "${BUILD_DIR}/bench/bench_chaos"            --golden --json "${GOLDEN_TMP}/chaos.json"            >/dev/null
 "${BUILD_DIR}/bench/bench_replication"      --golden --json "${GOLDEN_TMP}/replication.json"      >/dev/null
-for golden in fig16_throughput chaos replication; do
+"${BUILD_DIR}/bench/bench_overload"         --golden --json "${GOLDEN_TMP}/overload.json"         >/dev/null
+for golden in fig16_throughput chaos replication overload; do
   cmp "bench/golden/${golden}.json" "${GOLDEN_TMP}/${golden}.json"
 done
 echo "golden rows byte-identical"

@@ -1,0 +1,83 @@
+#include "src/core/admission.h"
+
+#include <cmath>
+
+namespace kvd {
+
+AdmissionController::Decision AdmissionController::Accept(OpClass cls,
+                                                          SimTime deadline,
+                                                          uint32_t backlog,
+                                                          SimTime now) {
+  // Fast-reject before anything else: past the overload ceiling the server
+  // refuses to even look at user ops. Control traffic is exempt — shedding a
+  // replication apply would diverge the backup from the log.
+  if (cls != OpClass::kControl && config_.overload_backlog != 0 &&
+      backlog >= config_.overload_backlog) {
+    stats_.overload_rejected++;
+    return Decision::kOverloaded;
+  }
+  if (deadline != 0 && now >= deadline) {
+    stats_.deadline_shed_arrival++;
+    return Decision::kDeadlineExceeded;
+  }
+  if (cls != OpClass::kControl && config_.max_backlog != 0 &&
+      backlog >= config_.max_backlog) {
+    stats_.busy_rejected++;
+    return Decision::kBusy;
+  }
+  stats_.admitted++;
+  stats_.admitted_by_class[static_cast<size_t>(cls)]++;
+  return Decision::kAdmit;
+}
+
+AdmissionController::DequeueAction AdmissionController::OnDequeue(
+    SimTime deadline, SimTime enqueued_at, SimTime now) {
+  if (deadline != 0 && now >= deadline) {
+    stats_.deadline_shed_queue++;
+    return DequeueAction::kShedDeadline;
+  }
+  const SimTime sojourn = now > enqueued_at ? now - enqueued_at : 0;
+  if (config_.codel_target != 0 && CodelShouldShed(sojourn, now)) {
+    stats_.codel_shed++;
+    return DequeueAction::kShedSojourn;
+  }
+  return DequeueAction::kProcess;
+}
+
+bool AdmissionController::CodelShouldShed(SimTime sojourn, SimTime now) {
+  if (sojourn < config_.codel_target) {
+    // Back under target: leave the dropping state and forget the streak.
+    first_above_time_ = 0;
+    dropping_ = false;
+    return false;
+  }
+  if (!dropping_) {
+    if (first_above_time_ == 0) {
+      first_above_time_ = now + config_.codel_interval;
+      return false;
+    }
+    if (now < first_above_time_) {
+      return false;
+    }
+    // Sojourn stayed above target for a full interval: start shedding.
+    dropping_ = true;
+    // Resume the previous drop cadence if we were shedding recently
+    // (standard CoDel refinement keeps the control law responsive across
+    // short dips); otherwise restart from 1.
+    drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 1;
+    drop_next_ = now + static_cast<SimTime>(
+                           static_cast<double>(config_.codel_interval) /
+                           std::sqrt(static_cast<double>(drop_count_)));
+    return true;
+  }
+  if (now < drop_next_) {
+    return false;
+  }
+  drop_count_++;
+  drop_next_ += static_cast<SimTime>(
+      static_cast<double>(config_.codel_interval) /
+      std::sqrt(static_cast<double>(drop_count_)));
+  return true;
+}
+
+}  // namespace kvd

@@ -21,6 +21,10 @@ Status ToStatus(ResultCode code) {
       return Status::InvalidArgument();
     case ResultCode::kBusy:
       return Status(StatusCode::kResourceBusy);
+    case ResultCode::kDeadlineExceeded:
+      return Status(StatusCode::kTimedOut);
+    case ResultCode::kOverloaded:
+      return Status(StatusCode::kResourceBusy);
     case ResultCode::kTimedOut:
       return Status(StatusCode::kTimedOut);
   }
@@ -52,6 +56,11 @@ KvDirectServer::KvDirectServer(const ServerConfig& config, Simulator* external_s
 
 void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done) {
   runtime_.processor().Submit(std::move(op), std::move(done));
+}
+
+void KvDirectServer::Submit(KvOperation op, KvProcessor::Completion done,
+                            OpClass cls) {
+  runtime_.processor().Submit(std::move(op), std::move(done), cls);
 }
 
 void KvDirectServer::DeliverPacket(std::vector<uint8_t> payload,
@@ -156,11 +165,18 @@ Client::Client(KvDirectServer& server, Options options)
       next_sequence_(server.AcquireClientSequenceBase()),
       sender_(
           server.simulator(),
-          ReliableSender::RetryPolicy{options_.retry.timeout,
-                                      options_.retry.max_attempts,
-                                      /*backoff_shift_cap=*/20,
-                                      /*attempts_per_target=*/0,
-                                      /*num_targets=*/1},
+          ReliableSender::RetryPolicy{
+              .timeout = options_.retry.timeout,
+              .max_attempts = options_.retry.max_attempts,
+              .backoff_shift_cap = 20,
+              .attempts_per_target = 0,
+              .num_targets = 1,
+              .jitter = options_.retry.jitter,
+              // The sequence base is unique per client on a server, so each
+              // client gets its own deterministic jitter stream.
+              .jitter_seed = next_sequence_,
+              .retry_budget = options_.retry.retry_budget,
+              .retry_refill_per_success = options_.retry.retry_refill_per_success},
           &stats_, [this]() -> RequestTracer& { return server_.request_tracer(); },
           [this](const ReliableSender::PacketPtr& packet) { Wire(packet); },
           [this](const ReliableSender::PacketPtr& packet) { OnFail(packet); }) {}
@@ -341,21 +357,22 @@ void Client::Wire(const ReliableSender::PacketPtr& packet) {
       ctx->traces);
 }
 
-// Retransmission budget exhausted: the server is unreachable (or drops every
-// frame). Surface kTimedOut on every operation in the packet and unblock the
-// flush — callers get a status, not a dead process.
+// The sender gave up on the packet: retransmission attempts exhausted
+// (kTimedOut) or its deadline passed / budget ran dry. Surface the sender's
+// fail code on every operation in the packet and unblock the flush — callers
+// get a status, not a dead process.
 void Client::OnFail(const ReliableSender::PacketPtr& packet) {
   auto ctx = std::static_pointer_cast<PacketCtx>(packet);
-  KvResultMessage timed_out;
-  timed_out.code = ResultCode::kTimedOut;
+  KvResultMessage failed;
+  failed.code = ctx->fail_code;
   for (const size_t idx : ctx->op_indices) {
-    ctx->flush->results[idx] = timed_out;
+    ctx->flush->results[idx] = failed;
   }
   RequestTracer& rt = server_.request_tracer();
   if (!ctx->traces.empty() && rt.enabled()) {
     for (const uint64_t handle : ctx->traces) {
       if (handle != 0) {
-        rt.Finish(handle, ResultCode::kTimedOut);
+        rt.Finish(handle, ctx->fail_code);
       }
     }
   }
@@ -396,8 +413,9 @@ void Client::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     for (size_t i = 0; i < ctx->op_indices.size(); i++) {
       const uint64_t handle = ctx->traces[i];
       const ResultCode code = results[ctx->op_indices[i]].code;
-      if (handle == 0 || code == ResultCode::kBusy) {
-        continue;  // busy ops stay live: they are re-sent under a new sequence
+      if (handle == 0 || code == ResultCode::kBusy ||
+          code == ResultCode::kOverloaded) {
+        continue;  // bounced ops stay live: re-sent under a new sequence
       }
       rt.Finish(handle, code);
     }
@@ -427,6 +445,14 @@ void Client::SendBatch(const std::vector<KvOperation>& ops,
     ctx->op_indices.assign(indices.begin() + first, indices.begin() + next);
     ctx->framed = FramePacket(ctx->sequence, builder.Finish());
     ctx->flush = flush;
+    // The packet dies with its most urgent op: past that point the sender
+    // stops retransmitting the whole frame.
+    for (const size_t idx : ctx->op_indices) {
+      const SimTime d = ops[idx].deadline;
+      if (d != 0 && (ctx->deadline == 0 || d < ctx->deadline)) {
+        ctx->deadline = d;
+      }
+    }
     RequestTracer& rt = server_.request_tracer();
     if (rt.enabled()) {
       // First send starts the trace; a busy re-send keeps its handle and
@@ -456,6 +482,17 @@ std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops)
   flush->results.resize(ops.size());
   flush->traces.resize(ops.size(), 0);
 
+  if (options_.retry.op_budget != 0) {
+    // Stamp each op's absolute deadline from the client budget; a caller who
+    // already set one keeps the tighter of its own choice.
+    for (KvOperation& op : ops) {
+      const SimTime budget_deadline = sim.Now() + options_.retry.op_budget;
+      if (op.deadline == 0 || op.deadline > budget_deadline) {
+        op.deadline = budget_deadline;
+      }
+    }
+  }
+
   std::vector<size_t> indices(ops.size());
   for (size_t i = 0; i < ops.size(); i++) {
     indices[i] = i;
@@ -466,14 +503,25 @@ std::vector<KvResultMessage> Client::FlushReliable(std::vector<KvOperation> ops)
     while (flush->outstanding > 0) {
       KVD_CHECK_MSG(sim.Step(), "simulation idle with packets outstanding");
     }
-    // Operations bounced with kBusy are re-sent — and only those, under new
-    // sequences: their effects did not happen, while the rest of the packet
-    // already executed and must not run twice.
+    // Operations bounced with kBusy/kOverloaded are re-sent — and only
+    // those, under new sequences: their effects did not happen, while the
+    // rest of the packet already executed and must not run twice. An op
+    // whose deadline has passed gives up as kDeadlineExceeded instead.
+    RequestTracer& tracer = server_.request_tracer();
     std::vector<size_t> busy;
     for (const size_t idx : indices) {
-      if (flush->results[idx].code == ResultCode::kBusy) {
-        busy.push_back(idx);
+      const ResultCode code = flush->results[idx].code;
+      if (code != ResultCode::kBusy && code != ResultCode::kOverloaded) {
+        continue;
       }
+      if (ops[idx].deadline != 0 && sim.Now() >= ops[idx].deadline) {
+        flush->results[idx].code = ResultCode::kDeadlineExceeded;
+        if (tracer.enabled() && flush->traces[idx] != 0) {
+          tracer.Finish(flush->traces[idx], ResultCode::kDeadlineExceeded);
+        }
+        continue;
+      }
+      busy.push_back(idx);
     }
     if (busy.empty()) {
       break;

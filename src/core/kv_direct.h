@@ -42,8 +42,11 @@ class KvDirectServer {
   KvDirectServer& operator=(const KvDirectServer&) = delete;
 
   // --- timed paths ---
-  // Submits one operation directly to the KV processor (no network).
+  // Submits one operation directly to the KV processor (no network). The
+  // explicit-class overload lets callers mark control traffic (replication
+  // applies) exempt from admission shedding.
   void Submit(KvOperation op, KvProcessor::Completion done);
+  void Submit(KvOperation op, KvProcessor::Completion done, OpClass cls);
   // Delivers a client request packet; `respond` fires with the encoded
   // response payload once every operation in the packet has retired.
   // `traced_sequence` (if nonzero) resolves each op's trace handle via the
@@ -131,6 +134,17 @@ class Client : public KvEndpoint {
     // kBusy re-send rounds; exhausting them yields kTimedOut for the
     // still-busy operations.
     uint32_t max_busy_retries = 16;
+    // Per-op latency budget: each flushed op gets deadline = now + op_budget
+    // (unless the caller stamped one), carried on the wire and enforced at
+    // every layer (sender retransmissions, server admission, dequeue,
+    // retirement). 0 = no deadlines (the pre-overload-control behavior).
+    SimTime op_budget = 0;
+    // Decorrelated jitter on retransmission backoff (see ReliableSender).
+    bool jitter = true;
+    // Token-bucket retry budget shared across this client's packets;
+    // 0 disables (see ReliableSender::RetryPolicy).
+    uint32_t retry_budget = 0;
+    double retry_refill_per_success = 0.1;
   };
 
   // packets_sent: distinct frames (first transmissions); retransmits:

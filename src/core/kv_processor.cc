@@ -25,6 +25,16 @@ ResultCode ToResultCode(const Status& status) {
   }
 }
 
+// Legacy merge: config.max_backlog predates AdmissionConfig and keeps
+// working as an alias for admission.max_backlog.
+AdmissionConfig MergedAdmission(const KvProcessorConfig& config) {
+  AdmissionConfig merged = config.admission;
+  if (merged.max_backlog == 0) {
+    merged.max_backlog = config.max_backlog;
+  }
+  return merged;
+}
+
 }  // namespace
 
 KvProcessor::KvProcessor(Simulator& sim, HashIndex& index,
@@ -38,7 +48,8 @@ KvProcessor::KvProcessor(Simulator& sim, HashIndex& index,
       registry_(registry),
       config_(config),
       station_(config.ooo),
-      cycle_(static_cast<SimTime>(std::llround(1e12 / config.clock_hz))) {
+      cycle_(static_cast<SimTime>(std::llround(1e12 / config.clock_hz))),
+      admission_(MergedAdmission(config)) {
   KVD_CHECK(config.clock_hz > 0);
 }
 
@@ -149,29 +160,55 @@ SimTime KvProcessor::NextCycleTime() {
 }
 
 void KvProcessor::Submit(KvOperation op, Completion done) {
+  const OpClass cls = ClassifyOpcode(op.opcode);
+  Submit(std::move(op), std::move(done), cls);
+}
+
+void KvProcessor::Submit(KvOperation op, Completion done, OpClass cls) {
   if (op.trace != 0 && request_tracer_ != nullptr) {
     // First-write-wins: a busy-bounced retry keeps the original submit time,
     // so the queue stage honestly includes the backoff.
     request_tracer_->Point(op.trace, TracePoint::kSubmit);
   }
-  if (config_.max_backlog > 0 && waiting_.size() >= config_.max_backlog) {
+  const auto decision = admission_.Accept(cls, op.deadline,
+                                          static_cast<uint32_t>(backlog()),
+                                          sim_.Now());
+  if (decision == AdmissionController::Decision::kOverloaded) {
+    // Fast-reject: refused before queueing and before the decode-cycle
+    // charge — a saturated server spends no pipeline time on this op.
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("proc", "overload_reject", {{"backlog", backlog()}});
+    }
+    NoteBusyBurst();
+    sim_.ScheduleAt(sim_.Now(), [done = std::move(done)]() mutable {
+      KvResultMessage result;
+      result.code = ResultCode::kOverloaded;
+      done(std::move(result));
+    });
+    return;
+  }
+  if (decision == AdmissionController::Decision::kDeadlineExceeded) {
+    // Dead on arrival: executing it is pure waste; answer immediately so the
+    // client learns to stop retrying.
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("proc", "deadline_shed_arrival", {{"op_deadline", op.deadline}});
+    }
+    sim_.ScheduleAt(sim_.Now(), [done = std::move(done)]() mutable {
+      KvResultMessage result;
+      result.code = ResultCode::kDeadlineExceeded;
+      done(std::move(result));
+    });
+    return;
+  }
+  if (decision == AdmissionController::Decision::kBusy) {
     // Decode-stage backpressure: the operation is bounced with kBusy after
     // one decode cycle instead of queueing without bound; clients back off
     // and retry (graceful degradation, not silent unbounded latency).
     stats_.busy_rejected++;
     if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->Instant("proc", "busy_reject", {{"backlog", waiting_.size()}});
+      tracer_->Instant("proc", "busy_reject", {{"backlog", backlog()}});
     }
-    if (flight_ != nullptr && config_.busy_burst_threshold > 0) {
-      if (sim_.Now() >= busy_window_start_ + config_.busy_burst_window) {
-        busy_window_start_ = sim_.Now();
-        busy_window_count_ = 0;
-      }
-      if (++busy_window_count_ == config_.busy_burst_threshold) {
-        flight_->Trigger(FlightTrigger::kBusyBurst,
-                         "kBusy rejection burst at the admission queue");
-      }
-    }
+    NoteBusyBurst();
     sim_.ScheduleAt(NextCycleTime(), [done = std::move(done)]() mutable {
       KvResultMessage result;
       result.code = ResultCode::kBusy;
@@ -180,13 +217,72 @@ void KvProcessor::Submit(KvOperation op, Completion done) {
     return;
   }
   stats_.submitted++;
-  waiting_.emplace_back(std::move(op), std::move(done));
+  const size_t queue =
+      admission_.config().class_queues ? static_cast<size_t>(cls) : 0;
+  waiting_[queue].push_back(
+      Waiting{std::move(op), std::move(done), cls, sim_.Now()});
   Pump();
 }
 
+void KvProcessor::NoteBusyBurst() {
+  if (flight_ == nullptr || config_.busy_burst_threshold == 0) {
+    return;
+  }
+  if (sim_.Now() >= busy_window_start_ + config_.busy_burst_window) {
+    busy_window_start_ = sim_.Now();
+    busy_window_count_ = 0;
+  }
+  if (++busy_window_count_ == config_.busy_burst_threshold) {
+    flight_->Trigger(FlightTrigger::kBusyBurst,
+                     "kBusy rejection burst at the admission queue");
+  }
+}
+
+std::deque<KvProcessor::Waiting>* KvProcessor::NextQueue() {
+  for (auto& q : waiting_) {
+    if (!q.empty()) {
+      return &q;
+    }
+  }
+  return nullptr;
+}
+
 void KvProcessor::Pump() {
-  while (!waiting_.empty()) {
-    KvOperation& op = waiting_.front().first;
+  while (std::deque<Waiting>* queue = NextQueue()) {
+    // Dequeue-side shedding: the head op may have expired while queued, or
+    // CoDel may demand a shed to drag the standing queue delay back under
+    // target. Control ops are exempt — shedding a replication apply would
+    // diverge the backup's store from its log.
+    Waiting& head = queue->front();
+    if (head.cls != OpClass::kControl) {
+      const auto action = admission_.OnDequeue(head.op.deadline,
+                                               head.enqueued_at, sim_.Now());
+      if (action != AdmissionController::DequeueAction::kProcess) {
+        const bool deadline_shed =
+            action == AdmissionController::DequeueAction::kShedDeadline;
+        if (deadline_shed && head.op.trace != 0 && request_tracer_ != nullptr) {
+          request_tracer_->Span(head.op.trace, SpanKind::kDeadlineWait,
+                                head.enqueued_at, sim_.Now(), 0);
+        }
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->Instant("proc",
+                           deadline_shed ? "deadline_shed_queue" : "codel_shed",
+                           {{"sojourn_ns",
+                             (sim_.Now() - head.enqueued_at) / kNanosecond}});
+        }
+        sim_.ScheduleAt(NextCycleTime(),
+                        [done = std::move(head.done), deadline_shed]() mutable {
+                          KvResultMessage result;
+                          result.code = deadline_shed
+                                            ? ResultCode::kDeadlineExceeded
+                                            : ResultCode::kOverloaded;
+                          done(std::move(result));
+                        });
+        queue->pop_front();
+        continue;
+      }
+    }
+    KvOperation& op = head.op;
     const KeyHash kh = HashKey(op.key);
     const uint16_t slot = kh.StationSlot();
     const uint64_t id = next_id_;
@@ -199,8 +295,8 @@ void KvProcessor::Pump() {
 
     Inflight inflight;
     inflight.op = std::move(op);
-    inflight.done = std::move(waiting_.front().second);
-    waiting_.pop_front();
+    inflight.done = std::move(head.done);
+    queue->pop_front();
     inflight.slot = slot;
     inflight.digest = kh.digest;
     inflight.submitted_at = sim_.Now();
@@ -379,6 +475,19 @@ void KvProcessor::Retire(uint64_t id) {
     tracer_->Complete("proc", "op", inflight.submitted_at, sim_.Now(),
                       {{"op", id}, {"slot", inflight.slot}});
   }
+  // Retirement-side deadline check: a read that expired in the pipeline is
+  // relabeled kDeadlineExceeded (and its payload dropped) — nobody is
+  // waiting for the bytes. Writes keep their true outcome: the mutation
+  // already executed, and reporting otherwise would break exactly-once
+  // accounting downstream.
+  if (inflight.op.deadline != 0 && sim_.Now() >= inflight.op.deadline &&
+      !IsWriteOpcode(inflight.op.opcode) &&
+      inflight.result.code == ResultCode::kOk) {
+    stats_.deadline_retire_shed++;
+    inflight.result.code = ResultCode::kDeadlineExceeded;
+    inflight.result.value.clear();
+    inflight.result.scalar = 0;
+  }
   if (inflight.done) {
     inflight.done(std::move(inflight.result));
   }
@@ -401,8 +510,24 @@ void KvProcessor::RegisterMetrics(MetricRegistry& registry) const {
   registry.RegisterCounter("kvd_proc_busy_rejected_total",
                            "Submissions bounced with kBusy at the admission queue",
                            {}, &stats_.busy_rejected);
+  const AdmissionStats& admission = admission_.stats();
+  registry.RegisterCounter("kvd_proc_overload_rejected_total",
+                           "Submissions fast-rejected with kOverloaded", {},
+                           &admission.overload_rejected);
+  registry.RegisterCounter("kvd_proc_codel_shed_total",
+                           "Queued operations shed by CoDel sojourn control",
+                           {}, &admission.codel_shed);
+  registry.RegisterCounter("kvd_proc_deadline_shed_arrival_total",
+                           "Operations dead on arrival (deadline passed)", {},
+                           &admission.deadline_shed_arrival);
+  registry.RegisterCounter("kvd_proc_deadline_shed_queue_total",
+                           "Operations whose deadline expired while queued", {},
+                           &admission.deadline_shed_queue);
+  registry.RegisterCounter("kvd_proc_deadline_shed_retire_total",
+                           "Reads relabeled kDeadlineExceeded at retirement",
+                           {}, &stats_.deadline_retire_shed);
   registry.RegisterGauge("kvd_proc_backlog", "Operations waiting for admission",
-                         {}, [this] { return static_cast<double>(waiting_.size()); });
+                         {}, [this] { return static_cast<double>(backlog()); });
   registry.RegisterGauge("kvd_proc_inflight",
                          "Operations admitted and not yet retired", {},
                          [this] { return static_cast<double>(inflight_.size()); });

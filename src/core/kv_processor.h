@@ -22,6 +22,7 @@
 #ifndef SRC_CORE_KV_PROCESSOR_H_
 #define SRC_CORE_KV_PROCESSOR_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,6 +32,7 @@
 #include "src/alloc/slab_allocator.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/core/admission.h"
 #include "src/core/update_functions.h"
 #include "src/dram/load_dispatcher.h"
 #include "src/hash/hash_index.h"
@@ -52,8 +54,13 @@ struct KvProcessorConfig {
   uint32_t slab_sync_bytes = 160;
   // Admission-queue depth beyond the reservation station; once full, new
   // submissions bounce with kBusy instead of queueing without bound.
-  // 0 = unbounded (the seed behavior).
+  // 0 = unbounded (the seed behavior). Legacy alias for admission.max_backlog:
+  // if admission.max_backlog is 0 this value is copied into it.
   uint32_t max_backlog = 0;
+  // Full overload-control policy (fast-reject ceiling, CoDel sojourn
+  // shedding, priority classes). Defaults reproduce the flat
+  // max_backlog→kBusy behavior exactly.
+  AdmissionConfig admission;
   // A flight-recorder trigger fires when this many kBusy rejections land
   // within one busy_burst_window of simulated time. 0 disables detection.
   uint32_t busy_burst_threshold = 64;
@@ -67,6 +74,10 @@ struct KvProcessorStats {
   uint64_t fast_path_ops = 0;  // retired from the reservation station
   uint64_t writebacks = 0;
   uint64_t busy_rejected = 0;  // bounced with kBusy at the admission queue
+  // Reads whose deadline expired between admission and retirement: the
+  // result is relabeled kDeadlineExceeded (writes keep their true outcome —
+  // the mutation already happened).
+  uint64_t deadline_retire_shed = 0;
   LatencyHistogram latency_ns;  // submission -> retirement
 };
 
@@ -79,7 +90,11 @@ class KvProcessor {
               const KvProcessorConfig& config);
 
   // Executes `op` with full timing; `done` fires at retirement (sim time).
+  // Classifies the op read/write by opcode for admission purposes.
   void Submit(KvOperation op, Completion done);
+  // Same, with an explicit priority class (replication applies submit as
+  // kControl so they are never load-shed).
+  void Submit(KvOperation op, Completion done, OpClass cls);
 
   // Pure functional execution, no simulation (tests, warm-up fills).
   KvResultMessage ExecuteFunctional(const KvOperation& op);
@@ -97,9 +112,16 @@ class KvProcessor {
   void SetFlightRecorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   const KvProcessorStats& stats() const { return stats_; }
+  const AdmissionStats& admission_stats() const { return admission_.stats(); }
   const ReservationStation& station() const { return station_; }
   SimTime cycle() const { return cycle_; }
-  size_t backlog() const { return waiting_.size(); }
+  size_t backlog() const {
+    size_t n = 0;
+    for (const auto& q : waiting_) {
+      n += q.size();
+    }
+    return n;
+  }
 
  private:
   struct Inflight {
@@ -114,9 +136,20 @@ class KvProcessor {
     Completion done;
   };
 
-  // Admits from the waiting queue into the reservation station while
-  // capacity allows.
+  struct Waiting {
+    KvOperation op;
+    Completion done;
+    OpClass cls = OpClass::kRead;
+    SimTime enqueued_at = 0;
+  };
+
+  // Admits from the waiting queues into the reservation station while
+  // capacity allows, shedding expired/over-target heads along the way.
   void Pump();
+  // Highest-priority non-empty waiting queue, or nullptr when all drained.
+  std::deque<Waiting>* NextQueue();
+  // Feeds the flight recorder's rejection-burst trigger.
+  void NoteBusyBurst();
   // Runs the next access of a pipeline op, or completes it.
   void StepPipelineOp(uint64_t id);
   void OnPipelineComplete(uint64_t id);
@@ -146,7 +179,10 @@ class KvProcessor {
 
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, Inflight> inflight_;
-  std::deque<std::pair<KvOperation, Completion>> waiting_;
+  // One FIFO per priority class, drained control → reads → writes. With
+  // admission.class_queues off every op lands in queue 0 (legacy FIFO order).
+  std::array<std::deque<Waiting>, kNumOpClasses> waiting_;
+  AdmissionController admission_;
   // Bucket addresses for pending write-backs, keyed by station slot.
   std::unordered_map<uint16_t, uint64_t> slot_bucket_address_;
 

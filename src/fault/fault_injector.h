@@ -93,6 +93,14 @@ class FaultInjector {
   // Flips 1..3 bits of `bytes` using the site's RNG stream (no-op on empty).
   void CorruptBytes(std::span<uint8_t> bytes, FaultSite site);
 
+  // Runtime probability override — scripts loss windows (retry storms, flaky
+  // links) mid-run. Deterministic: the site's RNG stream is untouched, only
+  // the threshold its draws are compared against changes, so sites still
+  // never perturb each other's sequences.
+  void SetProbability(FaultSite site, double probability) {
+    plan_.at(site) = probability;
+  }
+
   const FaultPlan& plan() const { return plan_; }
   const FaultSiteStats& stats(FaultSite site) const {
     return stats_[static_cast<size_t>(site)];

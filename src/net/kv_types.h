@@ -36,16 +36,26 @@ enum class ResultCode : uint8_t {
   kOutOfMemory = 2,
   kInvalidArgument = 3,
   kBusy = 4,
+  // The operation's deadline passed before it could be answered: the server
+  // shed it (on admission or at dequeue), or the client gave up retrying.
+  // Wire-legal — servers report it so clients stop spending retries.
+  kDeadlineExceeded = 5,
+  // Admission-controller fast reject: the server is past its overload
+  // ceiling (or shedding by queue delay) and refused the operation without
+  // queueing it. Cheap by design; clients back off like kBusy.
+  kOverloaded = 6,
   // Client-local: the reliable channel exhausted its retransmission budget.
-  // Never wire-encoded — kMaxResultCodeByte below stays kBusy, so decoders
-  // reject this byte as corruption rather than a legal server answer.
-  kTimedOut = 5,
+  // Never wire-encoded — kMaxResultCodeByte below stops at kOverloaded, so
+  // decoders reject this byte as corruption rather than a legal server
+  // answer.
+  kTimedOut = 7,
 };
 
 // Highest wire-legal bytes; decoders reject anything above instead of
 // silently mapping unknown bytes onto the `default:` arms below.
 inline constexpr uint8_t kMaxOpcodeByte = static_cast<uint8_t>(Opcode::kFilter);
-inline constexpr uint8_t kMaxResultCodeByte = static_cast<uint8_t>(ResultCode::kBusy);
+inline constexpr uint8_t kMaxResultCodeByte =
+    static_cast<uint8_t>(ResultCode::kOverloaded);
 
 // Highest server epoch a result may carry on the wire. Epochs count primary
 // failovers, so legitimate values stay tiny; anything above this is a
@@ -88,6 +98,10 @@ constexpr const char* ResultCodeName(ResultCode code) {
       return "INVALID_ARGUMENT";
     case ResultCode::kBusy:
       return "BUSY";
+    case ResultCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ResultCode::kOverloaded:
+      return "OVERLOADED";
     case ResultCode::kTimedOut:
       return "TIMED_OUT";
   }
@@ -122,6 +136,12 @@ struct KvOperation {
   // Vector updates optionally skip returning the original vector, halving
   // network traffic (Table 2 "vector update without return").
   bool return_value = true;
+  // Absolute simulated-time deadline in picoseconds (0 = none). Stamped by
+  // the client from its per-op budget, carried on the wire (wire_format flag
+  // kFlagHasDeadline), and honored end to end: the sender stops
+  // retransmitting an expired packet, the server sheds expired operations on
+  // admission and at dequeue instead of doing dead work.
+  uint64_t deadline = 0;
   // Request-trace handle (src/obs/request_trace.h). In-memory only — never
   // encoded on the wire; 0 means untraced.
   uint64_t trace = 0;

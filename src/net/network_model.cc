@@ -26,20 +26,32 @@ NetworkModel::WireInterval NetworkModel::Send(
                                config_.max_payload_bytes;
   const uint32_t wire_bytes =
       payload_bytes + num_packets * config_.per_packet_overhead_bytes;
-  const SimTime occupancy =
+  SimTime occupancy =
       static_cast<SimTime>(
           std::llround(static_cast<double>(wire_bytes) * picos_per_byte_)) +
       num_packets * config_.per_packet_processing;
+  SimTime latency = config_.one_way_latency;
+  // A gray link is slow-but-alive: both serialization and propagation
+  // stretch by the configured multiplier.
+  const LinkHealth& health = &wire_free_at == &to_server_free_at_
+                                 ? to_server_health_
+                                 : to_client_health_;
+  if (health.latency_multiplier != 1.0) {
+    occupancy = static_cast<SimTime>(std::llround(
+        static_cast<double>(occupancy) * health.latency_multiplier));
+    latency = static_cast<SimTime>(std::llround(
+        static_cast<double>(latency) * health.latency_multiplier));
+  }
   const SimTime start = std::max(sim_.Now(), wire_free_at);
   wire_free_at = start + occupancy;
   packets += num_packets;
   bytes += wire_bytes;
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->Complete("net", direction, start, wire_free_at + config_.one_way_latency,
+    tracer_->Complete("net", direction, start, wire_free_at + latency,
                       {{"payload_bytes", payload_bytes}, {"packets", num_packets}});
   }
-  sim_.ScheduleAt(wire_free_at + config_.one_way_latency, std::move(delivered));
-  return {start, wire_free_at + config_.one_way_latency};
+  sim_.ScheduleAt(wire_free_at + latency, std::move(delivered));
+  return {start, wire_free_at + latency};
 }
 
 void NetworkModel::SendToServer(uint32_t payload_bytes,
@@ -72,6 +84,23 @@ void NetworkModel::SendPayload(bool to_server, std::vector<uint8_t> payload,
                             to_server ? 0 : 1);
     }
   };
+  LinkHealth& health = to_server ? to_server_health_ : to_client_health_;
+  if (health.partitioned) {
+    // Hard partition: the bits leave (wire occupied) but never arrive. The
+    // retry layer sees pure silence — exactly what a real partition looks
+    // like from the sender's side.
+    partition_dropped_++;
+    record(Send(direction, size, free_at, packets, bytes, [] {}));
+    return;
+  }
+  if (health.loss_probability > 0.0 &&
+      health.rng.NextDouble() < health.loss_probability) {
+    // Gray loss: independent RNG stream, so scripting a gray link never
+    // perturbs the fault injector's event sequences.
+    gray_dropped_++;
+    record(Send(direction, size, free_at, packets, bytes, [] {}));
+    return;
+  }
   if (fault_ != nullptr) {
     // At most one fault per packet, decided in fixed order so that each
     // site's event stream stays deterministic.
@@ -158,6 +187,12 @@ void NetworkModel::RegisterMetrics(MetricRegistry& registry) const {
   registry.RegisterCounter("kvd_net_corrupted_total",
                            "Packets bit-flipped by injected faults", {},
                            &corrupted_);
+  registry.RegisterCounter("kvd_net_partition_dropped_total",
+                           "Packets dropped by a scripted partition", {},
+                           &partition_dropped_);
+  registry.RegisterCounter("kvd_net_gray_dropped_total",
+                           "Packets dropped by scripted gray-link loss", {},
+                           &gray_dropped_);
 }
 
 }  // namespace kvd

@@ -11,6 +11,8 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/hashing.h"
+#include "src/common/random.h"
 #include "src/common/units.h"
 #include "src/fault/fault_injector.h"
 #include "src/obs/event_tracer.h"
@@ -70,6 +72,33 @@ class NetworkModel {
   uint64_t packets_dropped() const { return dropped_; }
   uint64_t packets_duplicated() const { return duplicated_; }
   uint64_t packets_corrupted() const { return corrupted_; }
+  uint64_t partition_dropped() const { return partition_dropped_; }
+  uint64_t gray_dropped() const { return gray_dropped_; }
+
+  // --- scriptable link health (partitions and gray failure) ---
+  // Hard partition of one direction: every payload packet is dropped (it
+  // still occupies the wire — the bits leave; they just never arrive).
+  // Setting only one direction models an asymmetric partition; both model a
+  // full one. Timing-only sends (SendToServer/SendToClient) are unaffected:
+  // they model pre-reliability benches that assume a lossless wire.
+  void SetPartitioned(bool to_server, bool on) {
+    (to_server ? to_server_health_ : to_client_health_).partitioned = on;
+  }
+  bool partitioned(bool to_server) const {
+    return (to_server ? to_server_health_ : to_client_health_).partitioned;
+  }
+  // Gray link: slow-but-alive. `latency_multiplier` scales both serialization
+  // occupancy and propagation latency; `loss_probability` drops packets
+  // independently of any FaultInjector (own per-direction RNG stream, so
+  // enabling it never perturbs injector event sequences). Pass (1.0, 0.0) to
+  // restore a healthy link.
+  void SetGrayLink(bool to_server, double latency_multiplier,
+                   double loss_probability, uint64_t seed = 0) {
+    LinkHealth& health = to_server ? to_server_health_ : to_client_health_;
+    health.latency_multiplier = latency_multiplier;
+    health.loss_probability = loss_probability;
+    health.rng.Seed(Mix64(seed ^ (to_server ? 0x67a1ULL : 0x67a2ULL)));
+  }
 
   void RegisterMetrics(MetricRegistry& registry) const;
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
@@ -77,6 +106,14 @@ class NetworkModel {
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
  private:
+  // Per-direction health state for partitions and gray failure.
+  struct LinkHealth {
+    bool partitioned = false;
+    double latency_multiplier = 1.0;
+    double loss_probability = 0.0;
+    Rng rng;
+  };
+
   // Wire occupancy and delivery are decided synchronously at send time.
   struct WireInterval {
     SimTime start = 0;
@@ -104,6 +141,10 @@ class NetworkModel {
   uint64_t dropped_ = 0;
   uint64_t duplicated_ = 0;
   uint64_t corrupted_ = 0;
+  uint64_t partition_dropped_ = 0;
+  uint64_t gray_dropped_ = 0;
+  LinkHealth to_server_health_;
+  LinkHealth to_client_health_;
 };
 
 }  // namespace kvd

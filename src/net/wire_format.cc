@@ -44,6 +44,9 @@ void EncodeOperation(std::vector<uint8_t>& buffer, const KvOperation& op,
     AppendU16(buffer, op.function_id);
     buffer.push_back(op.element_width);
   }
+  if (flags & kFlagHasDeadline) {
+    AppendU64(buffer, op.deadline);
+  }
   buffer.insert(buffer.end(), op.key.begin(), op.key.end());
   if ((flags & kFlagCopyValueBytes) == 0) {
     buffer.insert(buffer.end(), op.value.begin(), op.value.end());
@@ -65,6 +68,9 @@ uint32_t EncodedOperationSize(const KvOperation& op, const KvOperation* previous
   size += copy_value_len ? 0 : 4;
   if (NeedsFunctionFields(op.opcode)) {
     size += 8 + 2 + 1;
+  }
+  if (op.deadline != 0) {
+    size += 8;
   }
   size += static_cast<uint32_t>(op.key.size());
   size += copy_value ? 0 : static_cast<uint32_t>(op.value.size());
@@ -92,6 +98,9 @@ bool PacketBuilder::Add(const KvOperation& op) {
   if (!op.return_value) {
     flags |= kFlagNoReturn;
   }
+  if (op.deadline != 0) {
+    flags |= kFlagHasDeadline;
+  }
   // Dry-run size check against the payload budget.
   uint32_t size = 2;
   size += (flags & kFlagCopyKeyLen) ? 0 : 2;
@@ -99,6 +108,7 @@ bool PacketBuilder::Add(const KvOperation& op) {
   if (NeedsFunctionFields(op.opcode)) {
     size += 11;
   }
+  size += (flags & kFlagHasDeadline) ? 8 : 0;
   size += static_cast<uint32_t>(op.key.size());
   size += (flags & kFlagCopyValueBytes) ? 0 : static_cast<uint32_t>(op.value.size());
   if (buffer_.size() + size > max_payload_bytes_) {
@@ -174,6 +184,12 @@ Result<std::optional<KvOperation>> PacketParser::Next() {
     if (!take(&op.param, 8) || !take(&op.function_id, 2) ||
         !take(&op.element_width, 1)) {
       return Status::InvalidArgument("truncated function fields");
+    }
+  }
+
+  if (flags & kFlagHasDeadline) {
+    if (!take(&op.deadline, 8)) {
+      return Status::InvalidArgument("truncated deadline");
     }
   }
 

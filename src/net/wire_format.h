@@ -12,8 +12,11 @@
 // Per-operation layout (little endian):
 //   u8 opcode | u8 flags | [u16 key_len] [u32 value_len]
 //   | for vector/update ops: u64 param, u16 function_id, u8 element_width
+//   | if kFlagHasDeadline: u64 deadline (absolute sim picoseconds)
 //   | key bytes | [value bytes]
-// Bracketed fields are omitted when the corresponding flag bit is set.
+// Bracketed fields are omitted when the corresponding flag bit is set; the
+// deadline field is present only when the flag is set, so deadline-free
+// traffic encodes byte-identically to the pre-deadline format.
 #ifndef SRC_NET_WIRE_FORMAT_H_
 #define SRC_NET_WIRE_FORMAT_H_
 
@@ -32,6 +35,7 @@ inline constexpr uint8_t kFlagCopyKeyLen = 1u << 0;
 inline constexpr uint8_t kFlagCopyValueLen = 1u << 1;
 inline constexpr uint8_t kFlagCopyValueBytes = 1u << 2;
 inline constexpr uint8_t kFlagNoReturn = 1u << 3;
+inline constexpr uint8_t kFlagHasDeadline = 1u << 4;
 
 // Builds one request packet out of batched operations.
 class PacketBuilder {

@@ -118,9 +118,10 @@ enum class SpanKind : uint8_t {
   kReplShip,        // replication frame primary -> backup (detail: replica)
   kRetransmit,      // client retransmission wait (detail: attempt/cause)
   kBusyRetry,       // client backoff after a kBusy rejection
+  kDeadlineWait,    // queue time an op spent waiting before a deadline shed
 };
 
-inline constexpr size_t kNumSpanKinds = 8;
+inline constexpr size_t kNumSpanKinds = 9;
 
 constexpr const char* SpanKindName(SpanKind kind) {
   switch (kind) {
@@ -140,6 +141,8 @@ constexpr const char* SpanKindName(SpanKind kind) {
       return "retransmit";
     case SpanKind::kBusyRetry:
       return "busy_retry";
+    case SpanKind::kDeadlineWait:
+      return "deadline_wait";
   }
   return "unknown_span";
 }

@@ -21,6 +21,7 @@ struct ReplicatedClient::PacketCtx : ReliablePacket {
   std::vector<std::vector<uint8_t>> write_keys;
   uint64_t required = 0;  // max watermark over the packet's keys
   bool is_write = false;
+  SimTime sent_at = 0;  // first transmission time (read-RTT sample start)
   std::shared_ptr<FlushState> flush;
 };
 
@@ -30,11 +31,16 @@ ReplicatedClient::ReplicatedClient(ReplicationGroup& group, Options options)
       next_sequence_(group.AcquireClientSequenceBase()),
       believed_primary_(group.primary_id()),
       sender_(group.simulator(),
-              ReliableSender::RetryPolicy{options_.timeout,
-                                          options_.max_attempts,
-                                          /*backoff_shift_cap=*/6,
-                                          options_.attempts_per_target,
-                                          group.num_replicas()},
+              ReliableSender::RetryPolicy{
+                  .timeout = options_.timeout,
+                  .max_attempts = options_.max_attempts,
+                  .backoff_shift_cap = 6,
+                  .attempts_per_target = options_.attempts_per_target,
+                  .num_targets = group.num_replicas(),
+                  .jitter = options_.jitter,
+                  .jitter_seed = next_sequence_,
+                  .retry_budget = options_.retry_budget,
+                  .retry_refill_per_success = options_.retry_refill_per_success},
               &stats_, [this]() -> RequestTracer& { return group_.request_tracer(); },
               [this](const ReliableSender::PacketPtr& packet) { Wire(packet); },
               [this](const ReliableSender::PacketPtr& packet) { OnFail(packet); }) {
@@ -57,6 +63,14 @@ void ReplicatedClient::BeginFlush() {
   if (ops.empty()) {
     return;
   }
+  if (options_.op_budget != 0) {
+    // Stamp the latency budget before packing: the deadline rides the wire
+    // and every layer (sender, admission, dequeue, retirement) enforces it.
+    const SimTime limit = group_.simulator().Now() + options_.op_budget;
+    for (KvOperation& op : ops) {
+      op.deadline = op.deadline == 0 ? limit : std::min(op.deadline, limit);
+    }
+  }
 
   // Pack greedily in enqueue order; the op budget leaves room for the frame
   // header and the GroupRequest watermark.
@@ -77,6 +91,11 @@ void ReplicatedClient::BeginFlush() {
       KVD_CHECK(builder.Add(ops[i]));
     }
     ctx->op_indices.push_back(i);
+    if (ops[i].deadline != 0) {
+      ctx->deadline = ctx->deadline == 0
+                          ? ops[i].deadline
+                          : std::min(ctx->deadline, ops[i].deadline);
+    }
     auto mark = watermarks_.find(ops[i].key);
     if (mark != watermarks_.end()) {
       ctx->required = std::max(ctx->required, mark->second);
@@ -116,8 +135,29 @@ void ReplicatedClient::BeginFlush() {
       packet->target = next_read_target_ % group_.num_replicas();
       next_read_target_++;
     }
+    packet->sent_at = group_.simulator().Now();
     stats_.packets_sent++;
     sender_.Send(packet);
+    if (options_.hedge_reads && !packet->is_write &&
+        group_.num_replicas() > 1) {
+      // Deadline-aware hedge: if the read is still unanswered after the
+      // adaptive delay (and not already past its deadline), race a duplicate
+      // against the next replica. Same frame sequence, so whichever copy
+      // loses is absorbed by response dedup / the replay cache.
+      auto hedged = packet;
+      group_.simulator().Schedule(HedgeDelay(), [this, hedged] {
+        if (hedged->completed) {
+          return;
+        }
+        if (hedged->deadline != 0 &&
+            group_.simulator().Now() >= hedged->deadline) {
+          return;
+        }
+        stats_.hedged_sends++;
+        WireTo(hedged, (hedged->target + 1) % group_.num_replicas(),
+               /*hedge=*/true);
+      });
+    }
   }
 }
 
@@ -144,13 +184,17 @@ std::vector<KvResultMessage> ReplicatedClient::Flush() {
 
 void ReplicatedClient::Wire(const ReliableSender::PacketPtr& packet) {
   auto ctx = std::static_pointer_cast<PacketCtx>(packet);
-  const uint32_t target = ctx->target;
-  auto deliver = [this, ctx, target](std::vector<uint8_t> packet) {
+  WireTo(ctx, ctx->target, /*hedge=*/false);
+}
+
+void ReplicatedClient::WireTo(const std::shared_ptr<PacketCtx>& ctx,
+                              uint32_t target, bool hedge) {
+  auto deliver = [this, ctx, target, hedge](std::vector<uint8_t> packet) {
     group_.DeliverClientFrame(
         target, std::move(packet),
-        [this, ctx, target](std::vector<uint8_t> response) {
-          auto done = [this, ctx](std::vector<uint8_t> bytes) {
-            OnResponse(ctx, std::move(bytes));
+        [this, ctx, target, hedge](std::vector<uint8_t> response) {
+          auto done = [this, ctx, hedge](std::vector<uint8_t> bytes) {
+            OnResponse(ctx, std::move(bytes), hedge);
           };
           if (ctx->traces.empty()) {
             group_.client_network(target).SendPayloadToClient(
@@ -172,24 +216,39 @@ void ReplicatedClient::Wire(const ReliableSender::PacketPtr& packet) {
 
 void ReplicatedClient::OnFail(const ReliableSender::PacketPtr& packet) {
   auto ctx = std::static_pointer_cast<PacketCtx>(packet);
-  KvResultMessage timed_out;
-  timed_out.code = ResultCode::kTimedOut;
+  KvResultMessage failed;
+  failed.code = ctx->fail_code;  // kTimedOut, or kDeadlineExceeded past budget
   for (size_t index : ctx->op_indices) {
-    ctx->flush->results[index] = timed_out;
+    ctx->flush->results[index] = failed;
   }
   RequestTracer& rt = group_.request_tracer();
   if (!ctx->traces.empty() && rt.enabled()) {
     for (uint64_t handle : ctx->traces) {
       if (handle != 0) {
-        rt.Finish(handle, ResultCode::kTimedOut);
+        rt.Finish(handle, ctx->fail_code);
       }
     }
   }
   ctx->flush->outstanding--;
 }
 
+SimTime ReplicatedClient::HedgeDelay() const {
+  if (options_.hedge_delay != 0) {
+    return options_.hedge_delay;
+  }
+  // Adaptive: hedge past the tail of observed read RTTs — p99 once the
+  // distribution has a little mass, half the retransmission timeout before
+  // that (hedging at the timeout itself would duplicate the retry timer).
+  SimTime delay = options_.timeout / 2;
+  if (read_rtt_ns_.count() >= 16) {
+    delay = read_rtt_ns_.Percentile(0.99) * kNanosecond;
+  }
+  return std::max(delay, options_.hedge_min_delay);
+}
+
 void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
-                                  std::vector<uint8_t> packet) {
+                                  std::vector<uint8_t> packet,
+                                  bool from_hedge) {
   std::optional<std::vector<uint8_t>> payload =
       sender_.AcceptResponse(ctx, packet);
   if (!payload.has_value()) {
@@ -251,6 +310,13 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     return;
   }
   ctx->completed = true;
+  if (!ctx->is_write) {
+    read_rtt_ns_.Add(static_cast<uint64_t>(
+        (group_.simulator().Now() - ctx->sent_at) / kNanosecond));
+  }
+  if (from_hedge) {
+    stats_.hedge_wins++;
+  }
   RequestTracer& rt = group_.request_tracer();
   for (size_t i = 0; i < ctx->traces.size(); i++) {
     rt.Finish(ctx->traces[i],
@@ -317,6 +383,9 @@ ReliableSender::Stats ClusterClient::endpoint_stats() const {
     total.busy_retries += shard.busy_retries;
     total.corrupt_responses += shard.corrupt_responses;
     total.duplicate_responses += shard.duplicate_responses;
+    total.deadline_failures += shard.deadline_failures;
+    total.budget_exhausted += shard.budget_exhausted;
+    total.hedged_sends += shard.hedged_sends;
   }
   return total;
 }

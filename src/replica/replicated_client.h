@@ -45,6 +45,26 @@ class ReplicatedClient : public KvEndpoint {
     // Wait before re-sending after a redirect or stale-read bounce, giving
     // the group a beat to converge instead of hammering it.
     SimTime redirect_backoff = 50 * kMicrosecond;
+    // Per-op latency budget: each flushed op is stamped deadline = now +
+    // op_budget (unless the caller stamped a tighter one) and the whole
+    // stack — sender retransmissions, admission, dequeue, retirement —
+    // enforces it. 0 = no deadlines.
+    SimTime op_budget = 0;
+    // Decorrelated retransmission jitter and the token-bucket retry budget
+    // (see ReliableSender::RetryPolicy; 0 disables the budget).
+    bool jitter = true;
+    uint32_t retry_budget = 0;
+    double retry_refill_per_success = 0.1;
+    // Deadline-aware hedged reads: if a read packet has no response after
+    // the hedge delay, send the same frame (same sequence — replay dedup
+    // makes the duplicate harmless) to the next replica and take whichever
+    // response lands first. Writes are never hedged: they must go to the
+    // primary. The delay adapts to the observed read RTT distribution (p99
+    // once 16 samples exist, timeout/2 before that), floored at
+    // hedge_min_delay; set hedge_delay to pin it.
+    bool hedge_reads = false;
+    SimTime hedge_delay = 0;  // 0 = adaptive (p99 of read RTT)
+    SimTime hedge_min_delay = 10 * kMicrosecond;
   };
 
   // packets_sent / retransmits / corrupt_responses / duplicate_responses as
@@ -52,6 +72,7 @@ class ReplicatedClient : public KvEndpoint {
   struct Stats : ReliableSender::Stats {
     uint64_t redirects_followed = 0;  // kGroupRedirect bounces
     uint64_t stale_retries = 0;       // kGroupStaleRead bounces
+    uint64_t hedge_wins = 0;          // packets completed by the hedge copy
   };
 
   explicit ReplicatedClient(ReplicationGroup& group)
@@ -77,16 +98,24 @@ class ReplicatedClient : public KvEndpoint {
   std::vector<KvResultMessage> TakeResults();
 
   const Stats& stats() const { return stats_; }
+  // Observed read round-trip distribution (first transmission -> accepted
+  // response, ns) — the source of the adaptive hedge delay.
+  const LatencyHistogram& read_rtt_ns() const { return read_rtt_ns_; }
 
  private:
   struct FlushState;
   struct PacketCtx;
 
   void OnResponse(const std::shared_ptr<PacketCtx>& ctx,
-                  std::vector<uint8_t> packet);
+                  std::vector<uint8_t> packet, bool from_hedge = false);
   // ReliableSender hooks: one wire round trip; retry exhaustion.
   void Wire(const ReliableSender::PacketPtr& packet);
+  // One transmission toward an explicit target; `hedge` marks the duplicate
+  // copy so its response can be credited as a hedge win.
+  void WireTo(const std::shared_ptr<PacketCtx>& ctx, uint32_t target,
+              bool hedge);
   void OnFail(const ReliableSender::PacketPtr& packet);
+  SimTime HedgeDelay() const;
 
   ReplicationGroup& group_;
   Options options_;
@@ -100,6 +129,7 @@ class ReplicatedClient : public KvEndpoint {
   std::map<std::vector<uint8_t>, uint64_t> watermarks_;
   std::shared_ptr<FlushState> flush_;
   Stats stats_;
+  LatencyHistogram read_rtt_ns_;
   ReliableSender sender_;
 };
 

@@ -79,6 +79,9 @@ ReplicationGroup::ReplicationGroup(const ReplicationConfig& config,
                                   config_.replay_retain_time});
     rep->match.assign(config_.num_replicas, 0);
     rep->next.assign(config_.num_replicas, 1);
+    rep->demoted.assign(config_.num_replicas, 0);
+    rep->lag_since.assign(config_.num_replicas, 0);
+    rep->ok_since.assign(config_.num_replicas, 0);
     replicas_.push_back(std::move(rep));
   }
   replicas_[0]->is_primary = true;
@@ -852,7 +855,21 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
   }
   std::vector<uint64_t> positions = primary.match;
   std::sort(positions.begin(), positions.end(), std::greater<uint64_t>());
-  const uint64_t candidate = positions[config_.EffectiveQuorum() - 1];
+  uint32_t quorum = config_.EffectiveQuorum();
+  if (config_.demote_lag_entries > 0) {
+    // Gray degradation: demoted peers are discounted from the commit quorum,
+    // but never below the election majority — a committed write must still
+    // intersect every future election, or failover could lose it.
+    uint32_t demoted_count = 0;
+    for (const uint8_t flag : primary.demoted) {
+      demoted_count += flag;
+    }
+    const uint32_t floor_quorum = config_.ElectionQuorum();
+    quorum = quorum > demoted_count
+                 ? std::max(quorum - demoted_count, floor_quorum)
+                 : floor_quorum;
+  }
+  const uint64_t candidate = positions[quorum - 1];
   if (candidate <= primary.commit) {
     return;
   }
@@ -887,6 +904,61 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
   }
 }
 
+void ReplicationGroup::EvaluateGrayPeers(Replica& primary) {
+  if (config_.demote_lag_entries == 0 || !primary.is_primary) {
+    return;
+  }
+  const SimTime now = sim_.Now();
+  bool demoted_someone = false;
+  for (uint32_t peer = 0; peer < num_replicas(); peer++) {
+    if (peer == primary.id) {
+      continue;
+    }
+    const uint64_t lag = primary.log.end() - primary.match[peer];
+    if (lag == 0) {
+      primary.lag_since[peer] = 0;
+      if (primary.demoted[peer]) {
+        // Reinstate only after a full grace window of being caught up:
+        // hysteresis keeps a flapping gray link from dragging every other
+        // write back onto the slow path.
+        if (primary.ok_since[peer] == 0) {
+          primary.ok_since[peer] = now;
+        } else if (now - primary.ok_since[peer] >= config_.demote_grace) {
+          primary.demoted[peer] = 0;
+          primary.ok_since[peer] = 0;
+          stats_.gray_reinstatements++;
+          tracer_.Instant(kTraceCategory, "gray_reinstate", {{"peer", peer}});
+        }
+      }
+      continue;
+    }
+    primary.ok_since[peer] = 0;
+    if (primary.lag_since[peer] == 0) {
+      primary.lag_since[peer] = now;  // grace clock starts
+    }
+    // Demote on a burst (lag beyond the entry bound) immediately once
+    // observed past the grace clock start, or on a stall: any nonzero lag
+    // held through a full grace window. A gray peer under a trickle of
+    // writes never builds a large lag — it just never reaches zero.
+    const bool big_lag = lag > config_.demote_lag_entries;
+    const bool stalled = now - primary.lag_since[peer] >= config_.demote_grace;
+    if (!primary.demoted[peer] && (big_lag || stalled)) {
+      // The peer is gray (slow, lossy, or partitioned — the primary cannot
+      // tell which). Stop counting it toward commit so healthy writes stop
+      // waiting on it.
+      primary.demoted[peer] = 1;
+      stats_.gray_demotions++;
+      demoted_someone = true;
+      tracer_.Instant(kTraceCategory, "gray_demote",
+                      {{"peer", peer}, {"lag", lag}});
+    }
+  }
+  if (demoted_someone) {
+    // The relaxed quorum may already be satisfied by the healthy peers.
+    TryAdvanceCommit(primary);
+  }
+}
+
 void ReplicationGroup::AppendToLog(Replica& rep,
                                    const std::vector<LogEntry>& entries,
                                    uint64_t first_index) {
@@ -904,7 +976,10 @@ void ReplicationGroup::ApplyThrough(Replica& rep, uint64_t target) {
   while (rep.applied < target) {
     const LogEntry& entry = rep.log.At(rep.applied + 1);
     rep.inflight_ops++;
-    rep.server->Submit(entry.op, [rp](KvResultMessage) { rp->inflight_ops--; });
+    // Control class: replication applies are exempt from every shedding
+    // policy — dropping one would diverge this store from the log.
+    rep.server->Submit(entry.op, [rp](KvResultMessage) { rp->inflight_ops--; },
+                       OpClass::kControl);
     TrackKey(rep, entry.op);
     if (entry.client_sequence != 0) {  // promotion barriers carry no session
       RecordSession(rep, entry.client_sequence, entry.slot, entry.result);
@@ -982,6 +1057,11 @@ void ReplicationGroup::Promote(Replica& rep, uint64_t new_epoch) {
   rep.match[rep.id] = rep.log.end();
   rep.next.assign(num_replicas(), rep.log.end() + 1);
   rep.append_time.clear();
+  // A new reign re-observes peer health from scratch: inherited demotions
+  // would let a stale judgement shrink the new primary's quorum.
+  rep.demoted.assign(num_replicas(), 0);
+  rep.lag_since.assign(num_replicas(), 0);
+  rep.ok_since.assign(num_replicas(), 0);
   primary_view_ = rep.id;
   stats_.failovers++;
   if (failover_pending_) {
@@ -1267,6 +1347,7 @@ void ReplicationGroup::Tick() {
         rep.next[peer] = rep.match[peer] + 1;
         SendWindow(rep, peer);
       }
+      EvaluateGrayPeers(rep);
     } else if (!rep.receiving_snapshot && !rep.election_active &&
                sim_.Now() - rep.last_primary_contact >
                    config_.failure_timeout +
@@ -1342,6 +1423,12 @@ void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterCounter("kvd_repl_session_dedup_hits_total",
                            "Write slots answered from replicated sessions", {},
                            &stats_.session_dedup_hits);
+  metrics_.RegisterCounter("kvd_repl_gray_demotions_total",
+                           "Peers demoted out of the commit quorum", {},
+                           &stats_.gray_demotions);
+  metrics_.RegisterCounter("kvd_repl_gray_reinstatements_total",
+                           "Demoted peers reinstated after catching up", {},
+                           &stats_.gray_reinstatements);
   // The replay/frame counters live in the per-replica transport endpoints;
   // expose the group-wide sums.
   metrics_.RegisterCounter("kvd_repl_replayed_responses_total",

@@ -90,6 +90,21 @@ struct ReplicationConfig {
   // the winner.
   SimTime election_timeout = 400 * kMicrosecond;
 
+  // Gray-failure demotion (overload control, DESIGN.md §12): a backup is
+  // demoted out of the *commit* quorum when its acked position lags the
+  // primary's log end by more than demote_lag_entries instantly, or by any
+  // amount continuously for demote_grace (a gray peer under a trickle of
+  // writes never builds a big lag — it just never reaches zero). The quorum
+  // requirement relaxes by the demoted count, but never below
+  // ElectionQuorum(), so durability still spans a majority. The peer keeps
+  // receiving appends and is reinstated after staying fully caught up for
+  // demote_grace (hysteresis: an asymmetric link heals and relapses; instant
+  // reinstatement would flap every write back onto the gray path).
+  // demote_lag_entries == 0 disables demotion entirely (the
+  // pre-overload-control behavior).
+  uint64_t demote_lag_entries = 0;
+  SimTime demote_grace = 2 * kMillisecond;
+
   uint32_t max_append_entries = 64;  // entries per kAppend window
   // Older entries are trimmed beyond this; a peer needing them falls back to
   // state transfer.
@@ -138,6 +153,13 @@ class ReplicationGroup {
   uint64_t AcquireClientSequenceBase() { return ++next_client_id_ << 40; }
   // The replica's client-facing network (transport for DeliverClientFrame).
   NetworkModel& client_network(uint32_t replica_id);
+  // The replica's *inbound* replication link — the wire its peers' messages
+  // arrive on. Scripting a partition or gray link here (SetPartitioned /
+  // SetGrayLink, to_server direction) degrades what this replica hears
+  // without touching any client-facing path.
+  NetworkModel& replication_network(uint32_t replica_id) {
+    return *replicas_[replica_id]->repl_net;
+  }
   // Delivers a framed GroupRequest to a replica. Pure-read requests execute
   // on any replica that has applied the request's watermark; requests with
   // writes execute on the primary and respond only after quorum replication.
@@ -201,6 +223,8 @@ class ReplicationGroup {
     uint64_t corrupt_client_frames = 0;
     uint64_t corrupt_replica_frames = 0;
     uint64_t stale_retransmits = 0;      // retransmits of in-flight requests
+    uint64_t gray_demotions = 0;         // peers dropped from the commit quorum
+    uint64_t gray_reinstatements = 0;    // demoted peers that caught back up
     uint64_t last_failover_downtime_ns = 0;
   };
   // By value: the replay/frame counters live in the per-replica transport
@@ -266,6 +290,15 @@ class ReplicationGroup {
     std::vector<uint64_t> next;
     std::vector<PendingAck> pending;
     std::map<uint64_t, SimTime> append_time;
+    // Gray-failure tracking (primary bookkeeping, config.demote_lag_entries):
+    // per-peer demoted flag, the start of the peer's current continuous
+    // lagging stretch (0 = caught up), and the start of its current
+    // continuous caught-up stretch (0 = lagging; drives reinstatement
+    // hysteresis). Reset wholesale on every promotion — a new reign
+    // re-observes its peers from scratch.
+    std::vector<uint8_t> demoted;
+    std::vector<SimTime> lag_since;
+    std::vector<SimTime> ok_since;
 
     // Election coordinator state.
     struct ElectionReply {
@@ -356,6 +389,10 @@ class ReplicationGroup {
   void PushAppends(Replica& primary);  // send a window to every peer
   void SendWindow(Replica& primary, uint32_t peer);
   void TryAdvanceCommit(Replica& primary);
+  // Gray-failure watchdog (runs on the primary each tick): demotes peers
+  // whose replication lag exceeded demote_lag_entries for demote_grace, and
+  // reinstates demoted peers that caught back up.
+  void EvaluateGrayPeers(Replica& primary);
   // Appends a received window to the log (skipping already-held entries);
   // application happens separately, at commit time.
   void AppendToLog(Replica& rep, const std::vector<LogEntry>& entries,

@@ -15,6 +15,11 @@
 // single-server client requests, replica client requests, and replication
 // links — uses it. Keep checksum/framing logic here (scripts/ci.sh guards
 // against copies appearing elsewhere).
+//
+// Deadlines ride inside the payload encoding (wire_format kFlagHasDeadline),
+// not in this header: a retransmitted frame must stay byte-identical to the
+// original so the server replay cache and checksum keep working, which rules
+// out restamping anything at the framing layer.
 #ifndef SRC_TRANSPORT_FRAME_H_
 #define SRC_TRANSPORT_FRAME_H_
 

@@ -5,6 +5,33 @@
 
 namespace kvd {
 
+SimTime ReliableSender::BackoffDelay(const PacketPtr& packet) {
+  if (packet->attempts <= 1 || !policy_.jitter) {
+    // First attempt (always), or jitter disabled: the classic exponential
+    // schedule. Keeping attempt 1 exact means fault-free timing is identical
+    // whether jitter is on or off.
+    const SimTime delay = policy_.timeout
+                          << std::min(packet->attempts - 1,
+                                      policy_.backoff_shift_cap);
+    packet->backoff = delay;
+    return delay;
+  }
+  // Decorrelated jitter: uniform[timeout, 3 * previous_wait), capped. Grows
+  // at least as fast as exponential backoff in expectation but desynchronizes
+  // retransmissions across packets and senders.
+  const SimTime cap = policy_.timeout << policy_.backoff_shift_cap;
+  const SimTime prev =
+      std::min(packet->backoff != 0 ? packet->backoff : policy_.timeout, cap);
+  const SimTime hi = prev > cap / 3 ? cap : prev * 3;
+  SimTime delay = policy_.timeout;
+  if (hi > policy_.timeout) {
+    delay += jitter_rng_.NextBelow(hi - policy_.timeout);
+  }
+  delay = std::min(delay, cap);
+  packet->backoff = delay;
+  return delay;
+}
+
 void ReliableSender::Transmit(const PacketPtr& packet) {
   packet->attempts++;
   packet->attempts_at_target++;
@@ -20,18 +47,36 @@ void ReliableSender::Transmit(const PacketPtr& packet) {
     }
   }
   wire_(packet);
-  // Retransmission timer for this attempt; exponential backoff. A timer that
-  // fires after completion (or after a newer attempt took over) is a no-op.
+  // Retransmission timer for this attempt; exponential backoff with optional
+  // decorrelated jitter. A timer that fires after completion (or after a
+  // newer attempt took over) is a no-op.
   const uint32_t seen = packet->attempts;
-  const SimTime timeout =
-      policy_.timeout << std::min(seen - 1, policy_.backoff_shift_cap);
+  const SimTime timeout = BackoffDelay(packet);
   sim_.Schedule(timeout, [this, packet, seen] {
     if (packet->completed || packet->attempts != seen) {
       return;  // answered, or a bounce already re-sent it
     }
+    if (packet->deadline != 0 && sim_.Now() >= packet->deadline) {
+      // Past the deadline nobody is waiting for this answer; retransmitting
+      // would only feed the overload that delayed it.
+      stats_->deadline_failures++;
+      packet->fail_code = ResultCode::kDeadlineExceeded;
+      Fail(packet);
+      return;
+    }
     if (packet->attempts >= policy_.max_attempts) {
       Fail(packet);
       return;
+    }
+    if (policy_.retry_budget > 0) {
+      if (retry_tokens_ < 1.0) {
+        // Budget empty: the server (or network) is failing everything, so
+        // more retries are gasoline. Fail fast and let the caller decide.
+        stats_->budget_exhausted++;
+        Fail(packet);
+        return;
+      }
+      retry_tokens_ -= 1.0;
     }
     stats_->retransmits++;
     if (policy_.attempts_per_target > 0 &&
@@ -43,6 +88,12 @@ void ReliableSender::Transmit(const PacketPtr& packet) {
 }
 
 void ReliableSender::Resend(const PacketPtr& packet) {
+  if (packet->deadline != 0 && sim_.Now() >= packet->deadline) {
+    stats_->deadline_failures++;
+    packet->fail_code = ResultCode::kDeadlineExceeded;
+    Fail(packet);
+    return;
+  }
   if (packet->attempts >= policy_.max_attempts) {
     Fail(packet);
     return;
@@ -67,6 +118,12 @@ std::optional<std::vector<uint8_t>> ReliableSender::AcceptResponse(
     // Bit-flipped in flight (or a foreign frame): await the timer.
     stats_->corrupt_responses++;
     return std::nullopt;
+  }
+  if (policy_.retry_budget > 0) {
+    // Successes refill the retry budget, so a healthy system keeps its full
+    // allowance and a failing one converges to the refill rate.
+    retry_tokens_ = std::min(static_cast<double>(policy_.retry_budget),
+                             retry_tokens_ + policy_.retry_refill_per_success);
   }
   return std::move(frame->payload);
 }

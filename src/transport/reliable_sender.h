@@ -36,7 +36,10 @@
 #include <span>
 #include <vector>
 
+#include "src/common/hashing.h"
+#include "src/common/random.h"
 #include "src/common/units.h"
+#include "src/net/kv_types.h"
 #include "src/obs/request_trace.h"
 #include "src/sim/simulator.h"
 #include "src/transport/frame.h"
@@ -53,6 +56,15 @@ struct ReliablePacket {
   uint32_t attempts_at_target = 0;
   bool completed = false;
   bool failed = false;           // set by Fail(); implies completed
+  // Earliest absolute deadline across the packet's ops (0 = none). The
+  // sender stops retransmitting once it passes — retrying work nobody will
+  // wait for is how overload turns into collapse.
+  SimTime deadline = 0;
+  // Why Fail() gave up; the owner copies this into its result slots.
+  ResultCode fail_code = ResultCode::kTimedOut;
+  // Previous backoff delay, for decorrelated jitter (0 until the first
+  // retransmission timer is armed).
+  SimTime backoff = 0;
   std::vector<uint64_t> traces;  // per-op trace handles, packet order
 
   virtual ~ReliablePacket() = default;
@@ -69,6 +81,21 @@ class ReliableSender {
     // 0 disables rotation (single-target topologies).
     uint32_t attempts_per_target = 0;
     uint32_t num_targets = 1;
+    // Decorrelated jitter on retransmission backoff: each retry waits
+    // uniform[timeout, 3 * previous_wait), capped at timeout << shift_cap.
+    // Deterministic backoff retransmits every client in lockstep — a
+    // built-in thundering herd; jitter spreads the herd while staying
+    // same-seed reproducible through the per-sender RNG stream below. The
+    // first attempt's timer is always exactly `timeout`, so fault-free
+    // timing is identical with jitter on or off.
+    bool jitter = true;
+    uint64_t jitter_seed = 0;
+    // Token-bucket retry budget: retransmissions spend one token, successful
+    // responses refill `retry_refill_per_success`. During a 100%-failure
+    // storm the sender converges to ~budget total retransmits instead of
+    // amplifying exponentially. 0 disables the budget.
+    uint32_t retry_budget = 0;
+    double retry_refill_per_success = 0.1;
   };
 
   // Owned by the client (stable address, readable through client.stats()).
@@ -80,6 +107,9 @@ class ReliableSender {
     uint64_t busy_retries = 0;
     uint64_t corrupt_responses = 0;
     uint64_t duplicate_responses = 0;
+    uint64_t deadline_failures = 0;  // packets abandoned past their deadline
+    uint64_t budget_exhausted = 0;   // retransmits suppressed by the budget
+    uint64_t hedged_sends = 0;       // duplicate sends to a second target
   };
 
   using PacketPtr = std::shared_ptr<ReliablePacket>;
@@ -93,7 +123,10 @@ class ReliableSender {
         stats_(stats),
         tracer_(std::move(tracer)),
         wire_(std::move(wire)),
-        on_fail_(std::move(on_fail)) {}
+        on_fail_(std::move(on_fail)),
+        retry_tokens_(policy_.retry_budget) {
+    jitter_rng_.Seed(Mix64(policy_.jitter_seed ^ 0x9e1bd5a7c3f0d24bULL));
+  }
 
   // First transmission of a packet (the owner has already framed it and
   // counted packets_sent).
@@ -121,10 +154,14 @@ class ReliableSender {
   void NoteCorruptResponse() { stats_->corrupt_responses++; }
 
   const RetryPolicy& policy() const { return policy_; }
+  // Remaining retry-budget tokens (== configured budget when disabled).
+  double retry_tokens() const { return retry_tokens_; }
 
  private:
   void Transmit(const PacketPtr& packet);
   void Fail(const PacketPtr& packet);
+  // Backoff delay for the timer armed after attempt `attempts`.
+  SimTime BackoffDelay(const PacketPtr& packet);
 
   Simulator& sim_;
   RetryPolicy policy_;
@@ -132,6 +169,8 @@ class ReliableSender {
   std::function<RequestTracer&()> tracer_;
   Hook wire_;
   Hook on_fail_;
+  Rng jitter_rng_;
+  double retry_tokens_;
 };
 
 }  // namespace kvd

@@ -261,5 +261,81 @@ TEST(NetworkModelTest, ByteAndPacketAccounting) {
   EXPECT_EQ(net.bytes_to_server(), 300u + 2 * 88);
 }
 
+TEST(NetworkModelTest, PartitionIsPerDirection) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  net.SetPartitioned(/*to_server=*/true, true);
+  // Asymmetric partition: requests vanish, responses still flow.
+  int to_server = 0;
+  int to_client = 0;
+  net.SendPayloadToServer({1, 2, 3}, [&](std::vector<uint8_t>) { to_server++; });
+  net.SendPayloadToClient({4, 5, 6}, [&](std::vector<uint8_t>) { to_client++; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(to_server, 0);
+  EXPECT_EQ(to_client, 1);
+  EXPECT_EQ(net.partition_dropped(), 1u);
+  // Healing restores delivery.
+  net.SetPartitioned(/*to_server=*/true, false);
+  net.SendPayloadToServer({1, 2, 3}, [&](std::vector<uint8_t>) { to_server++; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(to_server, 1);
+  EXPECT_EQ(net.partition_dropped(), 1u);
+}
+
+TEST(NetworkModelTest, TimingOnlySendsIgnorePartition) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  net.SetPartitioned(/*to_server=*/true, true);
+  net.SetPartitioned(/*to_server=*/false, true);
+  bool delivered = false;
+  net.SendToServer(100, [&] { delivered = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkModelTest, GrayLinkMultipliesLatency) {
+  NetworkConfig config;
+  Simulator healthy_sim;
+  NetworkModel healthy(healthy_sim, config);
+  SimTime healthy_at = 0;
+  healthy.SendPayloadToServer({1}, [&](std::vector<uint8_t>) {
+    healthy_at = healthy_sim.Now();
+  });
+  healthy_sim.RunUntilIdle();
+
+  Simulator gray_sim;
+  NetworkModel gray(gray_sim, config);
+  gray.SetGrayLink(/*to_server=*/true, /*latency_multiplier=*/20.0,
+                   /*loss_probability=*/0.0);
+  SimTime gray_at = 0;
+  gray.SendPayloadToServer({1}, [&](std::vector<uint8_t>) {
+    gray_at = gray_sim.Now();
+  });
+  gray_sim.RunUntilIdle();
+  ASSERT_GT(healthy_at, 0u);
+  // The multiplier scales both occupancy and propagation, so the whole
+  // delivery time stretches by exactly the configured factor.
+  EXPECT_EQ(gray_at, healthy_at * 20);
+}
+
+TEST(NetworkModelTest, GrayLinkLossIsCountedAndSeeded) {
+  Simulator sim;
+  NetworkModel net(sim, NetworkConfig{});
+  net.SetGrayLink(/*to_server=*/true, 1.0, /*loss_probability=*/1.0,
+                  /*seed=*/7);
+  int arrived = 0;
+  for (int i = 0; i < 8; i++) {
+    net.SendPayloadToServer({1}, [&](std::vector<uint8_t>) { arrived++; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrived, 0);
+  EXPECT_EQ(net.gray_dropped(), 8u);
+  // Healing (multiplier 1, loss 0) restores delivery.
+  net.SetGrayLink(/*to_server=*/true, 1.0, 0.0);
+  net.SendPayloadToServer({1}, [&](std::vector<uint8_t>) { arrived++; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrived, 1);
+}
+
 }  // namespace
 }  // namespace kvd
