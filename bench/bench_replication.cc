@@ -25,6 +25,8 @@
 #include "src/common/random.h"
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
+#include "src/cluster/cluster_client.h"
+#include "src/cluster/coordinator.h"
 #include "src/replica/replicated_client.h"
 #include "src/replica/replication_group.h"
 
@@ -253,13 +255,17 @@ void TracedBreakdown(kvd::bench::JsonReport& report) {
                  {"commit_wait_count", static_cast<double>(wait.count())}});
 }
 
-// Sharded cluster health: 2 shards x RF 3 on one clock, driven through
-// ClusterClient; per-shard commit-wait and propagation-lag histograms are
-// combined with LatencyHistogram::Merge, so the cluster percentiles are
-// exactly the pooled-sample percentiles.
+// Sharded cluster health: 2 groups x RF 3 on one clock under the cluster
+// control plane (ClusterCoordinator + ClusterClient, src/cluster); per-group
+// commit-wait and propagation-lag histograms are combined with
+// LatencyHistogram::Merge, so the cluster percentiles are exactly the
+// pooled-sample percentiles.
 void ShardedClusterHealth(kvd::bench::JsonReport& report) {
-  ReplicationConfig per_shard = BaseConfig(3);
-  ReplicatedCluster cluster(2, per_shard);
+  ClusterConfig config;
+  config.num_groups = 2;
+  config.num_partitions = 2;
+  config.group = BaseConfig(3);
+  ClusterCoordinator cluster(config);
   ClusterClient client(cluster);
   KvEndpoint& ep = client;  // the driver sees only the endpoint interface
 
@@ -280,10 +286,14 @@ void ShardedClusterHealth(kvd::bench::JsonReport& report) {
     return op;
   });
 
-  const LatencyHistogram commit_wait = cluster.MergedCommitWait();
-  const LatencyHistogram propagation = cluster.MergedPropagationLag();
-  std::printf("\n=== Replication — sharded cluster health (2 shards x RF 3) ===\n");
-  std::printf("(per-shard histograms merged exactly across the cluster)\n\n");
+  LatencyHistogram commit_wait;
+  LatencyHistogram propagation;
+  for (uint32_t g = 0; g < cluster.num_groups(); g++) {
+    commit_wait.Merge(cluster.group(g).commit_wait_ns());
+    propagation.Merge(cluster.group(g).propagation_lag_ns());
+  }
+  std::printf("\n=== Replication — sharded cluster health (2 groups x RF 3) ===\n");
+  std::printf("(per-group histograms merged exactly across the cluster)\n\n");
   std::printf("commit wait:     mean %.0f ns, p99 %llu ns over %llu writes\n",
               commit_wait.mean(),
               static_cast<unsigned long long>(commit_wait.Percentile(0.99)),
@@ -295,7 +305,7 @@ void ShardedClusterHealth(kvd::bench::JsonReport& report) {
 
   report.BeginSeries("sharded_cluster");
   report.AddRow(
-      {{"shards", static_cast<double>(cluster.num_shards())},
+      {{"shards", static_cast<double>(cluster.num_groups())},
        {"commit_wait_mean_ns", commit_wait.mean()},
        {"commit_wait_p99_ns",
         static_cast<double>(commit_wait.Percentile(0.99))},

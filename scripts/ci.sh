@@ -42,6 +42,11 @@ echo "=== overload-control suite (ctest -L overload) ==="
 # (DESIGN.md §12) — run again by label so a regression names itself.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L overload
 
+echo "=== cluster control-plane suite (ctest -L cluster) ==="
+# Shard map, live migration, chaos soak on the copy stream, rebalancing
+# (DESIGN.md §14) — run again by label so a regression names itself.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L cluster
+
 echo "=== golden determinism: bench --golden vs bench/golden/*.json ==="
 GOLDEN_TMP=$(mktemp -d)
 trap 'rm -rf "${GOLDEN_TMP}"' EXIT
@@ -49,7 +54,8 @@ trap 'rm -rf "${GOLDEN_TMP}"' EXIT
 "${BUILD_DIR}/bench/bench_chaos"            --golden --json "${GOLDEN_TMP}/chaos.json"            >/dev/null
 "${BUILD_DIR}/bench/bench_replication"      --golden --json "${GOLDEN_TMP}/replication.json"      >/dev/null
 "${BUILD_DIR}/bench/bench_overload"         --golden --json "${GOLDEN_TMP}/overload.json"         >/dev/null
-for golden in fig16_throughput chaos replication overload; do
+"${BUILD_DIR}/bench/bench_rebalance"        --golden --json "${GOLDEN_TMP}/rebalance.json"        >/dev/null
+for golden in fig16_throughput chaos replication overload rebalance; do
   cmp "bench/golden/${golden}.json" "${GOLDEN_TMP}/${golden}.json"
 done
 echo "golden rows byte-identical"

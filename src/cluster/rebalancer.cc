@@ -1,0 +1,182 @@
+#include "src/cluster/rebalancer.h"
+
+#include <algorithm>
+
+#include "src/common/assert.h"
+
+namespace kvd {
+namespace {
+
+// max/mean over active groups; 0 when total load is zero (a perfectly idle
+// cluster is perfectly balanced).
+double Imbalance(const std::vector<uint64_t>& group_load,
+                 const std::vector<uint8_t>& active) {
+  uint64_t total = 0;
+  uint64_t max_load = 0;
+  uint32_t num_active = 0;
+  for (size_t g = 0; g < group_load.size(); g++) {
+    if (g < active.size() && active[g] == 0) {
+      continue;
+    }
+    total += group_load[g];
+    max_load = std::max(max_load, group_load[g]);
+    num_active++;
+  }
+  if (total == 0 || num_active == 0) {
+    return 0.0;
+  }
+  const double mean = static_cast<double>(total) / num_active;
+  return static_cast<double>(max_load) / mean;
+}
+
+}  // namespace
+
+RebalancePlan Rebalancer::Plan(const ShardMap& map,
+                               const std::vector<uint64_t>& partition_ops,
+                               const std::vector<uint8_t>& group_active,
+                               const Options& options) {
+  RebalancePlan plan;
+  const uint32_t num_partitions = map.num_partitions();
+  uint32_t num_groups = 0;
+  for (uint32_t p = 0; p < num_partitions; p++) {
+    num_groups = std::max(num_groups, map.OwnerOf(p) + 1);
+  }
+  num_groups = std::max(num_groups,
+                        static_cast<uint32_t>(group_active.size()));
+  if (num_groups == 0) {
+    return plan;
+  }
+  auto is_active = [&](uint32_t g) {
+    return g >= group_active.size() || group_active[g] != 0;
+  };
+
+  // Working copies the planner mutates as it commits moves.
+  std::vector<uint32_t> owners = map.owners;
+  std::vector<uint64_t> load(num_partitions, 0);
+  for (uint32_t p = 0; p < num_partitions; p++) {
+    load[p] = p < partition_ops.size() ? partition_ops[p] : 0;
+  }
+  std::vector<uint64_t> group_load(num_groups, 0);
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < num_partitions; p++) {
+    group_load[owners[p]] += load[p];
+    total += load[p];
+  }
+
+  auto least_loaded_active = [&](uint32_t excluding) {
+    uint32_t best = UINT32_MAX;
+    for (uint32_t g = 0; g < num_groups; g++) {
+      if (!is_active(g) || g == excluding) {
+        continue;
+      }
+      if (best == UINT32_MAX || group_load[g] < group_load[best]) {
+        best = g;
+      }
+    }
+    return best;
+  };
+  auto commit = [&](uint32_t partition, uint32_t to) {
+    group_load[owners[partition]] -= load[partition];
+    group_load[to] += load[partition];
+    owners[partition] = to;
+    plan.moves.push_back(RebalanceMove{partition, to});
+  };
+
+  // Phase 1 — drain inactive groups unconditionally: every partition they
+  // own moves to the currently least-loaded active group, coldest first so
+  // the hot ones land on the emptiest destinations.
+  std::vector<uint32_t> to_drain;
+  for (uint32_t p = 0; p < num_partitions; p++) {
+    if (!is_active(owners[p])) {
+      to_drain.push_back(p);
+    }
+  }
+  std::sort(to_drain.begin(), to_drain.end(), [&](uint32_t a, uint32_t b) {
+    return load[a] != load[b] ? load[a] < load[b] : a < b;
+  });
+  for (const uint32_t p : to_drain) {
+    const uint32_t to = least_loaded_active(UINT32_MAX);
+    if (to == UINT32_MAX) {
+      break;  // no active group to drain into; the caller must add one
+    }
+    commit(p, to);
+  }
+
+  // Phase 2 — greedy imbalance reduction: move the hottest partition off the
+  // most-loaded active group to the least-loaded one, while each move
+  // strictly improves and the target is not yet met.
+  uint32_t num_active = 0;
+  for (uint32_t g = 0; g < num_groups; g++) {
+    num_active += is_active(g) ? 1 : 0;
+  }
+  const double mean =
+      num_active == 0 ? 0.0 : static_cast<double>(total) / num_active;
+  while (plan.moves.size() < options.max_moves) {
+    const double current = Imbalance(group_load, group_active);
+    if (current <= options.target_imbalance) {
+      break;
+    }
+    uint32_t hottest_group = UINT32_MAX;
+    for (uint32_t g = 0; g < num_groups; g++) {
+      if (!is_active(g)) {
+        continue;
+      }
+      if (hottest_group == UINT32_MAX ||
+          group_load[g] > group_load[hottest_group]) {
+        hottest_group = g;
+      }
+    }
+    const uint32_t coldest_group = least_loaded_active(hottest_group);
+    if (hottest_group == UINT32_MAX || coldest_group == UINT32_MAX) {
+      break;
+    }
+    // The best partition to move: the hottest one that still fits — moving
+    // it must not just swap which group is overloaded. Prefer the largest
+    // load that keeps the destination at or below the source's new load.
+    uint32_t best = UINT32_MAX;
+    for (uint32_t p = 0; p < num_partitions; p++) {
+      if (owners[p] != hottest_group || load[p] == 0) {
+        continue;
+      }
+      const uint64_t src_after = group_load[hottest_group] - load[p];
+      const uint64_t dst_after = group_load[coldest_group] + load[p];
+      if (dst_after > std::max(src_after, group_load[hottest_group] - 1)) {
+        continue;  // the move would not strictly reduce the maximum
+      }
+      if (best == UINT32_MAX || load[p] > load[best] ||
+          (load[p] == load[best] && p < best)) {
+        best = p;
+      }
+    }
+    if (best == UINT32_MAX) {
+      // No single move improves. If one partition alone exceeds the target,
+      // only a split can help; otherwise this is as balanced as single-moves
+      // reach.
+      for (uint32_t p = 0; p < num_partitions; p++) {
+        if (mean > 0.0 && static_cast<double>(load[p]) >
+                              options.target_imbalance * mean) {
+          plan.needs_split = true;
+          break;
+        }
+      }
+      break;
+    }
+    commit(best, coldest_group);
+  }
+
+  plan.projected_imbalance = Imbalance(group_load, group_active);
+  if (!plan.needs_split && plan.projected_imbalance > options.target_imbalance) {
+    // Target unreached even after the greedy pass: flag a split if a single
+    // partition dominates.
+    for (uint32_t p = 0; p < num_partitions; p++) {
+      if (mean > 0.0 &&
+          static_cast<double>(load[p]) > options.target_imbalance * mean) {
+        plan.needs_split = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace kvd

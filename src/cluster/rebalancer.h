@@ -1,0 +1,63 @@
+// Elastic rebalancing policy: greedy hot-partition moves (DESIGN.md §14).
+//
+// The Rebalancer is pure policy — it never touches the cluster. Given the
+// published map, the per-partition load counters, and the group active mask,
+// Plan() returns an ordered list of single-partition moves that (a) drains
+// every inactive group and (b) greedily moves the hottest partition from the
+// most-loaded active group to the least-loaded one while doing so strictly
+// lowers the max/mean imbalance, until it reaches target_imbalance or runs
+// out of improving moves. The caller executes the moves one at a time through
+// ClusterCoordinator::StartMigration (the coordinator allows one live
+// migration at a time) and may re-Plan between moves as fresh load arrives.
+//
+// When one partition alone exceeds the target (a single hot key range no
+// placement can fix), the planner signals a split instead: the caller doubles
+// the map (SplitPartitions), lets load counters re-accumulate over the halves,
+// and re-Plans at the finer granularity.
+#ifndef SRC_CLUSTER_REBALANCER_H_
+#define SRC_CLUSTER_REBALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/shard_map.h"
+
+namespace kvd {
+
+struct RebalanceMove {
+  uint32_t partition = 0;
+  uint32_t to_group = 0;
+};
+
+struct RebalancePlan {
+  std::vector<RebalanceMove> moves;  // execute in order
+  // True when no sequence of moves can reach the target because a single
+  // partition's load exceeds target_imbalance * mean group load: split first.
+  bool needs_split = false;
+  // Projected max/mean group-load ratio over active groups after `moves`.
+  double projected_imbalance = 0.0;
+};
+
+class Rebalancer {
+ public:
+  struct Options {
+    double target_imbalance = 1.25;  // stop once max/mean <= this
+    uint32_t max_moves = 32;         // planning bound per Plan() call
+  };
+
+  // `partition_ops[p]` is the observed load of partition p under `map`;
+  // `group_active[g]` nonzero iff group g may own partitions.
+  static RebalancePlan Plan(const ShardMap& map,
+                            const std::vector<uint64_t>& partition_ops,
+                            const std::vector<uint8_t>& group_active,
+                            const Options& options);
+  static RebalancePlan Plan(const ShardMap& map,
+                            const std::vector<uint64_t>& partition_ops,
+                            const std::vector<uint8_t>& group_active) {
+    return Plan(map, partition_ops, group_active, Options());
+  }
+};
+
+}  // namespace kvd
+
+#endif  // SRC_CLUSTER_REBALANCER_H_

@@ -1,0 +1,27 @@
+#include "src/cluster/shard_map.h"
+
+#include "src/common/assert.h"
+
+namespace kvd {
+
+ShardMap ShardMap::Initial(uint32_t num_partitions, uint32_t num_groups) {
+  KVD_CHECK(num_partitions >= 1 && num_groups >= 1);
+  ShardMap map;
+  map.epoch = 1;
+  map.owners.resize(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; p++) {
+    map.owners[p] = p % num_groups;
+  }
+  return map;
+}
+
+ShardMap ShardMap::Doubled() const {
+  ShardMap doubled;
+  doubled.epoch = epoch;
+  doubled.owners.reserve(owners.size() * 2);
+  doubled.owners = owners;
+  doubled.owners.insert(doubled.owners.end(), owners.begin(), owners.end());
+  return doubled;
+}
+
+}  // namespace kvd

@@ -1,0 +1,47 @@
+// Epoch-versioned partition -> replication-group assignment (DESIGN.md §14).
+//
+// The shard map is the cluster control plane's single routing truth: the key
+// space is hashed into num_partitions partitions (the same KeyRouter contract
+// MultiNicClient uses, so a key's partition is identical in every process),
+// and each partition is owned by exactly one replication group. Every
+// mutation — a migration cutover, a partition split, group add/remove — bumps
+// `epoch` atomically with the change, so a client holding epoch N-1 can be
+// detected (and corrected) by any group it contacts: routed requests carry
+// the client's cached epoch and partition, and a non-owner bounces them with
+// the current assignment (kWrongShard).
+//
+// Splits double num_partitions. The KeyRouter modulo-refinement property
+// (h % 2N ∈ {h % N, h % N + N}) makes the doubled map a pure relabeling:
+// partition p splits into {p, p + N}, both halves inheriting p's owner, so no
+// data moves at split time — only later migrations separate the halves.
+#ifndef SRC_CLUSTER_SHARD_MAP_H_
+#define SRC_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/key_router.h"
+
+namespace kvd {
+
+struct ShardMap {
+  uint64_t epoch = 0;
+  std::vector<uint32_t> owners;  // partition -> group index
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(owners.size());
+  }
+  uint32_t OwnerOf(uint32_t partition) const { return owners[partition]; }
+  KeyRouter router() const { return KeyRouter(num_partitions()); }
+
+  // Round-robin initial assignment: partition p -> group p % num_groups.
+  static ShardMap Initial(uint32_t num_partitions, uint32_t num_groups);
+
+  // The doubled map (same epoch; the caller bumps it when publishing):
+  // partitions p and p + N both owned by p's old owner.
+  ShardMap Doubled() const;
+};
+
+}  // namespace kvd
+
+#endif  // SRC_CLUSTER_SHARD_MAP_H_

@@ -9,9 +9,24 @@ constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
 constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
 constexpr uint64_t kPrime3 = 0x165667b19e3779f9ULL;
 
-uint64_t LoadU64(const uint8_t* p) {
-  uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
+// Little-endian lane load, assembled explicitly so the digest is a pure
+// function of the input BYTES on every host. A memcpy into a uint64_t reads
+// the lane in host order, which would give big-endian machines different
+// digests — and, through KeyRouter, different partition owners — for the
+// same key. Routing must agree across processes and architectures.
+uint64_t LoadU64Le(const uint8_t* p) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; i++) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadTailLe(const uint8_t* p, size_t n) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; i++) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
   return v;
 }
 
@@ -22,16 +37,14 @@ uint64_t HashBytes(std::span<const uint8_t> data, uint64_t seed) {
   size_t remaining = data.size();
   uint64_t h = seed + kPrime3 + data.size() * kPrime2;
   while (remaining >= 8) {
-    h ^= Mix64(LoadU64(p));
+    h ^= Mix64(LoadU64Le(p));
     h *= kPrime1;
     h += kPrime2;
     p += 8;
     remaining -= 8;
   }
   if (remaining > 0) {
-    uint64_t tail = 0;
-    std::memcpy(&tail, p, remaining);
-    h ^= Mix64(tail + remaining);
+    h ^= Mix64(LoadTailLe(p, remaining) + remaining);
     h *= kPrime1;
   }
   return Mix64(h);

@@ -2,12 +2,22 @@
 //
 // Both deployment layers route by key hash: MultiNicClient picks the NIC that
 // owns a key's partition (paper §1, Table 3 — sharding across 10 NICs), and
-// ReplicatedClient picks the shard whose replication group serves the key.
-// They must agree byte-for-byte, so the logic lives here instead of being
-// re-derived privately in each client.
+// the cluster control plane (src/cluster) assigns partitions to replication
+// groups through its ShardMap. They must agree byte-for-byte, so the logic
+// lives here instead of being re-derived privately in each client.
 //
-// The seed is distinct from the in-server bucket hash, keeping the partition
-// choice independent of bucket placement inside the owning server.
+// Hash contract (pinned by cluster_test.RoutingStability):
+//   - PartitionOf(key) == HashBytes(key, 0x9c1c) % num_partitions. The seed
+//     is a compile-time constant, distinct from the in-server bucket hash, so
+//     the partition choice is independent of bucket placement inside the
+//     owning server and identical in every process.
+//   - HashBytes consumes key BYTES in little-endian lane order (no
+//     host-endianness dependence), so two machines routing the same key bytes
+//     always pick the same partition.
+//   - Modulo refinement: h % 2N is either h % N or h % N + N, so doubling
+//     num_partitions splits partition p into exactly {p, p + N}. The cluster
+//     Rebalancer relies on this to split hot partitions without moving data:
+//     both halves inherit p's owner, and only later migrations separate them.
 #ifndef SRC_COMMON_KEY_ROUTER_H_
 #define SRC_COMMON_KEY_ROUTER_H_
 

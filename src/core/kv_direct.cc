@@ -27,6 +27,12 @@ Status ToStatus(ResultCode code) {
       return Status(StatusCode::kResourceBusy);
     case ResultCode::kTimedOut:
       return Status(StatusCode::kTimedOut);
+    case ResultCode::kWrongShard:
+    case ResultCode::kMigrating:
+      // Cluster shard bounces (DESIGN.md §14) are routing control flow; a
+      // single server never emits them, and a client that surfaces one here
+      // treats it as a retryable busy condition.
+      return Status(StatusCode::kResourceBusy);
   }
   return Status::Internal();
 }

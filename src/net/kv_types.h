@@ -44,18 +44,27 @@ enum class ResultCode : uint8_t {
   // ceiling (or shedding by queue delay) and refused the operation without
   // queueing it. Cheap by design; clients back off like kBusy.
   kOverloaded = 6,
+  // Shard-map routing bounce (src/cluster): the contacted replication group
+  // does not own the key's partition under the current shard map. The
+  // GroupResponse carries the map epoch and the owning group so the client
+  // can patch its cached map and resend the same frame to the right group.
+  kWrongShard = 7,
+  // The key's partition is write-frozen for the cutover window of a live
+  // shard migration. Transient by construction (the freeze lasts one
+  // cutover-quiesce window); clients back off and resend the same frame.
+  kMigrating = 8,
   // Client-local: the reliable channel exhausted its retransmission budget.
-  // Never wire-encoded — kMaxResultCodeByte below stops at kOverloaded, so
+  // Never wire-encoded — kMaxResultCodeByte below stops at kMigrating, so
   // decoders reject this byte as corruption rather than a legal server
   // answer.
-  kTimedOut = 7,
+  kTimedOut = 9,
 };
 
 // Highest wire-legal bytes; decoders reject anything above instead of
 // silently mapping unknown bytes onto the `default:` arms below.
 inline constexpr uint8_t kMaxOpcodeByte = static_cast<uint8_t>(Opcode::kFilter);
 inline constexpr uint8_t kMaxResultCodeByte =
-    static_cast<uint8_t>(ResultCode::kOverloaded);
+    static_cast<uint8_t>(ResultCode::kMigrating);
 
 // Highest server epoch a result may carry on the wire. Epochs count primary
 // failovers, so legitimate values stay tiny; anything above this is a
@@ -102,6 +111,10 @@ constexpr const char* ResultCodeName(ResultCode code) {
       return "DEADLINE_EXCEEDED";
     case ResultCode::kOverloaded:
       return "OVERLOADED";
+    case ResultCode::kWrongShard:
+      return "WRONG_SHARD";
+    case ResultCode::kMigrating:
+      return "MIGRATING";
     case ResultCode::kTimedOut:
       return "TIMED_OUT";
   }

@@ -34,9 +34,10 @@ enum class FlightTrigger : uint8_t {
   kFailover,
   kBusyBurst,
   kSloBreach,
+  kShardCutover,  // cluster shard migration flipped ownership (src/cluster)
 };
 
-inline constexpr size_t kNumFlightTriggers = 6;
+inline constexpr size_t kNumFlightTriggers = 7;
 
 constexpr const char* FlightTriggerName(FlightTrigger trigger) {
   switch (trigger) {
@@ -52,6 +53,8 @@ constexpr const char* FlightTriggerName(FlightTrigger trigger) {
       return "busy_burst";
     case FlightTrigger::kSloBreach:
       return "slo_breach";
+    case FlightTrigger::kShardCutover:
+      return "shard_cutover";
   }
   return "unknown_trigger";
 }

@@ -246,8 +246,14 @@ Result<ReplicaMessage> DecodeReplicaMessage(const std::vector<uint8_t>& payload)
 
 std::vector<uint8_t> EncodeGroupRequest(const GroupRequest& request) {
   std::vector<uint8_t> out;
-  out.reserve(8 + request.ops_payload.size());
-  PutU64(out, request.required_index);
+  out.reserve(8 + (request.has_route ? 12 : 0) + request.ops_payload.size());
+  // The watermark itself must never collide with the route marker bit.
+  PutU64(out, (request.required_index & ~kGroupRequestRouted) |
+                  (request.has_route ? kGroupRequestRouted : 0));
+  if (request.has_route) {
+    PutU64(out, request.map_epoch);
+    PutU32(out, request.partition);
+  }
   PutBytes(out, request.ops_payload);
   return out;
 }
@@ -257,6 +263,14 @@ Result<GroupRequest> DecodeGroupRequest(const std::vector<uint8_t>& payload) {
   GroupRequest request;
   if (!reader.Take(&request.required_index, 8)) {
     return Status::InvalidArgument("truncated group request header");
+  }
+  if ((request.required_index & kGroupRequestRouted) != 0) {
+    request.required_index &= ~kGroupRequestRouted;
+    request.has_route = true;
+    if (!reader.Take(&request.map_epoch, 8) ||
+        !reader.Take(&request.partition, 4)) {
+      return Status::InvalidArgument("truncated group request route");
+    }
   }
   request.ops_payload.assign(payload.begin() + static_cast<long>(reader.offset),
                              payload.end());
@@ -270,6 +284,11 @@ std::vector<uint8_t> EncodeGroupResponse(const GroupResponse& response) {
   PutU64(out, response.epoch);
   PutU32(out, response.primary_id);
   PutU64(out, response.assigned_index);
+  if ((response.flags & (kGroupWrongShard | kGroupMigrating)) != 0) {
+    PutU64(out, response.map_epoch);
+    PutU32(out, response.owner_group);
+    PutU32(out, response.num_partitions);
+  }
   PutBytes(out, response.results_payload);
   return out;
 }
@@ -281,6 +300,16 @@ Result<GroupResponse> DecodeGroupResponse(const std::vector<uint8_t>& payload) {
       !reader.Take(&response.primary_id, 4) ||
       !reader.Take(&response.assigned_index, 8)) {
     return Status::InvalidArgument("truncated group response header");
+  }
+  if ((response.flags & ~kGroupKnownFlags) != 0) {
+    return Status::InvalidArgument("unknown group response flags");
+  }
+  if ((response.flags & (kGroupWrongShard | kGroupMigrating)) != 0) {
+    if (!reader.Take(&response.map_epoch, 8) ||
+        !reader.Take(&response.owner_group, 4) ||
+        !reader.Take(&response.num_partitions, 4)) {
+      return Status::InvalidArgument("truncated group response shard context");
+    }
   }
   response.results_payload.assign(
       payload.begin() + static_cast<long>(reader.offset), payload.end());

@@ -100,21 +100,50 @@ Result<ReplicaMessage> DecodeReplicaMessage(const std::vector<uint8_t>& payload)
 
 // The read watermark the serving replica must have applied before answering,
 // then the standard batched-operation payload (PacketBuilder format).
+//
+// Cluster-routed requests (src/cluster) additionally carry the client's
+// cached shard-map epoch and the partition the packet's keys hash to, so the
+// serving group can bounce kWrongShard/kMigrating with enough context for the
+// client to patch its map. The extension is flagged in the top bit of the
+// required_index field: legacy (unrouted) requests encode byte-identically to
+// the pre-cluster format, and log watermarks never approach 2^63.
+inline constexpr uint64_t kGroupRequestRouted = 1ull << 63;
+
 struct GroupRequest {
   uint64_t required_index = 0;
+  // Shard-map routing extension (present iff has_route).
+  bool has_route = false;
+  uint64_t map_epoch = 0;
+  uint32_t partition = 0;
   std::vector<uint8_t> ops_payload;
 };
 
 inline constexpr uint8_t kGroupRedirect = 1u << 0;   // not primary: go there
 inline constexpr uint8_t kGroupStaleRead = 1u << 1;  // replica behind watermark
+// Shard-map bounces (routed requests only). kGroupWrongShard: this group does
+// not own the packet's partition — the response carries the current map
+// epoch, the owning group, and the partition count so the client can patch or
+// refetch its cached map. kGroupMigrating: the partition is write-frozen for
+// a migration cutover window; back off and resend the same frame.
+inline constexpr uint8_t kGroupWrongShard = 1u << 2;
+inline constexpr uint8_t kGroupMigrating = 1u << 3;
+
+inline constexpr uint8_t kGroupKnownFlags =
+    kGroupRedirect | kGroupStaleRead | kGroupWrongShard | kGroupMigrating;
 
 // Routing header, then an EncodeResults payload (empty when a flag rejects
-// the request without executing it).
+// the request without executing it). The shard-routing fields are encoded
+// only when kGroupWrongShard or kGroupMigrating is set, so responses on the
+// legacy paths stay byte-identical to the pre-cluster format.
 struct GroupResponse {
   uint8_t flags = 0;
   uint64_t epoch = 0;
   uint32_t primary_id = 0;      // the responder's belief, for redirects
   uint64_t assigned_index = 0;  // log index covering the request's writes
+  // Shard-map bounce context (kGroupWrongShard / kGroupMigrating only).
+  uint64_t map_epoch = 0;
+  uint32_t owner_group = 0;     // current owner under map_epoch
+  uint32_t num_partitions = 0;  // map granularity (mismatch => full refetch)
   std::vector<uint8_t> results_payload;
 };
 

@@ -330,101 +330,4 @@ void ReplicatedClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
   ctx->flush->outstanding--;
 }
 
-// --- sharded-and-replicated cluster ---
-
-ReplicatedCluster::ReplicatedCluster(uint32_t num_shards,
-                                     const ReplicationConfig& per_shard)
-    : router_(num_shards) {
-  KVD_CHECK(num_shards >= 1);
-  for (uint32_t i = 0; i < num_shards; i++) {
-    ReplicationConfig config = per_shard;
-    // Decorrelate the shards' fault streams while keeping each deterministic.
-    config.faults.seed ^= 0x9e3779b97f4a7c15ULL * (i + 1);
-    shards_.push_back(std::make_unique<ReplicationGroup>(config, &sim_));
-  }
-}
-
-Status ReplicatedCluster::Load(std::span<const uint8_t> key,
-                               std::span<const uint8_t> value) {
-  return shards_[OwnerOf(key)]->Load(key, value);
-}
-
-LatencyHistogram ReplicatedCluster::MergedCommitWait() const {
-  LatencyHistogram merged;
-  for (const auto& shard : shards_) {
-    merged.Merge(shard->commit_wait_ns());
-  }
-  return merged;
-}
-
-LatencyHistogram ReplicatedCluster::MergedPropagationLag() const {
-  LatencyHistogram merged;
-  for (const auto& shard : shards_) {
-    merged.Merge(shard->propagation_lag_ns());
-  }
-  return merged;
-}
-
-ClusterClient::ClusterClient(ReplicatedCluster& cluster,
-                             ReplicatedClient::Options options)
-    : cluster_(cluster) {
-  for (uint32_t i = 0; i < cluster.num_shards(); i++) {
-    shard_clients_.push_back(
-        std::make_unique<ReplicatedClient>(cluster.shard(i), options));
-  }
-}
-
-ReliableSender::Stats ClusterClient::endpoint_stats() const {
-  ReliableSender::Stats total;
-  for (const auto& client : shard_clients_) {
-    const ReliableSender::Stats shard = client->endpoint_stats();
-    total.packets_sent += shard.packets_sent;
-    total.retransmits += shard.retransmits;
-    total.busy_retries += shard.busy_retries;
-    total.corrupt_responses += shard.corrupt_responses;
-    total.duplicate_responses += shard.duplicate_responses;
-    total.deadline_failures += shard.deadline_failures;
-    total.budget_exhausted += shard.budget_exhausted;
-    total.hedged_sends += shard.hedged_sends;
-  }
-  return total;
-}
-
-size_t ClusterClient::Enqueue(KvOperation op) {
-  const uint32_t shard = cluster_.OwnerOf(op.key);
-  const size_t within = shard_clients_[shard]->Enqueue(std::move(op));
-  placements_.emplace_back(shard, within);
-  return placements_.size() - 1;
-}
-
-std::vector<KvResultMessage> ClusterClient::Flush() {
-  for (const auto& client : shard_clients_) {
-    client->BeginFlush();
-  }
-  Simulator& sim = cluster_.simulator();
-  auto all_done = [this] {
-    for (const auto& client : shard_clients_) {
-      if (!client->flush_done()) {
-        return false;
-      }
-    }
-    return true;
-  };
-  while (!all_done()) {
-    KVD_CHECK(sim.Step());
-  }
-  std::vector<std::vector<KvResultMessage>> per_shard;
-  per_shard.reserve(shard_clients_.size());
-  for (const auto& client : shard_clients_) {
-    per_shard.push_back(client->TakeResults());
-  }
-  std::vector<KvResultMessage> merged;
-  merged.reserve(placements_.size());
-  for (const auto& [shard, index] : placements_) {
-    merged.push_back(std::move(per_shard[shard][index]));
-  }
-  placements_.clear();
-  return merged;
-}
-
 }  // namespace kvd

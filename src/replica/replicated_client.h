@@ -1,5 +1,4 @@
-// Client endpoints for replication groups and for sharded-and-replicated
-// clusters (DESIGN.md §9.5).
+// Client endpoint for a single replication group (DESIGN.md §9.5).
 //
 // ReplicatedClient routes writes to the primary it currently believes in and
 // follows redirects through epoch changes; it load-balances read-only packets
@@ -10,10 +9,10 @@
 // cache on the same primary, or from the replicated session records after a
 // failover.
 //
-// ReplicatedCluster composes a KeyRouter with one ReplicationGroup per shard
-// on a single shared simulator; ClusterClient partitions a batch across the
-// shards, drives all of their flushes on the one clock, and merges results
-// back into enqueue order.
+// Sharded deployments live in src/cluster: a ClusterCoordinator composes one
+// ReplicationGroup per group on a shared clock under an epoch-versioned shard
+// map, and ClusterClient routes per-partition packets with bounce-driven map
+// correction (DESIGN.md §14).
 #ifndef SRC_REPLICA_REPLICATED_CLIENT_H_
 #define SRC_REPLICA_REPLICATED_CLIENT_H_
 
@@ -131,60 +130,6 @@ class ReplicatedClient : public KvEndpoint {
   Stats stats_;
   LatencyHistogram read_rtt_ns_;
   ReliableSender sender_;
-};
-
-// One ReplicationGroup per shard, all on one owned simulator, with the same
-// KeyRouter MultiNicClient uses — a replicated cluster behaves like a
-// MultiNicServer whose shards survive crashes.
-class ReplicatedCluster {
- public:
-  ReplicatedCluster(uint32_t num_shards, const ReplicationConfig& per_shard);
-
-  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
-  uint32_t OwnerOf(std::span<const uint8_t> key) const {
-    return router_.PartitionOf(key);
-  }
-  ReplicationGroup& shard(uint32_t index) { return *shards_[index]; }
-  Simulator& simulator() { return sim_; }
-
-  // Loads into the owning shard (every replica of it).
-  Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
-
-  // Cluster-wide replication health: per-shard histograms merged exactly
-  // (LatencyHistogram::Merge sums per-bucket counts, so quantiles over the
-  // merged histogram equal quantiles over the pooled samples).
-  LatencyHistogram MergedCommitWait() const;
-  LatencyHistogram MergedPropagationLag() const;
-
- private:
-  Simulator sim_;
-  KeyRouter router_;
-  std::vector<std::unique_ptr<ReplicationGroup>> shards_;
-};
-
-// Batches across shards: partitions by key, flushes every shard client on the
-// shared clock concurrently, and merges results in enqueue order.
-class ClusterClient : public KvEndpoint {
- public:
-  explicit ClusterClient(ReplicatedCluster& cluster)
-      : ClusterClient(cluster, ReplicatedClient::Options()) {}
-  ClusterClient(ReplicatedCluster& cluster, ReplicatedClient::Options options);
-
-  size_t Enqueue(KvOperation op) override;
-  std::vector<KvResultMessage> Flush() override;
-
-  // Cluster-wide transport stats: the per-shard clients' counters summed.
-  ReliableSender::Stats endpoint_stats() const override;
-  SimTime now() const override { return cluster_.simulator().Now(); }
-  bool Step() override { return cluster_.simulator().Step(); }
-
-  ReplicatedClient& shard_client(uint32_t index) { return *shard_clients_[index]; }
-
- private:
-  ReplicatedCluster& cluster_;
-  std::vector<std::unique_ptr<ReplicatedClient>> shard_clients_;
-  // (shard, index within that shard's flush) per enqueued op, enqueue order.
-  std::vector<std::pair<uint32_t, size_t>> placements_;
 };
 
 }  // namespace kvd

@@ -151,6 +151,71 @@ KvResultMessage ReplicationGroup::Execute(const KvOperation& op) {
   return Primary().server->Execute(op);
 }
 
+Status ReplicationGroup::Erase(std::span<const uint8_t> key) {
+  for (const auto& rep : replicas_) {
+    if (rep->crashed) {
+      return Status::InvalidArgument("cannot erase while a replica is crashed");
+    }
+  }
+  KvOperation del;
+  del.opcode = Opcode::kDelete;
+  del.key.assign(key.begin(), key.end());
+  for (const auto& rep : replicas_) {
+    rep->server->Execute(del);  // kNotFound is fine: absent on this replica
+    rep->keys.erase(del.key);
+  }
+  return Status::Ok();
+}
+
+void ReplicationGroup::InstallSessionRecord(uint64_t sequence, uint16_t slot,
+                                            const KvResultMessage& result) {
+  for (const auto& rep : replicas_) {
+    if (!rep->crashed) {
+      RecordSession(*rep, sequence, slot, result);
+    }
+  }
+}
+
+std::vector<std::pair<std::vector<uint8_t>, std::vector<uint8_t>>>
+ReplicationGroup::SnapshotPartitionKvs(const KeyRouter& router,
+                                       uint32_t partition) {
+  std::vector<std::pair<std::vector<uint8_t>, std::vector<uint8_t>>> kvs;
+  Replica& primary = Primary();
+  for (const auto& key : primary.keys) {
+    if (router.PartitionOf(key) != partition) {
+      continue;
+    }
+    KvOperation get;
+    get.opcode = Opcode::kGet;
+    get.key = key;
+    KvResultMessage value = primary.server->Execute(get);
+    if (value.code != ResultCode::kOk) {
+      continue;
+    }
+    kvs.emplace_back(key, std::move(value.value));
+  }
+  return kvs;
+}
+
+std::vector<ReplicationGroup::SessionExport>
+ReplicationGroup::ExportPartitionSessions(const KeyRouter& router,
+                                          uint32_t partition) const {
+  std::vector<SessionExport> exported;
+  const Replica& primary = *replicas_[primary_view_];
+  for (uint64_t index = primary.log.base() + 1; index <= primary.log.end();
+       index++) {
+    const LogEntry& entry = primary.log.At(index);
+    if (entry.client_sequence == 0 || !IsWriteOpcode(entry.op.opcode)) {
+      continue;  // promotion barriers and reads leave no session record
+    }
+    if (router.PartitionOf(entry.op.key) != partition) {
+      continue;
+    }
+    exported.push_back({entry.client_sequence, entry.slot, entry.result});
+  }
+  return exported;
+}
+
 void ReplicationGroup::CrashReplica(uint32_t id) {
   Replica& rep = *replicas_[id];
   if (rep.crashed) {
@@ -267,6 +332,35 @@ void ReplicationGroup::HandleClientRequest(
   for (const KvOperation& op : ops) {
     any_write = any_write || IsWriteOpcode(op.opcode);
   }
+  if (request.has_route && shard_gate_) {
+    // The gate outranks the redirect check: a request for a partition this
+    // group no longer owns must bounce toward the owning group, not toward
+    // this group's primary.
+    const ShardGateDecision decision =
+        shard_gate_(request.map_epoch, request.partition, any_write);
+    if (decision.action != ShardGateDecision::Action::kServe) {
+      const bool wrong =
+          decision.action == ShardGateDecision::Action::kWrongShard;
+      (wrong ? stats_.wrong_shard_bounces : stats_.migrating_bounces)++;
+      tracer_.Instant(kTraceCategory, wrong ? "wrong_shard" : "migrating",
+                      {{"replica", rep.id},
+                       {"partition", request.partition},
+                       {"map_epoch", decision.map_epoch}});
+      KvResultMessage bounce;
+      bounce.code = wrong ? ResultCode::kWrongShard : ResultCode::kMigrating;
+      bounce.epoch = static_cast<uint32_t>(rep.current_epoch);
+      GroupResponse resp;
+      resp.flags = wrong ? kGroupWrongShard : kGroupMigrating;
+      resp.epoch = rep.current_epoch;
+      resp.primary_id = rep.believed_primary;
+      resp.map_epoch = decision.map_epoch;
+      resp.owner_group = decision.owner_group;
+      resp.num_partitions = decision.num_partitions;
+      resp.results_payload = EncodeResults({bounce});
+      FinishResponse(rep, sequence, std::move(resp), respond, false);
+      return;
+    }
+  }
   if (any_write) {
     if (!rep.is_primary) {
       stats_.redirects++;
@@ -283,6 +377,10 @@ void ReplicationGroup::HandleClientRequest(
     }
     for (const KvOperation& op : ops) {
       request_tracer_.Point(op.trace, TracePoint::kServerReceive);
+    }
+    if (request.has_route && load_listener_) {
+      load_listener_(request.partition, static_cast<uint32_t>(ops.size()),
+                     true);
     }
     ServeWrites(rep, sequence, std::move(ops), std::move(respond));
     return;
@@ -304,6 +402,9 @@ void ReplicationGroup::HandleClientRequest(
   }
   for (const KvOperation& op : ops) {
     request_tracer_.Point(op.trace, TracePoint::kServerReceive);
+  }
+  if (request.has_route && load_listener_) {
+    load_listener_(request.partition, static_cast<uint32_t>(ops.size()), false);
   }
   ServeReads(rep, sequence, std::move(ops), std::move(respond));
 }
@@ -886,7 +987,18 @@ void ReplicationGroup::TryAdvanceCommit(Replica& primary) {
         static_cast<uint64_t>((sim_.Now() - it->second) / kNanosecond));
     it = primary.append_time.erase(it);
   }
+  const uint64_t previous_commit = primary.commit;
   primary.commit = candidate;
+  if (commit_listener_) {
+    // Fire before releasing pending client acks: a live migration forwards
+    // each committed effect inside the listener, so by the time the client
+    // sees the ack the destination group already holds the write.
+    for (uint64_t index = previous_commit + 1; index <= candidate; index++) {
+      if (primary.log.Contains(index)) {
+        commit_listener_(primary.log.At(index));
+      }
+    }
+  }
   std::vector<PendingAck> ready;
   std::vector<PendingAck> still;
   for (PendingAck& pending : primary.pending) {
@@ -1420,6 +1532,12 @@ void ReplicationGroup::RegisterMetrics() {
   metrics_.RegisterCounter("kvd_repl_redirects_total",
                            "Writes redirected off non-primaries", {},
                            &stats_.redirects);
+  metrics_.RegisterCounter("kvd_repl_wrong_shard_total",
+                           "Routed requests bounced off a non-owning group", {},
+                           &stats_.wrong_shard_bounces);
+  metrics_.RegisterCounter("kvd_repl_migrating_total",
+                           "Routed writes bounced during a cutover freeze", {},
+                           &stats_.migrating_bounces);
   metrics_.RegisterCounter("kvd_repl_session_dedup_hits_total",
                            "Write slots answered from replicated sessions", {},
                            &stats_.session_dedup_hits);

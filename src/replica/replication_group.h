@@ -53,6 +53,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/key_router.h"
 #include "src/common/stats.h"
 #include "src/core/kv_direct.h"
 #include "src/replica/replica_log.h"
@@ -174,6 +175,67 @@ class ReplicationGroup {
   // Functional read on the current primary (reads only).
   KvResultMessage Execute(const KvOperation& op);
 
+  // --- cluster control-plane hooks (src/cluster, DESIGN.md §14) ---
+  // Shard gate: consulted for every *routed* client request (one whose
+  // GroupRequest carries a partition) before any execution or redirect.
+  // kServe admits the request; kWrongShard / kMigrating bounce it carrying
+  // the decision's map context so the client can patch its cached shard map
+  // (or back off through a cutover freeze). Bounces are never cached — the
+  // next retransmission must re-evaluate against the then-current ownership.
+  struct ShardGateDecision {
+    enum class Action : uint8_t { kServe, kWrongShard, kMigrating };
+    Action action = Action::kServe;
+    uint64_t map_epoch = 0;
+    uint32_t owner_group = 0;
+    uint32_t num_partitions = 0;
+  };
+  using ShardGate = std::function<ShardGateDecision(
+      uint64_t map_epoch, uint32_t partition, bool any_write)>;
+  void SetShardGate(ShardGate gate) { shard_gate_ = std::move(gate); }
+
+  // Per-partition load accounting: fired once per routed request at the
+  // replica that actually serves it (after gate/redirect/stale-read checks,
+  // so a bounced request is never double-counted).
+  using LoadListener =
+      std::function<void(uint32_t partition, uint32_t num_ops, bool any_write)>;
+  void SetLoadListener(LoadListener listener) {
+    load_listener_ = std::move(listener);
+  }
+
+  // Commit listener: fired at the acting primary, in log order, for each
+  // entry as it first becomes quorum-committed there. Live migrations
+  // dual-write committed effects through this hook; a write's client ack is
+  // released only after its listener call returns, so "acked => forwarded"
+  // holds at cutover. A new primary fires it only for entries it commits
+  // past its own local commit index (earlier entries were forwarded by the
+  // previous reign before their acks were released).
+  using CommitListener = std::function<void(const LogEntry& entry)>;
+  void SetCommitListener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+  // Untimed per-replica delete below the log — Load's dual, used by the
+  // migration cutover to drop the moved partition at the source group.
+  Status Erase(std::span<const uint8_t> key);
+  // Stores a session record on every non-crashed replica: a migrated write's
+  // exactly-once record must keep answering retransmissions at the
+  // destination group after cutover.
+  void InstallSessionRecord(uint64_t sequence, uint16_t slot,
+                            const KvResultMessage& result);
+  // The primary's live KVs owned by `partition` (deterministic key order).
+  std::vector<std::pair<std::vector<uint8_t>, std::vector<uint8_t>>>
+  SnapshotPartitionKvs(const KeyRouter& router, uint32_t partition);
+  // Session records of writes to `partition`, scanned from the primary's
+  // log. Records of trimmed entries are not recoverable here; migrations
+  // keep their window well inside max_log_entries.
+  struct SessionExport {
+    uint64_t sequence = 0;
+    uint16_t slot = 0;
+    KvResultMessage result;
+  };
+  std::vector<SessionExport> ExportPartitionSessions(const KeyRouter& router,
+                                                     uint32_t partition) const;
+
   // --- fault control ---
   void CrashReplica(uint32_t id);
   void RestartReplica(uint32_t id);  // rejoins as a backup, log intact
@@ -218,6 +280,8 @@ class ReplicationGroup {
     uint64_t restarts = 0;
     uint64_t stale_reads = 0;            // reads bounced below the watermark
     uint64_t redirects = 0;              // writes bounced off non-primaries
+    uint64_t wrong_shard_bounces = 0;    // routed requests bounced kWrongShard
+    uint64_t migrating_bounces = 0;      // routed writes bounced kMigrating
     uint64_t session_dedup_hits = 0;     // retransmits answered from sessions
     uint64_t replayed_responses = 0;     // retransmits answered from the cache
     uint64_t corrupt_client_frames = 0;
@@ -439,6 +503,9 @@ class ReplicationGroup {
   SloMonitor slo_monitor_{sim_};
   FlightRecorder flight_recorder_{sim_};
   std::unique_ptr<FaultInjector> fault_;
+  ShardGate shard_gate_;
+  LoadListener load_listener_;
+  CommitListener commit_listener_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   uint32_t primary_view_ = 0;
   uint64_t next_client_id_ = 0;

@@ -756,44 +756,9 @@ TEST(ReplicationGroupTest, SameSeedReplayIsBitIdentical) {
   EXPECT_NE(a.find("kvd_repl_failovers_total"), std::string::npos);
 }
 
-// --- sharded + replicated cluster on one clock ---
-
-TEST(ReplicatedClusterTest, ShardsAndReplicatesOnOneSimulator) {
-  ReplicationConfig per_shard = SmallGroupConfig();
-  ReplicatedCluster cluster(2, per_shard);
-  ClusterClient client(cluster);
-
-  std::map<uint64_t, uint64_t> expected;
-  for (uint64_t i = 0; i < 32; i++) {
-    client.Enqueue(Put(i, 5000 + i));
-    expected[i] = 5000 + i;
-  }
-  for (const KvResultMessage& r : client.Flush()) {
-    EXPECT_EQ(r.code, ResultCode::kOk);
-  }
-  // Both shards share one clock.
-  EXPECT_EQ(&cluster.shard(0).simulator(), &cluster.shard(1).simulator());
-  EXPECT_GT(cluster.shard(0).commit_index(), 0u);
-  EXPECT_GT(cluster.shard(1).commit_index(), 0u);
-
-  for (uint64_t i = 0; i < 32; i++) {
-    client.Enqueue(Get(i));
-  }
-  std::vector<KvResultMessage> reads = client.Flush();
-  ASSERT_EQ(reads.size(), 32u);
-  for (uint64_t i = 0; i < 32; i++) {
-    ASSERT_EQ(reads[i].code, ResultCode::kOk) << "key " << i;
-    uint64_t v = 0;
-    std::memcpy(&v, reads[i].value.data(), 8);
-    EXPECT_EQ(v, expected[i]) << "key " << i;
-  }
-
-  // Ownership agrees with the shared KeyRouter.
-  KeyRouter router(2);
-  for (uint64_t i = 0; i < 32; i++) {
-    EXPECT_EQ(cluster.OwnerOf(Key(i)), router.PartitionOf(Key(i)));
-  }
-}
+// Sharded + replicated clusters moved to the control plane in src/cluster
+// (ClusterCoordinator + ClusterClient); their coverage lives in
+// tests/cluster_test.cc.
 
 TEST(MultiNicSharedSimTest, ShardsAcceptAnExternalClock) {
   Simulator sim;
