@@ -47,6 +47,25 @@ echo "=== cluster control-plane suite (ctest -L cluster) ==="
 # (DESIGN.md §14) — run again by label so a regression names itself.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L cluster
 
+echo "=== consistency-check suite (ctest -L check) ==="
+# Linearizability checker self-tests plus the nemesis explorer regression
+# (DESIGN.md §15) — run again by label so a regression names itself.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L check
+
+echo "=== nemesis seed matrix: 32 seeds, history-checked ==="
+# A bounded consistency sweep: 32 seeded fault scripts over the cluster
+# scenario, every recorded history checked for linearizability and session
+# guarantees. Any violation prints a shrunk minimal reproducer and fails CI.
+"${BUILD_DIR}/tests/nemesis_matrix" --seeds 32 --rounds 6
+# The harness must still be able to fail: the injected lost-update bug has
+# to be caught by the same matrix (exit 1), or the green run above means
+# nothing.
+if "${BUILD_DIR}/tests/nemesis_matrix" --seeds 32 --rounds 6 --bug >/dev/null; then
+  echo "nemesis matrix failed to catch the injected bug" >&2
+  exit 1
+fi
+echo "nemesis matrix clean (and the injected bug is still caught)"
+
 echo "=== golden determinism: bench --golden vs bench/golden/*.json ==="
 GOLDEN_TMP=$(mktemp -d)
 trap 'rm -rf "${GOLDEN_TMP}"' EXIT

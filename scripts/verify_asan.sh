@@ -26,4 +26,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L transport
 # The cluster tests are repeated too: migration chunk buffers and forwarded
 # session records cross group lifetimes, prime use-after-free territory.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L cluster
+# And the consistency-check suite: the checker's DFS recursion and the
+# nemesis scenario teardown own cross-object histories worth a lifetime pass.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L check
 echo "sanitizer run clean"

@@ -28,4 +28,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L transport
 # The cluster tests are repeated too: the routed-request extension and the
 # copy-stream framing decode fault-injected corrupt bytes.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L cluster
+# And the consistency-check suite: history fingerprinting and the checker's
+# interval arithmetic run on full-width SimTime values.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L check
 echo "ubsan run clean"

@@ -1,0 +1,108 @@
+// Per-key linearizability checker (Wing & Gong with memoized configurations).
+//
+// The checker decides whether a recorded History (history.h) is linearizable
+// against the register+RMW model the store implements:
+//
+//   get(k)        -> value | kNotFound
+//   put(k, v)     -> kOk, state := v
+//   delete(k)     -> kOk (state := absent) | kNotFound (was absent)
+//   fetch-add(k,Δ)-> original u64 | kNotFound; state := old + Δ
+//                    (kUpdateScalar with function kFnAddU64)
+//
+// Linearizability is P-compositional: a history is linearizable iff its
+// per-key projections are (Herlihy & Wing), so the checker runs one
+// independent search per key — a 100k-op history over many keys checks in
+// seconds because each search sees only its own key's ops.
+//
+// Per key it runs the Wing & Gong search as tightened by Lowe: repeatedly
+// pick a *minimal* remaining operation (one whose invoke precedes every
+// remaining operation's return — nothing is real-time-ordered before it),
+// apply it to the model, and recurse; explored configurations (set of
+// linearized ops + model state) are memoized so the search never revisits a
+// failed frontier. The history is linearizable iff some order consumes every
+// definite operation.
+//
+// Ambiguity rules (DESIGN.md §15): an operation whose observed result is
+// kTimedOut or kDeadlineExceeded — or which never returned — may or may not
+// have taken effect (the server may have executed it while the response was
+// lost). Ambiguous *writes* stay in the history with an open-ended interval
+// and the search branches both ways: linearize the effect anywhere after the
+// invoke, or drop it entirely. Ambiguous *reads* constrain nothing and are
+// discarded, as are definite no-effect rejections (kBusy, kOverloaded,
+// kOutOfMemory, kInvalidArgument, kWrongShard, kMigrating): the server
+// answered without executing. kNotFound is a definite answer and must match
+// the model (state absent).
+#ifndef SRC_CHECK_LINEARIZABILITY_H_
+#define SRC_CHECK_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/check/history.h"
+
+namespace kvd {
+
+struct CheckOptions {
+  // Search-work bound across the whole history (configurations = search
+  // states entered). On exhaustion the verdict is kLimitExceeded, never a
+  // false violation.
+  uint64_t max_configurations = 20'000'000;
+  // Ops printed per violating key in the report.
+  size_t max_report_ops = 64;
+  // Pre-history store contents (untimed warm-up Loads happen outside the
+  // recorded history): the model's initial state for these keys. Keys not
+  // listed start absent.
+  std::map<std::vector<uint8_t>, std::vector<uint8_t>> initial_values;
+};
+
+enum class CheckStatus : uint8_t {
+  kOk = 0,
+  kViolation = 1,
+  kLimitExceeded = 2,
+};
+
+constexpr const char* CheckStatusName(CheckStatus status) {
+  switch (status) {
+    case CheckStatus::kOk:
+      return "ok";
+    case CheckStatus::kViolation:
+      return "violation";
+    case CheckStatus::kLimitExceeded:
+      return "limit-exceeded";
+  }
+  return "unknown";
+}
+
+// Verdict for one key that failed (or exhausted) its search.
+struct KeyCheckReport {
+  std::vector<uint8_t> key;
+  CheckStatus status = CheckStatus::kOk;
+  size_t ops = 0;              // ops checked for this key
+  uint64_t configurations = 0;
+  // Human-readable: the longest linearizable prefix found, the model state it
+  // reached, why each minimal candidate fails there, and the key's
+  // sub-history.
+  std::string detail;
+};
+
+struct CheckReport {
+  CheckStatus status = CheckStatus::kOk;
+  std::vector<KeyCheckReport> keys;  // only non-ok keys
+  size_t keys_checked = 0;
+  size_t ops_checked = 0;      // definite + ambiguous ops fed to searches
+  size_t ops_discarded = 0;    // ambiguous reads + definite no-effect failures
+  size_t ops_unsupported = 0;  // opcodes outside the register+RMW model
+  uint64_t configurations = 0;
+
+  bool ok() const { return status == CheckStatus::kOk; }
+  std::string ToString() const;  // deterministic (same history -> same bytes)
+};
+
+CheckReport CheckLinearizability(const History& history,
+                                 const CheckOptions& options = CheckOptions());
+
+}  // namespace kvd
+
+#endif  // SRC_CHECK_LINEARIZABILITY_H_

@@ -1,0 +1,165 @@
+// Seeded nemesis explorer: fault scripts, a seed matrix, and script
+// shrinking (DESIGN.md §15).
+//
+// A FaultScript is a deterministic, self-contained schedule of fault events
+// — replica crashes, replication-link partitions, gray links, client-facing
+// and copy-stream loss bursts, migration and split triggers — generated from
+// one seed. Every event heals itself (a crash carries its restart time, a
+// burst its end), so any *subset* of a script is still a well-formed script:
+// that is what makes greedy event-removal shrinking sound.
+//
+// RunClusterScenario plays a script against a live sharded cluster (N
+// replication groups on one simulated clock) while recording clients run a
+// counter workload, then judges the recorded history with the
+// linearizability checker and the session auditors. The whole run is
+// deterministic: same seed, same script, bit-identical history fingerprint
+// and report.
+//
+// RunSeedMatrix sweeps seeds until a scenario fails, then shrinks the
+// failing script to a minimal reproducer: greedily drop one event, re-run,
+// keep the removal iff the violation survives, repeat to fixpoint. The
+// result carries the shrunk script and the violating run's report.
+#ifndef SRC_CHECK_NEMESIS_H_
+#define SRC_CHECK_NEMESIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/check/linearizability.h"
+#include "src/check/session_audit.h"
+#include "src/common/units.h"
+
+namespace kvd {
+
+enum class NemesisEventKind : uint8_t {
+  kCrashReplica = 0,     // fail-stop one replica; restarts after `duration`
+  kPartitionReplica = 1, // both directions of its replication link, healed
+  kGrayReplica = 2,      // slow+lossy replication link for `duration`
+  kClientLossBurst = 3,  // client-facing drop probability on one group
+  kCopyLossBurst = 4,    // drop probability on the migration copy wire
+  kStartMigration = 5,   // move one partition to another group
+  kSplitPartitions = 6,  // double the partition count (relabeling)
+};
+
+constexpr const char* NemesisEventKindName(NemesisEventKind kind) {
+  switch (kind) {
+    case NemesisEventKind::kCrashReplica:
+      return "crash";
+    case NemesisEventKind::kPartitionReplica:
+      return "partition";
+    case NemesisEventKind::kGrayReplica:
+      return "gray-link";
+    case NemesisEventKind::kClientLossBurst:
+      return "client-loss";
+    case NemesisEventKind::kCopyLossBurst:
+      return "copy-loss";
+    case NemesisEventKind::kStartMigration:
+      return "migrate";
+    case NemesisEventKind::kSplitPartitions:
+      return "split";
+  }
+  return "unknown";
+}
+
+struct NemesisEvent {
+  SimTime at = 0;  // fire time, relative to scenario start
+  NemesisEventKind kind = NemesisEventKind::kCrashReplica;
+  uint32_t group = 0;     // taken modulo the live topology at fire time
+  uint32_t replica = 0;
+  uint32_t partition = 0;
+  uint32_t to_group = 0;
+  SimTime duration = 0;      // crash/partition/gray/burst heal after this
+  double probability = 0.0;  // burst drop / gray-link loss probability
+  double multiplier = 1.0;   // gray-link latency multiplier
+
+  std::string ToString() const;
+};
+
+struct FaultScript {
+  uint64_t seed = 0;
+  std::vector<NemesisEvent> events;  // sorted by `at`
+
+  std::string ToString() const;
+};
+
+struct ClusterScenarioOptions {
+  uint32_t num_groups = 2;
+  uint32_t num_replicas = 3;
+  uint32_t num_partitions = 4;
+  uint32_t num_clients = 2;
+  uint32_t num_keys = 12;       // spread round-robin across partitions
+  uint32_t rounds = 10;
+  uint32_t ops_per_round = 6;   // per client per round
+  double get_ratio = 0.375;
+  // Script events are generated inside [0, event_horizon).
+  SimTime event_horizon = 8 * kMillisecond;
+  uint32_t max_script_events = 12;
+  // Re-introduce the migration lost-update bug (the touched-key guard is
+  // skipped) so tests can prove the harness catches and shrinks it.
+  bool inject_lost_update_bug = false;
+  CheckOptions check;  // initial_values is filled by the scenario
+};
+
+struct ScenarioOutcome {
+  bool ok = false;  // no violation (limit-exceeded verdicts do not fail)
+  CheckReport linearizability;
+  AuditReport session_audit;
+  AuditReport exactly_once;
+  History history;
+  std::string fingerprint;  // history digest — bit-identical per seed
+  std::string report;       // script + verdicts; deterministic
+};
+
+// Deterministic script generation: same (seed, options) -> same script.
+// Always includes at least one migration trigger — the ownership-change path
+// is the reason this harness exists.
+FaultScript GenerateFaultScript(uint64_t seed,
+                                const ClusterScenarioOptions& options);
+
+ScenarioOutcome RunClusterScenario(const ClusterScenarioOptions& options,
+                                   const FaultScript& script);
+
+// A scenario under test: returns true when the run is consistent; fills
+// `report` (may be null) either way.
+using ScenarioFn =
+    std::function<bool(const FaultScript& script, std::string* report)>;
+
+// Greedy event-removal shrinking: drop one event, re-run, keep the removal
+// iff the scenario still fails; loop to fixpoint (bounded by `max_runs`).
+// Returns the minimal script; `runs_used`/`final_report` (nullable) receive
+// the run count and the minimal script's violation report.
+FaultScript ShrinkFaultScript(const FaultScript& script, const ScenarioFn& fn,
+                              uint32_t max_runs, uint32_t* runs_used,
+                              std::string* final_report);
+
+struct NemesisOptions {
+  ClusterScenarioOptions scenario;
+  uint64_t base_seed = 1;
+  uint32_t num_seeds = 32;
+  uint32_t max_shrink_runs = 96;
+};
+
+struct NemesisResult {
+  bool ok = true;
+  uint32_t seeds_run = 0;
+  uint64_t failing_seed = 0;       // valid when !ok
+  FaultScript original_script;
+  FaultScript shrunk_script;
+  uint32_t shrink_runs = 0;
+  std::string failure_report;      // the shrunk reproducer's report
+
+  std::string ToString() const;
+};
+
+// Sweeps seeds base_seed .. base_seed+num_seeds-1 over the built-in cluster
+// scenario (or a custom one), stopping at — and shrinking — the first
+// failure.
+NemesisResult RunSeedMatrix(const NemesisOptions& options);
+NemesisResult RunSeedMatrix(const NemesisOptions& options,
+                            const ScenarioFn& fn);
+
+}  // namespace kvd
+
+#endif  // SRC_CHECK_NEMESIS_H_

@@ -1,0 +1,74 @@
+// Session-guarantee auditors (DESIGN.md §15).
+//
+// Cheap linear-time checks that complement the linearizability search with
+// pinpoint first-violation reports: instead of "no linearization exists",
+// each auditor names the exact op, session, and key where a specific
+// guarantee first broke. All rules are sound under the ambiguity model of
+// linearizability.h — a timed-out / deadline-exceeded write may or may not
+// have taken effect, so every rule is phrased to be violated only when no
+// assignment of the ambiguous writes can explain the observation.
+//
+// Keys are classified by the history's definite acked writes:
+//   counter key  — every acked write is a fetch-add (kUpdateScalar+kFnAddU64);
+//                  values are monotone, enabling strong per-session rules.
+//   register key — every acked write is a put, all from one session
+//                  (single-writer); reads are matched against that session's
+//                  put values.
+// Keys that fit neither shape (mixed ops, multi-writer registers, deletes)
+// are skipped — the full checker still covers them.
+#ifndef SRC_CHECK_SESSION_AUDIT_H_
+#define SRC_CHECK_SESSION_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/check/history.h"
+
+namespace kvd {
+
+struct AuditViolation {
+  std::string auditor;  // "read-your-writes" | "monotonic-reads" | "exactly-once"
+  uint64_t session = 0;
+  std::vector<uint8_t> key;
+  size_t hist_index = 0;  // the first op that exhibits the violation
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  size_t counter_keys = 0;
+  size_t register_keys = 0;
+  size_t skipped_keys = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;  // deterministic
+};
+
+// Read-your-writes and monotonic reads, per session:
+//   counter keys — after a session's acked fetch-add observed original o with
+//     delta d, every later definite read by that session must be >= o + d;
+//     and a session's definite reads are non-decreasing in real time.
+//   register keys (single writer) — a read by the writer must not observe a
+//     definitely-overwritten put (an acked put p strictly followed by another
+//     acked put q that returned before the read began), nor a never-written
+//     value once an acked put precedes the read.
+AuditReport AuditSessionGuarantees(const History& history);
+
+// Exactly-once accounting for counter keys: with `base` the pre-history
+// loaded value per key, the last quiescent definite read of each key must
+// land in [base + sum(acked deltas), base + sum(acked + ambiguous deltas)].
+// Below the floor, an acked fetch-add was lost; above the ceiling, some
+// fetch-add was applied twice (a replay slipped past dedup). A key whose
+// final read is missing or not quiescent (some write's interval extends past
+// it) is skipped.
+AuditReport AuditExactlyOnceCounters(
+    const History& history,
+    const std::map<std::vector<uint8_t>, uint64_t>& base);
+
+}  // namespace kvd
+
+#endif  // SRC_CHECK_SESSION_AUDIT_H_

@@ -18,6 +18,10 @@ struct ClusterClient::FlushState {
 struct ClusterClient::PacketCtx : ReliablePacket {
   std::vector<uint8_t> ops_payload;  // PacketBuilder output, never re-built
   std::vector<size_t> op_indices;    // flush-result slots, packet order
+  // The packet's operations, aligned with op_indices. Kept so a wrong-shard
+  // bounce can re-derive the route from the keys themselves: after a split
+  // the built-in partition label means nothing under the new modulus.
+  std::vector<KvOperation> ops;
   std::vector<std::vector<uint8_t>> write_keys;
   uint32_t partition = 0;
   uint32_t group = 0;  // routing: which group the next transmission targets
@@ -78,6 +82,22 @@ void ClusterClient::BeginFlush() {
     return;
   }
 
+  std::vector<size_t> slots(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    slots[i] = i;
+  }
+  std::vector<std::shared_ptr<PacketCtx>> packets =
+      BuildPackets(ops, slots, flush_);
+  flush_->outstanding = packets.size();
+  for (const auto& packet : packets) {
+    SendPacket(packet);
+  }
+}
+
+std::vector<std::shared_ptr<ClusterClient::PacketCtx>>
+ClusterClient::BuildPackets(const std::vector<KvOperation>& ops,
+                            const std::vector<size_t>& slots,
+                            const std::shared_ptr<FlushState>& flush) {
   // One packet's keys all hash to one partition under the cached map, so a
   // whole packet routes (and bounces) as a unit. std::map keeps partition
   // iteration deterministic.
@@ -93,7 +113,7 @@ void ClusterClient::BeginFlush() {
   for (const auto& [partition, indices] : by_partition) {
     PacketBuilder builder(budget, options_.enable_compression);
     auto ctx = std::make_shared<PacketCtx>();
-    ctx->flush = flush_;
+    ctx->flush = flush;
     ctx->partition = partition;
     for (const size_t i : indices) {
       if (!builder.Add(ops[i])) {
@@ -102,11 +122,20 @@ void ClusterClient::BeginFlush() {
         ctx->ops_payload = builder.Finish();
         packets.push_back(std::move(ctx));
         ctx = std::make_shared<PacketCtx>();
-        ctx->flush = flush_;
+        ctx->flush = flush;
         ctx->partition = partition;
         KVD_CHECK(builder.Add(ops[i]));
       }
-      ctx->op_indices.push_back(i);
+      ctx->op_indices.push_back(slots[i]);
+      ctx->ops.push_back(ops[i]);
+      if (ops[i].deadline != 0) {
+        // Earliest op deadline bounds the packet: past it the sender abandons
+        // the frame with kDeadlineExceeded instead of retrying into a bounce
+        // chain (migration freeze, redirect storm) nobody is waiting out.
+        ctx->deadline = ctx->deadline == 0
+                            ? ops[i].deadline
+                            : std::min(ctx->deadline, ops[i].deadline);
+      }
       if (IsWriteOpcode(ops[i].opcode)) {
         ctx->is_write = true;
         ctx->write_keys.push_back(ops[i].key);
@@ -117,18 +146,18 @@ void ClusterClient::BeginFlush() {
       packets.push_back(std::move(ctx));
     }
   }
+  return packets;
+}
 
-  flush_->outstanding = packets.size();
-  for (const auto& packet : packets) {
-    packet->sequence = next_sequence_++;
-    packet->group = map_.OwnerOf(packet->partition);
-    ReframeRoute(packet);
-    packet->target = packet->is_write
-                         ? BelievedPrimary(packet->group)
-                         : cluster_.group(packet->group).primary_id();
-    stats_.packets_sent++;
-    sender_.Send(packet);
-  }
+void ClusterClient::SendPacket(const std::shared_ptr<PacketCtx>& packet) {
+  packet->sequence = next_sequence_++;
+  packet->group = map_.OwnerOf(packet->partition);
+  ReframeRoute(packet);
+  packet->target = packet->is_write
+                       ? BelievedPrimary(packet->group)
+                       : cluster_.group(packet->group).primary_id();
+  stats_.packets_sent++;
+  sender_.Send(packet);
 }
 
 void ClusterClient::ReframeRoute(const std::shared_ptr<PacketCtx>& ctx) {
@@ -229,20 +258,8 @@ void ClusterClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
     stats_.wrong_shard_bounces++;
     if (response.num_partitions != map_.num_partitions()) {
       // The map's granularity changed under us (a split): patching one
-      // entry cannot reconcile it; refetch and re-derive the partition from
-      // the packet's first key. After a split both halves share an owner, so
-      // the re-derived route is correct under the fresh map.
+      // entry cannot reconcile it; refetch wholesale.
       RefreshMap();
-      // op_indices are flush slots; the key lives in the encoded payload, so
-      // re-derive from a write key when present, else keep the old label
-      // modulo the new count (the modulo-refinement property makes
-      // partition % N stable for both halves' keys... not in general — use a
-      // key when we have one).
-      if (!ctx->write_keys.empty()) {
-        ctx->partition = map_.router().PartitionOf(ctx->write_keys.front());
-      } else if (ctx->partition >= map_.num_partitions()) {
-        ctx->partition %= map_.num_partitions();
-      }
     } else if (response.map_epoch > map_.epoch) {
       // Patch just the bounced entry: one migration moved one partition.
       map_.epoch = response.map_epoch;
@@ -251,6 +268,42 @@ void ClusterClient::OnResponse(const std::shared_ptr<PacketCtx>& ctx,
         map_.owners[ctx->partition] = response.owner_group;
       }
       stats_.map_patches++;
+    }
+    // Re-derive the route from the packet's own keys under the current map:
+    // a label framed before a split was computed with the old modulus and
+    // means nothing now (the gates refuse such frames outright).
+    const KeyRouter router = map_.router();
+    bool straddles = false;
+    ctx->partition = router.PartitionOf(ctx->ops.front().key);
+    for (const KvOperation& op : ctx->ops) {
+      straddles = straddles || router.PartitionOf(op.key) != ctx->partition;
+    }
+    if (straddles) {
+      // A pre-split packet holds keys from both halves of its old partition
+      // and a migration has since separated their owners; no single route
+      // serves it. The gate refused the frame wholesale — nothing in it
+      // executed *here* — so reads re-batch safely under the fresh map with
+      // new sequences. Writes cannot: an earlier attempt may have executed
+      // before the split, and new sequences would forfeit the replay
+      // protection tied to the original frame — fail them as ambiguous,
+      // exactly like an exhausted retransmission timer.
+      if (ctx->is_write) {
+        stats_.split_write_aborts++;
+        ctx->fail_code = ResultCode::kTimedOut;
+        ctx->failed = true;
+        ctx->completed = true;
+        OnFail(ctx);
+        return;
+      }
+      stats_.split_rebuilds++;
+      ctx->completed = true;  // stop the old frame's retransmission timer
+      std::vector<std::shared_ptr<PacketCtx>> packets =
+          BuildPackets(ctx->ops, ctx->op_indices, ctx->flush);
+      ctx->flush->outstanding += packets.size() - 1;
+      for (const auto& packet : packets) {
+        SendPacket(packet);
+      }
+      return;
     }
     ctx->group = map_.OwnerOf(ctx->partition);
     ReframeRoute(ctx);

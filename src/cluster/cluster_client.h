@@ -7,11 +7,15 @@
 // (GroupRequest routing extension). Routing mistakes are corrected by the
 // groups themselves:
 //
-//   - kWrongShard: the contacted group does not own the partition. The bounce
-//     carries the current map epoch, the owning group, and the partition
-//     count; the client patches its cached map (or refetches it wholesale
-//     when the partition count changed — a split happened) and re-sends the
-//     same frame sequence to the owner.
+//   - kWrongShard: the contacted group does not own the partition (or the
+//     frame's map epoch predates a split, making its label unreadable). The
+//     bounce carries the current map epoch, the owning group, and the
+//     partition count; the client patches its cached map (or refetches it
+//     wholesale when the partition count changed — a split happened),
+//     re-derives the route from the packet's own keys, and re-sends the same
+//     frame sequence to the owner. If a split divided the packet's keys
+//     between owners, a read packet is re-batched under the fresh map and a
+//     write packet fails as ambiguous (see Stats::split_write_aborts).
 //   - kMigrating: the partition is write-frozen for a cutover window; the
 //     client backs off and re-sends. After the flip the old owner answers
 //     kWrongShard and the first rule takes over.
@@ -65,6 +69,13 @@ class ClusterClient : public KvEndpoint {
     uint64_t migrating_backoffs = 0;   // kGroupMigrating bounces
     uint64_t map_patches = 0;          // single-partition map corrections
     uint64_t map_refetches = 0;        // wholesale map fetches (splits)
+    // Read-only packets re-batched because a split divided their keys
+    // between partitions that no longer share an owner.
+    uint64_t split_rebuilds = 0;
+    // Write packets in the same position, failed as ambiguous instead: an
+    // earlier attempt may have executed before the split, and new sequences
+    // would forfeit the original frame's replay protection.
+    uint64_t split_write_aborts = 0;
   };
 
   explicit ClusterClient(ClusterCoordinator& cluster)
@@ -101,6 +112,15 @@ class ClusterClient : public KvEndpoint {
   // Re-frames the packet's routing header (cached epoch, partition, required
   // watermark) around the unchanged ops payload and sequence.
   void ReframeRoute(const std::shared_ptr<PacketCtx>& ctx);
+  // Batches `ops` per partition under the current map. `slots[i]` is the
+  // flush-result slot of ops[i]; used by BeginFlush and by the post-split
+  // rebuild of a bounced read packet.
+  std::vector<std::shared_ptr<PacketCtx>> BuildPackets(
+      const std::vector<KvOperation>& ops, const std::vector<size_t>& slots,
+      const std::shared_ptr<FlushState>& flush);
+  // Assigns a fresh sequence, routes by the packet's partition under the
+  // cached map, frames, and hands the packet to the reliable sender.
+  void SendPacket(const std::shared_ptr<PacketCtx>& packet);
   // Schedules a Resend after `delay` unless the packet completes first.
   void BackoffResend(const std::shared_ptr<PacketCtx>& ctx, SimTime delay);
   uint32_t& BelievedPrimary(uint32_t group);

@@ -68,11 +68,22 @@ ClusterCoordinator::~ClusterCoordinator() { *liveness_ = false; }
 
 void ClusterCoordinator::WireGroup(uint32_t index) {
   ReplicationGroup& group = *groups_[index];
-  group.SetShardGate([this, index](uint64_t /*client_map_epoch*/,
+  group.SetShardGate([this, index](uint64_t client_map_epoch,
                                    uint32_t partition, bool any_write) {
     ReplicationGroup::ShardGateDecision decision;
     decision.map_epoch = map_.epoch;
     decision.num_partitions = map_.num_partitions();
+    if (client_map_epoch < split_epoch_) {
+      // The label was computed with a pre-split modulus. Partition numbers
+      // from different granularities are incomparable — owners[label] can
+      // name this group while the keys inside actually live in the other
+      // half, migrated elsewhere — so serving would answer authoritatively
+      // for keys this group may not own. Bounce: the count mismatch in the
+      // response makes the client refetch and re-derive its routes.
+      decision.action = ReplicationGroup::ShardGateDecision::Action::kWrongShard;
+      decision.owner_group = index;
+      return decision;
+    }
     if (partition >= map_.num_partitions()) {
       // A granularity the current map does not have (the map only grows, so
       // this is a corrupted or impossible route): force a full refetch.
@@ -150,6 +161,9 @@ Status ClusterCoordinator::SplitPartitions() {
   const uint32_t old_partitions = map_.num_partitions();
   map_ = map_.Doubled();
   map_.epoch++;
+  // Routes framed against any earlier epoch carry labels in the old modulus;
+  // the shard gates refuse them from this epoch on (see WireGroup).
+  split_epoch_ = map_.epoch;
   stats_.partitions_split++;
   // The split relabels every partition (p's keys divide between p and p+N),
   // so pre-split load counts no longer describe any current partition.
@@ -334,18 +348,28 @@ void ClusterCoordinator::OnCopyChunkArrive(uint64_t round,
   const ReplicaMessage& chunk = decoded.value();
   if (chunk.chunk_seq == m.installed) {
     ReplicationGroup& dest = *groups_[m.to];
+    bool chunk_installed = true;
     for (const auto& [key, value] : chunk.kvs) {
-      if (m.touched.count(key) != 0) {
+      if (!config_.test_bugs.disable_migration_touched_key_guard &&
+          m.touched.count(key) != 0) {
         // A forward already wrote (or deleted) this key at the destination
         // with a newer value; installing the snapshot's copy — possibly from
         // a duplicated or retransmitted chunk — would resurrect the old one.
         continue;
       }
-      KVD_CHECK_MSG(dest.Load(key, value).ok(),
-                    "destination out of capacity installing a copy chunk");
+      if (!dest.Load(key, value).ok()) {
+        // A crashed destination replica (or capacity pressure) blocks the
+        // install. Drop the chunk without advancing the install point:
+        // go-back-N retransmission redelivers it once the group heals, and
+        // Load is an upsert so the partial prefix re-installs harmlessly.
+        chunk_installed = false;
+        break;
+      }
       stats_.copy_kvs++;
     }
-    m.installed++;
+    if (chunk_installed) {
+      m.installed++;
+    }
   } else {
     stats_.copy_stale_chunks++;  // loss gap or duplicate: go-back-N drops it
   }

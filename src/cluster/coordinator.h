@@ -74,6 +74,19 @@ struct ClusterConfig {
   // Coordinator-level migration tracing (span tree + shard_cutover dumps).
   bool enable_request_tracing = false;
   FlightRecorderConfig flight;
+
+  // Test-only regression hooks for the consistency harness (src/check): each
+  // knob re-introduces one specific bug the design guards against, so the
+  // nemesis seed matrix can prove it would catch that regression. Never set
+  // outside tests.
+  struct TestBugs {
+    // Skip the touched-key guard on copy-chunk installs: a chunk arriving
+    // after a forward already dual-wrote one of its keys then resurrects the
+    // older snapshot value at the destination — a lost acknowledged write
+    // surfacing after the cutover.
+    bool disable_migration_touched_key_guard = false;
+  };
+  TestBugs test_bugs;
 };
 
 class ClusterCoordinator {
@@ -223,6 +236,10 @@ class ClusterCoordinator {
   std::vector<std::unique_ptr<ReplicationGroup>> groups_;
   std::vector<uint8_t> active_;
   ShardMap map_;
+  // Map epoch as of the most recent split (0 if never split). The shard
+  // gates refuse routed requests framed before it: their partition labels
+  // use the old modulus and are incomparable with current ones.
+  uint64_t split_epoch_ = 0;
   Migration migration_;
   std::vector<uint64_t> partition_ops_;
   uint64_t next_client_id_ = 0;

@@ -172,6 +172,16 @@ struct KvResultMessage {
   uint32_t epoch = 0;
 };
 
+// True for result codes that leave the operation's effect unknown to the
+// client: the server may have executed it while the answer (or the request's
+// last retransmission) was lost. The consistency checker (src/check) treats
+// writes with these codes as "may or may not have taken effect"; every other
+// code is a definite answer — kOk/kNotFound constrain the state, the
+// rejection codes guarantee no effect.
+constexpr bool IsAmbiguousResult(ResultCode code) {
+  return code == ResultCode::kTimedOut || code == ResultCode::kDeadlineExceeded;
+}
+
 // True for operations that mutate the stored value.
 constexpr bool IsWriteOpcode(Opcode opcode) {
   switch (opcode) {

@@ -132,10 +132,11 @@ Status ReplicationGroup::Load(std::span<const uint8_t> key,
                               std::span<const uint8_t> value) {
   for (const auto& rep : replicas_) {
     if (rep->crashed) {
-      return Status::InvalidArgument("cannot load while a replica is crashed");
+      // Reconciled on restart: the replica is down, not divergent.
+      rep->pending_state[std::vector<uint8_t>(key.begin(), key.end())] =
+          std::vector<uint8_t>(value.begin(), value.end());
+      continue;
     }
-  }
-  for (const auto& rep : replicas_) {
     Status status = rep->server->Load(key, value);
     if (!status.ok()) {
       return status;
@@ -152,15 +153,16 @@ KvResultMessage ReplicationGroup::Execute(const KvOperation& op) {
 }
 
 Status ReplicationGroup::Erase(std::span<const uint8_t> key) {
-  for (const auto& rep : replicas_) {
-    if (rep->crashed) {
-      return Status::InvalidArgument("cannot erase while a replica is crashed");
-    }
-  }
   KvOperation del;
   del.opcode = Opcode::kDelete;
   del.key.assign(key.begin(), key.end());
   for (const auto& rep : replicas_) {
+    if (rep->crashed) {
+      // Reconciled on restart — without this, a restarted replica would keep
+      // a migrated-away key and resurrect it if the partition moved back.
+      rep->pending_state[del.key] = std::nullopt;
+      continue;
+    }
     rep->server->Execute(del);  // kNotFound is fine: absent on this replica
     rep->keys.erase(del.key);
   }
@@ -250,6 +252,23 @@ void ReplicationGroup::RestartReplica(uint32_t id) {
   rep.is_primary = false;
   rep.election_active = false;
   rep.election_replies.clear();
+  // Apply below-log mutations that arrived while down (cluster Load/Erase,
+  // e.g. a migration cutover's partition sweep) before rejoining: recovery
+  // must converge on the state the live replicas already hold.
+  for (const auto& [key, value] : rep.pending_state) {
+    if (value.has_value()) {
+      KVD_CHECK_MSG(rep.server->Load(key, *value).ok(),
+                    "restart reconciliation out of capacity");
+      rep.keys.insert(key);
+    } else {
+      KvOperation del;
+      del.opcode = Opcode::kDelete;
+      del.key = key;
+      rep.server->Execute(del);  // kNotFound is fine: never present here
+      rep.keys.erase(key);
+    }
+  }
+  rep.pending_state.clear();
   // Grace period: don't suspect the primary before hearing from it once.
   rep.last_primary_contact = sim_.Now();
   stats_.restarts++;

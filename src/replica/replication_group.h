@@ -49,6 +49,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <vector>
@@ -170,7 +171,8 @@ class ReplicationGroup {
 
   // --- untimed convenience (warm-up fills, verification) ---
   // Loads a KV into every replica identically, below the log (pre-replication
-  // state). Refused while any replica is crashed.
+  // state). Crashed replicas queue the mutation and reconcile on restart
+  // (Replica::pending_state); live replicas can still refuse on capacity.
   Status Load(std::span<const uint8_t> key, std::span<const uint8_t> value);
   // Functional read on the current primary (reads only).
   KvResultMessage Execute(const KvOperation& op);
@@ -404,6 +406,13 @@ class ReplicationGroup {
     // live keys per replica for snapshotting (std::set for deterministic
     // order).
     std::set<std::vector<uint8_t>> keys;
+
+    // Below-log state mutations (cluster Load/Erase) that arrived while this
+    // replica was crashed: value = upsert, nullopt = erase. Applied on
+    // restart, modeling recovery-time state reconciliation — a migration
+    // cutover must not stall (or diverge) because one replica is down.
+    std::map<std::vector<uint8_t>, std::optional<std::vector<uint8_t>>>
+        pending_state;
 
     // Replicated session results: client sequence -> slot -> result, FIFO
     // evicted. Identical on every replica holding the same log prefix.

@@ -10,6 +10,11 @@
 // SubmitPacket is the raw datagram path used by closed-loop throughput
 // benches (no framing, no retry — the bench counts undecoded responses);
 // only endpoints with a single direct server wire support it.
+//
+// The consistency harness taps this interface too: RecordingEndpoint
+// (src/check/history.h) wraps any KvEndpoint and captures every op's
+// invoke/return interval and observed result for the linearizability checker
+// — one wrapper covers every topology.
 #ifndef SRC_TRANSPORT_KV_ENDPOINT_H_
 #define SRC_TRANSPORT_KV_ENDPOINT_H_
 

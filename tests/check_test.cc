@@ -1,0 +1,513 @@
+// Consistency check harness (src/check): hand-crafted known-good and
+// known-bad histories against the linearizability checker (stale read, lost
+// acked write, duplicated fetch-add, ambiguous-timeout both ways), the
+// session-guarantee auditors' pinpoint reports, the history recorder behind
+// KvEndpoint, fault-script generation determinism, greedy script shrinking,
+// and the nemesis regression: a deliberately re-introduced migration
+// lost-update bug must be caught by the seed matrix and shrunk to a tiny
+// reproducer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/check/history.h"
+#include "src/check/linearizability.h"
+#include "src/check/nemesis.h"
+#include "src/check/session_audit.h"
+#include "src/common/units.h"
+#include "src/core/kv_direct.h"
+
+namespace kvd {
+namespace {
+
+std::vector<uint8_t> Key(uint64_t id) {
+  std::vector<uint8_t> key(8);
+  std::memcpy(key.data(), &id, 8);
+  return key;
+}
+
+std::vector<uint8_t> U64Value(uint64_t v) {
+  std::vector<uint8_t> value(8);
+  std::memcpy(value.data(), &v, 8);
+  return value;
+}
+
+KvOperation GetOp(uint64_t id) {
+  KvOperation op;
+  op.opcode = Opcode::kGet;
+  op.key = Key(id);
+  return op;
+}
+
+KvOperation PutOp(uint64_t id, uint64_t v) {
+  KvOperation op;
+  op.opcode = Opcode::kPut;
+  op.key = Key(id);
+  op.value = U64Value(v);
+  return op;
+}
+
+KvOperation DeleteOp(uint64_t id) {
+  KvOperation op;
+  op.opcode = Opcode::kDelete;
+  op.key = Key(id);
+  return op;
+}
+
+KvOperation AddOp(uint64_t id, uint64_t delta) {
+  KvOperation op;
+  op.opcode = Opcode::kUpdateScalar;
+  op.key = Key(id);
+  op.param = delta;
+  op.function_id = kFnAddU64;
+  return op;
+}
+
+KvResultMessage Ok() {
+  return KvResultMessage{};
+}
+
+KvResultMessage OkValue(uint64_t v) {
+  KvResultMessage result;
+  result.value = U64Value(v);
+  return result;
+}
+
+KvResultMessage OkScalar(uint64_t original) {
+  KvResultMessage result;
+  result.scalar = original;
+  return result;
+}
+
+KvResultMessage Code(ResultCode code) {
+  KvResultMessage result;
+  result.code = code;
+  return result;
+}
+
+size_t Record(History& h, uint64_t session, SimTime invoke, SimTime ret,
+              KvOperation op, KvResultMessage result) {
+  HistoryOp rec;
+  rec.session = session;
+  rec.op_in_session = h.ops.size();
+  rec.invoke = invoke;
+  rec.ret = ret;
+  rec.returned = true;
+  rec.op = std::move(op);
+  rec.result = std::move(result);
+  h.ops.push_back(std::move(rec));
+  return h.ops.size() - 1;
+}
+
+CheckOptions WithInitial(uint64_t id, uint64_t value) {
+  CheckOptions options;
+  options.initial_values[Key(id)] = U64Value(value);
+  return options;
+}
+
+// --- linearizability checker: known-good histories ---
+
+TEST(LinearizabilityTest, SequentialCounterHistoryPasses) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  Record(h, 0, 20, 30, AddOp(1, 3), OkScalar(105));
+  Record(h, 0, 40, 50, GetOp(1), OkValue(108));
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.keys_checked, 1u);
+  EXPECT_EQ(report.ops_checked, 3u);
+}
+
+TEST(LinearizabilityTest, ConcurrentAddsLinearizeInTheConsistentOrder) {
+  // Two overlapping fetch-adds from different sessions: the observed
+  // originals admit exactly one order (s0 first), and the checker must find
+  // it even though s1's op sorts first by no criterion.
+  History h;
+  Record(h, 0, 0, 100, AddOp(1, 5), OkScalar(100));
+  Record(h, 1, 0, 100, AddOp(1, 3), OkScalar(105));
+  Record(h, 0, 200, 210, GetOp(1), OkValue(108));
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LinearizabilityTest, RegisterPutDeleteGetRoundTripPasses) {
+  History h;
+  Record(h, 0, 0, 10, GetOp(2), Code(ResultCode::kNotFound));
+  Record(h, 0, 20, 30, PutOp(2, 7), Ok());
+  Record(h, 0, 40, 50, GetOp(2), OkValue(7));
+  Record(h, 0, 60, 70, DeleteOp(2), Ok());
+  Record(h, 0, 80, 90, GetOp(2), Code(ResultCode::kNotFound));
+  Record(h, 0, 95, 99, DeleteOp(2), Code(ResultCode::kNotFound));
+  const CheckReport report = CheckLinearizability(h);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LinearizabilityTest, DefiniteRejectionsAreDiscarded) {
+  // kOverloaded / kBusy answers guarantee no effect: they must neither
+  // constrain the state nor break the surrounding ops.
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  Record(h, 0, 20, 30, AddOp(1, 9), Code(ResultCode::kOverloaded));
+  Record(h, 0, 20, 30, PutOp(1, 1), Code(ResultCode::kBusy));
+  Record(h, 0, 40, 50, GetOp(1), OkValue(105));
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.ops_discarded, 2u);
+  EXPECT_EQ(report.ops_checked, 2u);
+}
+
+// --- linearizability checker: known-bad histories ---
+
+TEST(LinearizabilityTest, StaleReadIsAViolation) {
+  // Two acked puts in strict sequence; a later read observes the first one.
+  History h;
+  Record(h, 0, 0, 10, PutOp(2, 7), Ok());
+  Record(h, 0, 20, 30, PutOp(2, 8), Ok());
+  Record(h, 1, 40, 50, GetOp(2), OkValue(7));
+  const CheckReport report = CheckLinearizability(h);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, CheckStatus::kViolation);
+  ASSERT_EQ(report.keys.size(), 1u);
+  EXPECT_NE(report.keys[0].detail.find("GET observed"), std::string::npos)
+      << report.ToString();
+}
+
+TEST(LinearizabilityTest, LostAckedWriteIsAViolation) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(100));  // the +5 vanished
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_EQ(report.status, CheckStatus::kViolation);
+}
+
+TEST(LinearizabilityTest, DuplicatedFetchAddIsAViolation) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(110));  // the +5 applied twice
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_EQ(report.status, CheckStatus::kViolation);
+}
+
+TEST(LinearizabilityTest, NotFoundAfterAckedPutIsAViolation) {
+  History h;
+  Record(h, 0, 0, 10, PutOp(2, 7), Ok());
+  Record(h, 0, 20, 30, GetOp(2), Code(ResultCode::kNotFound));
+  const CheckReport report = CheckLinearizability(h);
+  EXPECT_EQ(report.status, CheckStatus::kViolation);
+}
+
+// --- ambiguity: timeouts may or may not have taken effect ---
+
+TEST(LinearizabilityTest, AmbiguousTimeoutMayHaveTakenEffect) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), Code(ResultCode::kTimedOut));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(105));  // it landed
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LinearizabilityTest, AmbiguousTimeoutMayHaveBeenLost) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), Code(ResultCode::kDeadlineExceeded));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(100));  // it never landed
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LinearizabilityTest, AmbiguousTimeoutCannotApplyTwice) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), Code(ResultCode::kTimedOut));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(110));  // applied twice: illegal
+  const CheckReport report = CheckLinearizability(h, WithInitial(1, 100));
+  EXPECT_EQ(report.status, CheckStatus::kViolation);
+}
+
+TEST(LinearizabilityTest, AmbiguousWriteMayLinearizeAfterLaterReads) {
+  // The timed-out put has an open interval: a read that began after the
+  // client gave up may still see either value — but a *pair* of reads can
+  // pin it: old-then-new is fine, new-then-old is a violation.
+  History h;
+  Record(h, 0, 0, 10, PutOp(2, 1), Ok());
+  Record(h, 0, 20, 30, PutOp(2, 2), Code(ResultCode::kTimedOut));
+  Record(h, 1, 40, 50, GetOp(2), OkValue(1));
+  Record(h, 1, 60, 70, GetOp(2), OkValue(2));
+  EXPECT_TRUE(CheckLinearizability(h).ok());
+
+  History bad;
+  Record(bad, 0, 0, 10, PutOp(2, 1), Ok());
+  Record(bad, 0, 20, 30, PutOp(2, 2), Code(ResultCode::kTimedOut));
+  Record(bad, 1, 40, 50, GetOp(2), OkValue(2));
+  Record(bad, 1, 60, 70, GetOp(2), OkValue(1));  // went backward
+  EXPECT_EQ(CheckLinearizability(bad).status, CheckStatus::kViolation);
+}
+
+TEST(LinearizabilityTest, SearchBudgetExhaustionIsNotAViolation) {
+  History h;
+  for (int i = 0; i < 8; i++) {
+    Record(h, i, 0, 100, AddOp(1, 1), Code(ResultCode::kTimedOut));
+  }
+  Record(h, 8, 200, 210, GetOp(1), OkValue(104));
+  CheckOptions options = WithInitial(1, 100);
+  options.max_configurations = 3;
+  const CheckReport report = CheckLinearizability(h, options);
+  EXPECT_EQ(report.status, CheckStatus::kLimitExceeded);
+  EXPECT_FALSE(report.status == CheckStatus::kViolation);
+}
+
+TEST(LinearizabilityTest, ReportIsDeterministic) {
+  History h;
+  Record(h, 0, 0, 10, PutOp(2, 7), Ok());
+  Record(h, 0, 20, 30, PutOp(2, 8), Ok());
+  Record(h, 1, 40, 50, GetOp(2), OkValue(7));
+  const std::string a = CheckLinearizability(h).ToString();
+  const std::string b = CheckLinearizability(h).ToString();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(h.Fingerprint(), h.Fingerprint());
+}
+
+// --- session-guarantee auditors ---
+
+TEST(SessionAuditTest, ReadYourWritesViolationIsPinpointed) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  const size_t bad = 1;
+  Record(h, 0, 20, 30, GetOp(1), OkValue(100));  // forgot my own +5
+  const AuditReport report = AuditSessionGuarantees(h);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.violations[0].auditor, "read-your-writes");
+  EXPECT_EQ(report.violations[0].hist_index, bad);
+  EXPECT_EQ(report.violations[0].session, 0u);
+  EXPECT_EQ(report.violations[0].key, Key(1));
+}
+
+TEST(SessionAuditTest, OtherSessionsWritesDoNotTriggerReadYourWrites) {
+  History h;
+  Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+  Record(h, 1, 20, 30, GetOp(1), OkValue(100));  // not its write: allowed
+  EXPECT_TRUE(AuditSessionGuarantees(h).ok());
+}
+
+TEST(SessionAuditTest, MonotonicReadsViolationIsPinpointed) {
+  History h;
+  Record(h, 0, 0, 10, GetOp(1), OkValue(108));
+  Record(h, 0, 20, 30, GetOp(1), OkValue(105));  // counter went backward
+  const AuditReport report = AuditSessionGuarantees(h);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.violations[0].auditor, "monotonic-reads");
+  EXPECT_EQ(report.violations[0].hist_index, 1u);
+}
+
+TEST(SessionAuditTest, ConcurrentReadsAreNotOrdered) {
+  History h;
+  Record(h, 0, 0, 50, GetOp(1), OkValue(108));
+  Record(h, 0, 0, 50, GetOp(1), OkValue(105));  // overlapping: no order
+  EXPECT_TRUE(AuditSessionGuarantees(h).ok());
+}
+
+TEST(SessionAuditTest, RegisterStaleReadIsCaught) {
+  History h;
+  Record(h, 0, 0, 10, PutOp(2, 7), Ok());
+  Record(h, 0, 20, 30, PutOp(2, 8), Ok());
+  Record(h, 0, 40, 50, GetOp(2), OkValue(7));  // definitely overwritten
+  const AuditReport report = AuditSessionGuarantees(h);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  EXPECT_NE(report.violations[0].detail.find("stale read"),
+            std::string::npos);
+
+  // With the second put ambiguous the old value stays explainable: the
+  // overwrite may simply never have landed.
+  History ambiguous;
+  Record(ambiguous, 0, 0, 10, PutOp(2, 7), Ok());
+  Record(ambiguous, 0, 20, 30, PutOp(2, 8), Code(ResultCode::kTimedOut));
+  Record(ambiguous, 0, 40, 50, GetOp(2), OkValue(7));
+  EXPECT_TRUE(AuditSessionGuarantees(ambiguous).ok());
+}
+
+TEST(SessionAuditTest, ExactlyOnceBoundsRespectAmbiguity) {
+  auto history_with_final = [](uint64_t final_value) {
+    History h;
+    Record(h, 0, 0, 10, AddOp(1, 5), OkScalar(100));
+    Record(h, 0, 20, 30, AddOp(1, 3), Code(ResultCode::kTimedOut));
+    Record(h, 0, 40, 50, GetOp(1), OkValue(final_value));
+    return h;
+  };
+  const std::map<std::vector<uint8_t>, uint64_t> base = {{Key(1), 100}};
+  // [base + acked, base + acked + ambiguous] = [105, 108].
+  EXPECT_TRUE(AuditExactlyOnceCounters(history_with_final(105), base).ok());
+  EXPECT_TRUE(AuditExactlyOnceCounters(history_with_final(108), base).ok());
+
+  const AuditReport lost =
+      AuditExactlyOnceCounters(history_with_final(104), base);
+  ASSERT_EQ(lost.violations.size(), 1u);
+  EXPECT_NE(lost.violations[0].detail.find("lost acked write"),
+            std::string::npos);
+
+  const AuditReport duplicated =
+      AuditExactlyOnceCounters(history_with_final(109), base);
+  ASSERT_EQ(duplicated.violations.size(), 1u);
+  EXPECT_NE(duplicated.violations[0].detail.find("duplicated write"),
+            std::string::npos);
+}
+
+// --- history recorder behind KvEndpoint ---
+
+TEST(HistoryRecorderTest, RecordingEndpointCapturesEveryFlushedOp) {
+  ServerConfig config;
+  config.kvs_memory_bytes = 8 * kMiB;
+  config.nic_dram.capacity_bytes = 1 * kMiB;
+  KvDirectServer server(config);
+  Client client(server);
+  HistoryRecorder recorder;
+  RecordingEndpoint endpoint(client, recorder);
+
+  endpoint.Enqueue(PutOp(3, 41));
+  endpoint.Enqueue(GetOp(3));
+  std::vector<KvResultMessage> results = endpoint.Flush();
+  ASSERT_EQ(results.size(), 2u);
+  endpoint.Enqueue(AddOp(3, 1));
+  endpoint.Flush();
+
+  const History& h = recorder.history();
+  ASSERT_EQ(h.ops.size(), 3u);
+  for (const HistoryOp& op : h.ops) {
+    EXPECT_TRUE(op.returned);
+    EXPECT_LE(op.invoke, op.ret);
+    EXPECT_EQ(op.session, endpoint.session());
+  }
+  EXPECT_EQ(h.ops[1].result.value, U64Value(41));
+  EXPECT_EQ(h.ops[2].result.scalar, 41u);
+  EXPECT_LE(h.ops[1].ret, h.ops[2].invoke);
+  EXPECT_TRUE(CheckLinearizability(h).ok());
+  EXPECT_TRUE(AuditSessionGuarantees(h).ok());
+}
+
+// --- fault scripts and shrinking ---
+
+TEST(NemesisScriptTest, GenerationIsDeterministicAndBounded) {
+  ClusterScenarioOptions options;
+  const FaultScript a = GenerateFaultScript(42, options);
+  const FaultScript b = GenerateFaultScript(42, options);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_GE(a.events.size(), 3u);
+  EXPECT_LE(a.events.size(), options.max_script_events);
+  bool has_migration = false;
+  for (size_t i = 0; i + 1 < a.events.size(); i++) {
+    EXPECT_LE(a.events[i].at, a.events[i + 1].at);
+  }
+  for (const NemesisEvent& event : a.events) {
+    has_migration |= event.kind == NemesisEventKind::kStartMigration;
+  }
+  EXPECT_TRUE(has_migration);
+  EXPECT_NE(GenerateFaultScript(43, options).ToString(), a.ToString());
+}
+
+TEST(NemesisShrinkTest, GreedyRemovalFindsTheMinimalCore) {
+  // Synthetic scenario: fails iff the script still contains a crash AND a
+  // migration. Shrinking must strip everything else.
+  auto fails_with = [](const FaultScript& script, std::string* report) {
+    bool crash = false;
+    bool migrate = false;
+    for (const NemesisEvent& event : script.events) {
+      crash |= event.kind == NemesisEventKind::kCrashReplica;
+      migrate |= event.kind == NemesisEventKind::kStartMigration;
+    }
+    if (report != nullptr) {
+      *report = "synthetic";
+    }
+    return !(crash && migrate);  // true = passes
+  };
+
+  FaultScript script;
+  script.seed = 7;
+  for (int i = 0; i < 10; i++) {
+    NemesisEvent event;
+    event.at = static_cast<SimTime>(i) * kMicrosecond;
+    switch (i % 5) {
+      case 0:
+        event.kind = NemesisEventKind::kGrayReplica;
+        break;
+      case 1:
+        event.kind = NemesisEventKind::kCrashReplica;
+        break;
+      case 2:
+        event.kind = NemesisEventKind::kClientLossBurst;
+        break;
+      case 3:
+        event.kind = NemesisEventKind::kStartMigration;
+        break;
+      default:
+        event.kind = NemesisEventKind::kSplitPartitions;
+        break;
+    }
+    script.events.push_back(event);
+  }
+
+  uint32_t runs = 0;
+  std::string report;
+  const FaultScript shrunk =
+      ShrinkFaultScript(script, fails_with, 96, &runs, &report);
+  ASSERT_EQ(shrunk.events.size(), 2u);
+  EXPECT_EQ(shrunk.events[0].kind, NemesisEventKind::kCrashReplica);
+  EXPECT_EQ(shrunk.events[1].kind, NemesisEventKind::kStartMigration);
+  EXPECT_GT(runs, 0u);
+  EXPECT_EQ(report, "synthetic");
+}
+
+// --- the nemesis scenario end to end ---
+
+ClusterScenarioOptions SmallScenario() {
+  // Default key/op sizing, fewer rounds: enough traffic that a workload
+  // round overlaps the migration's copy window within a handful of seeds.
+  ClusterScenarioOptions options;
+  options.rounds = 6;
+  return options;
+}
+
+TEST(NemesisScenarioTest, CleanScenarioPassesAndIsBitIdentical) {
+  const ClusterScenarioOptions options = SmallScenario();
+  const FaultScript script = GenerateFaultScript(3, options);
+  const ScenarioOutcome a = RunClusterScenario(options, script);
+  EXPECT_TRUE(a.ok) << a.report;
+  const ScenarioOutcome b = RunClusterScenario(options, script);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_GT(a.history.ops.size(), 0u);
+}
+
+// The acceptance regression: re-introducing the migration lost-update bug
+// (chunk installs ignore forwarded keys) must be caught by a small seed
+// matrix and shrunk to a <= 10-event reproducer; the same seeds pass with
+// the guard in place.
+TEST(NemesisRegressionTest, InjectedLostUpdateBugIsCaughtAndShrunk) {
+  NemesisOptions options;
+  options.scenario = SmallScenario();
+  options.scenario.inject_lost_update_bug = true;
+  options.base_seed = 1;
+  options.num_seeds = 8;
+
+  const NemesisResult caught = RunSeedMatrix(options);
+  ASSERT_FALSE(caught.ok)
+      << "the seed matrix missed the injected lost-update bug";
+  EXPECT_LE(caught.shrunk_script.events.size(), 10u) << caught.ToString();
+  EXPECT_LE(caught.shrunk_script.events.size(),
+            caught.original_script.events.size());
+  EXPECT_FALSE(caught.failure_report.empty());
+  EXPECT_EQ(caught.failure_report.find("WARNING"), std::string::npos)
+      << caught.ToString();
+
+  // Bit-identical re-run: the same matrix reproduces the same verdict.
+  const NemesisResult again = RunSeedMatrix(options);
+  EXPECT_EQ(again.failing_seed, caught.failing_seed);
+  EXPECT_EQ(again.ToString(), caught.ToString());
+
+  // With the guard restored, the very seeds that caught the bug pass clean.
+  options.scenario.inject_lost_update_bug = false;
+  options.num_seeds = caught.seeds_run;
+  const NemesisResult clean = RunSeedMatrix(options);
+  EXPECT_TRUE(clean.ok) << clean.ToString();
+}
+
+}  // namespace
+}  // namespace kvd

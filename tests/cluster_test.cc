@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "src/check/history.h"
+#include "src/check/linearizability.h"
+#include "src/check/session_audit.h"
 #include "src/cluster/cluster_client.h"
 #include "src/cluster/coordinator.h"
 #include "src/cluster/rebalancer.h"
@@ -449,6 +452,101 @@ TEST(ClusterMigrationTest, FrozenWindowBouncesWritesAndCompletes) {
   EXPECT_EQ(AsU64(r.value), 17u);
 }
 
+// --- negative paths: overload and deadlines mid-bounce-chain ---
+
+TEST(ClusterNegativePathTest, OverloadSurfacesThroughAWrongShardBounce) {
+  ClusterConfig config = SmallClusterConfig(2, 4, 3);
+  // A tiny destination pipeline: the re-routed read burst overruns the
+  // admission queue past the overload ceiling, so the tail fast-rejects.
+  config.group.server.processor.ooo.max_inflight = 4;
+  config.group.server.processor.admission.overload_backlog = 8;
+  ClusterCoordinator cluster(config);
+  const KeyRouter router = cluster.router();
+  const uint32_t partition = 0;
+  std::vector<uint64_t> ids;
+  for (uint64_t id = 0; ids.size() < 64 && id < 100000; id++) {
+    if (router.PartitionOf(Key(id)) == partition) {
+      ids.push_back(id);
+      ASSERT_TRUE(cluster.Load(Key(id), U64Value(id)).ok());
+    }
+  }
+  ASSERT_EQ(ids.size(), 64u);
+  const uint32_t to = 1 - cluster.shard_map().OwnerOf(partition);
+
+  ClusterClient client(cluster);  // snapshots the pre-migration map
+  ASSERT_TRUE(cluster.StartMigration(partition, to).ok());
+  cluster.DriveMigrationToCompletion();
+
+  for (const uint64_t id : ids) {
+    client.Enqueue(Get(id));
+  }
+  std::vector<KvResultMessage> results = client.Flush();
+  ASSERT_EQ(results.size(), ids.size());
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  for (size_t i = 0; i < results.size(); i++) {
+    ok += results[i].code == ResultCode::kOk ? 1 : 0;
+    overloaded += results[i].code == ResultCode::kOverloaded ? 1 : 0;
+    if (results[i].code == ResultCode::kOk) {
+      EXPECT_EQ(AsU64(results[i].value), ids[i]) << "key " << ids[i];
+    }
+  }
+  // The packet bounced kWrongShard at the old owner (nothing executed
+  // there), and the patched resend overran the new owner's admission
+  // ceiling: the flush surfaces a mix of kOk and definite kOverloaded
+  // rejections — never a hang, never a silent drop.
+  EXPECT_EQ(ok + overloaded, results.size());
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(overloaded, 0u);
+  EXPECT_GE(client.stats().wrong_shard_bounces, 1u);
+  // A wrong-shard bounce retargets reads to the next replica, so the
+  // rejections may land on any member of the destination group.
+  uint64_t rejected = 0;
+  for (uint32_t r = 0; r < config.group.num_replicas; r++) {
+    rejected +=
+        cluster.group(to).replica(r).processor().admission_stats().overload_rejected;
+  }
+  EXPECT_EQ(rejected, overloaded);
+}
+
+TEST(ClusterNegativePathTest, DeadlineExpiresInsideTheMigrationFreeze) {
+  ClusterConfig config = SmallClusterConfig(2, 4, 3);
+  // A freeze window far longer than the op's latency budget: the write can
+  // only bounce kMigrating until its deadline passes.
+  config.cutover_quiesce = 20 * kMillisecond;
+  ClusterCoordinator cluster(config);
+  const uint32_t partition = 0;
+  const uint64_t id = KeyInPartition(cluster.router(), partition);
+  ASSERT_TRUE(cluster.Load(Key(id), U64Value(10)).ok());
+  const uint32_t from = cluster.shard_map().OwnerOf(partition);
+  const uint32_t to = 1 - from;
+  ASSERT_TRUE(cluster.StartMigration(partition, to).ok());
+  Simulator& sim = cluster.simulator();
+  while (cluster.migration_active() && cluster.migration_phase() != 3) {
+    ASSERT_TRUE(sim.Step());
+  }
+  ASSERT_EQ(cluster.migration_phase(), 3);
+
+  ClusterClient client(cluster);
+  KvOperation op = AddU64(id, 7);
+  op.deadline = sim.Now() + kMillisecond;  // expires well inside the freeze
+  client.Enqueue(op);
+  std::vector<KvResultMessage> results = client.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  // The sender abandons the frame once the deadline passes mid-bounce-chain
+  // instead of hammering the frozen partition for the full freeze window.
+  EXPECT_EQ(results[0].code, ResultCode::kDeadlineExceeded);
+  EXPECT_GE(client.stats().migrating_backoffs, 1u);
+  EXPECT_GE(client.stats().deadline_failures, 1u);
+
+  // Every attempt bounced at the gate, so the abandoned write never
+  // executed: after the flip the value is untouched.
+  cluster.DriveMigrationToCompletion();
+  KvResultMessage r = cluster.group(to).Execute(Get(id));
+  ASSERT_EQ(r.code, ResultCode::kOk);
+  EXPECT_EQ(AsU64(r.value), 10u);
+}
+
 // Chaos soak: loss, duplication, and corruption on the copy stream plus a
 // gray migration link, under sustained client increments to the moving
 // partition. Faults never touch the client path, so every op is acked — and
@@ -482,6 +580,8 @@ std::string RunMigrationChaosSoak(uint64_t seed) {
   EXPECT_EQ(ids.size(), 24u);
 
   ClusterClient client(cluster);
+  HistoryRecorder recorder;
+  RecordingEndpoint endpoint(client, recorder);
   std::map<uint64_t, uint64_t> acked_sum;
   uint64_t next_delta = 1;
   bool started = false;
@@ -489,10 +589,10 @@ std::string RunMigrationChaosSoak(uint64_t seed) {
   // runs under the sustained writes.
   for (int round = 0; round < 30; round++) {
     for (const uint64_t id : ids) {
-      client.Enqueue(AddU64(id, next_delta));
+      endpoint.Enqueue(AddU64(id, next_delta));
     }
     const uint64_t round_delta = next_delta;
-    std::vector<KvResultMessage> results = client.Flush();
+    std::vector<KvResultMessage> results = endpoint.Flush();
     for (size_t i = 0; i < ids.size(); i++) {
       EXPECT_EQ(results[i].code, ResultCode::kOk)
           << "round " << round << " key " << ids[i];
@@ -523,10 +623,39 @@ std::string RunMigrationChaosSoak(uint64_t seed) {
                 cluster.stats().copy_stale_chunks,
             0u);
 
+  // A quiescent read round through the recorded endpoint, so the history
+  // carries a definite final observation of every counter.
+  for (const uint64_t id : ids) {
+    endpoint.Enqueue(Get(id));
+  }
+  std::vector<KvResultMessage> finals = endpoint.Flush();
+  for (size_t i = 0; i < ids.size(); i++) {
+    EXPECT_EQ(finals[i].code, ResultCode::kOk) << "key " << ids[i];
+    EXPECT_EQ(AsU64(finals[i].value), 1000 + ids[i] + acked_sum[ids[i]]);
+  }
+
+  // The recorded history must linearize, honor session guarantees, and
+  // account for every acked fetch-add exactly once across the cutover.
+  CheckOptions check;
+  std::map<std::vector<uint8_t>, uint64_t> base;
+  for (const uint64_t id : ids) {
+    check.initial_values[Key(id)] = U64Value(1000 + id);
+    base[Key(id)] = 1000 + id;
+  }
+  const CheckReport lin = CheckLinearizability(recorder.history(), check);
+  EXPECT_TRUE(lin.ok()) << lin.ToString();
+  const AuditReport sessions = AuditSessionGuarantees(recorder.history());
+  EXPECT_TRUE(sessions.ok()) << sessions.ToString();
+  const AuditReport counters =
+      AuditExactlyOnceCounters(recorder.history(), base);
+  EXPECT_TRUE(counters.ok()) << counters.ToString();
+
   return cluster.metrics().ToJson() +
          "|epoch=" + std::to_string(cluster.map_epoch()) +
          "|forwards=" + std::to_string(cluster.stats().forwards) +
-         "|retx=" + std::to_string(cluster.stats().copy_chunk_retransmits);
+         "|retx=" + std::to_string(cluster.stats().copy_chunk_retransmits) +
+         "|history=" + recorder.history().Fingerprint() +
+         "|check=" + lin.ToString() + counters.ToString();
 }
 
 TEST(ClusterMigrationTest, ChaosSoakLosesNoAckedWriteAndIsDeterministic) {

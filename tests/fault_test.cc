@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "src/check/history.h"
+#include "src/check/linearizability.h"
+#include "src/check/session_audit.h"
 #include "src/common/random.h"
 #include "src/common/units.h"
 #include "src/core/kv_direct.h"
@@ -582,6 +585,10 @@ struct ChaosOutcome {
   std::string metrics_json;
   uint64_t packets_sent = 0;
   uint64_t retransmits = 0;
+  // Consistency-harness verdicts over the soak's recorded history
+  // (src/check): deterministic strings, compared across same-seed replays.
+  std::string history_fingerprint;
+  std::string check_report;
 };
 
 ChaosOutcome RunChaos(double get_ratio, uint64_t seed) {
@@ -616,6 +623,10 @@ ChaosOutcome RunChaos(double get_ratio, uint64_t seed) {
   options.retry.timeout = 100 * kMicrosecond;
   options.max_ops_per_packet = 16;
   Client client(server, options);
+  // Everything the soak does goes through the recorder; the checker then
+  // proves linearizability of the whole run, not just the counted totals.
+  HistoryRecorder recorder;
+  RecordingEndpoint endpoint(client, recorder);
 
   // YCSB-style mix: `get_ratio` GETs, the rest fetch-and-add updates whose
   // effects are exactly countable (A: 0.5, B: 0.95).
@@ -635,21 +646,40 @@ ChaosOutcome RunChaos(double get_ratio, uint64_t seed) {
         op.param = 1;
         expected[k] += 1;
       }
-      client.Enqueue(std::move(op));
+      endpoint.Enqueue(std::move(op));
     }
-    for (const auto& r : client.Flush()) {
+    for (const auto& r : endpoint.Flush()) {
       EXPECT_EQ(r.code, ResultCode::kOk);
     }
   }
 
   ChaosOutcome outcome;
   for (uint64_t k = 0; k < kKeys; k++) {
-    auto value = client.Get(Key(k));
-    EXPECT_TRUE(value.ok()) << k;
-    outcome.final_values.push_back(AsU64(*value));
+    KvOperation get;
+    get.opcode = Opcode::kGet;
+    get.key = Key(k);
+    endpoint.Enqueue(std::move(get));
+  }
+  std::vector<KvResultMessage> final_reads = endpoint.Flush();
+  EXPECT_EQ(final_reads.size(), kKeys);
+  for (uint64_t k = 0; k < final_reads.size(); k++) {
+    EXPECT_EQ(final_reads[k].code, ResultCode::kOk) << k;
+    outcome.final_values.push_back(AsU64(final_reads[k].value));
     // Linearizable, exactly-once: every update applied exactly once.
     EXPECT_EQ(outcome.final_values.back(), expected[k]) << k;
   }
+
+  // The recorded history must linearize and honor the session guarantees.
+  CheckOptions check;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    check.initial_values[Key(k)] = U64Value(0);
+  }
+  const CheckReport lin = CheckLinearizability(recorder.history(), check);
+  EXPECT_TRUE(lin.ok()) << lin.ToString();
+  const AuditReport audit = AuditSessionGuarantees(recorder.history());
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  outcome.history_fingerprint = recorder.history().Fingerprint();
+  outcome.check_report = lin.ToString() + audit.ToString();
 
   // Faults of every class actually struck.
   EXPECT_GT(server.network().packets_dropped(), 0u);
@@ -692,6 +722,9 @@ TEST(ChaosSoakTest, ReplayingTheScheduleIsBitIdentical) {
   // The full metric surface — every counter, gauge, histogram — replays
   // bit-for-bit, faults included.
   EXPECT_EQ(first.metrics_json, second.metrics_json);
+  // So do the recorded history and the checker's verdict over it.
+  EXPECT_EQ(first.history_fingerprint, second.history_fingerprint);
+  EXPECT_EQ(first.check_report, second.check_report);
 }
 
 }  // namespace

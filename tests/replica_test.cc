@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "src/check/history.h"
+#include "src/check/linearizability.h"
+#include "src/check/session_audit.h"
 #include "src/common/key_router.h"
 #include "src/common/random.h"
 #include "src/common/units.h"
@@ -465,6 +468,8 @@ TEST(ReplicationGroupTest, ScriptedPrimaryCrashLosesNoAcknowledgedWrite) {
   config.faults.schedule.push_back({FaultSite::kReplicaCrash, 1});
   ReplicationGroup group(config);
   ReplicatedClient client(group);
+  HistoryRecorder recorder;
+  RecordingEndpoint endpoint(client, recorder);
 
   std::map<uint64_t, uint64_t> acked;  // key id -> last acknowledged value
   Rng rng(42);
@@ -490,7 +495,7 @@ TEST(ReplicationGroupTest, ScriptedPrimaryCrashLosesNoAcknowledgedWrite) {
           id = next_key++;
         }
         const uint64_t value = rng.Next();
-        client.Enqueue(Put(id, value));
+        endpoint.Enqueue(Put(id, value));
         slots.push_back({true, id, value});
         used.insert(id);
       } else {
@@ -499,12 +504,12 @@ TEST(ReplicationGroupTest, ScriptedPrimaryCrashLosesNoAcknowledgedWrite) {
         if (used.count(it->first)) {
           continue;  // already written this batch; skip the read
         }
-        client.Enqueue(Get(it->first));
+        endpoint.Enqueue(Get(it->first));
         slots.push_back({false, it->first, 0});
         used.insert(it->first);
       }
     }
-    std::vector<KvResultMessage> results = client.Flush();
+    std::vector<KvResultMessage> results = endpoint.Flush();
     ASSERT_EQ(results.size(), slots.size());
     std::map<uint64_t, uint64_t> batch_acked;
     for (size_t s = 0; s < slots.size(); s++) {
@@ -559,6 +564,13 @@ TEST(ReplicationGroupTest, ScriptedPrimaryCrashLosesNoAcknowledgedWrite) {
   for (const auto& [id, value] : acked) {
     EXPECT_EQ(ReadU64(group, 0, id), value) << "key " << id;
   }
+
+  // The recorded workload history — every op the client issued across the
+  // crash and failover — linearizes and honors the session guarantees.
+  const CheckReport lin = CheckLinearizability(recorder.history());
+  EXPECT_TRUE(lin.ok()) << lin.ToString();
+  const AuditReport audit = AuditSessionGuarantees(recorder.history());
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
 }
 
 TEST(ReplicationGroupTest, SessionDedupAnswersRetransmitAcrossFailover) {
@@ -734,19 +746,22 @@ std::string RunScriptedFailoverScenario(uint64_t seed) {
   config.faults.schedule.push_back({FaultSite::kReplicaCrash, 1});
   ReplicationGroup group(config);
   ReplicatedClient client(group);
+  HistoryRecorder recorder;
+  RecordingEndpoint endpoint(client, recorder);
   Rng rng(seed);
   for (int batch = 0; batch < 8; batch++) {
     for (int i = 0; i < 6; i++) {
-      client.Enqueue(Put(rng.Next() % 64, rng.Next()));
+      endpoint.Enqueue(Put(rng.Next() % 64, rng.Next()));
     }
-    client.Flush();
+    endpoint.Flush();
     RunFor(group.simulator(), 100 * kMicrosecond);
   }
   group.RestartReplica(0);
   RunFor(group.simulator(), 10 * kMillisecond);
   return group.metrics().ToJson() + "|epoch=" + std::to_string(group.epoch()) +
          "|commit=" + std::to_string(group.commit_index()) +
-         "|primary=" + std::to_string(group.primary_id());
+         "|primary=" + std::to_string(group.primary_id()) +
+         "|history=" + recorder.history().Fingerprint();
 }
 
 TEST(ReplicationGroupTest, SameSeedReplayIsBitIdentical) {

@@ -90,6 +90,54 @@ TEST(ReplayCacheTest, MissAdmitCompleteLifecycle) {
   EXPECT_EQ(*response, Bytes({0xaa, 0xbb}));
 }
 
+TEST(ReplayCacheTest, AdjacentClientSequenceSpacesDoNotCollide) {
+  // AcquireClientSequenceBase hands each client a disjoint 2^40 block
+  // (client id << 40). The last sequence of client 1's block and the first
+  // of client 2's are numerically adjacent; they must stay independent
+  // entries through the whole lifecycle.
+  Simulator sim;
+  ReplayCache cache(sim, ReplayCache::Config{});
+  const uint64_t top_of_client1 = (2ull << 40) - 1;  // client 1: [1<<40, 2<<40)
+  const uint64_t bottom_of_client2 = 2ull << 40;     // client 2's first frame
+  cache.Admit(top_of_client1);
+  EXPECT_EQ(cache.Lookup(bottom_of_client2, nullptr), ReplayCache::Hit::kMiss);
+  cache.Complete(top_of_client1, Bytes({1}));
+  cache.Admit(bottom_of_client2);
+  EXPECT_EQ(cache.Lookup(top_of_client1, nullptr), ReplayCache::Hit::kDone);
+  EXPECT_EQ(cache.Lookup(bottom_of_client2, nullptr),
+            ReplayCache::Hit::kInFlight);
+  cache.Complete(bottom_of_client2, Bytes({2}));
+  const std::vector<uint8_t>* response = nullptr;
+  ASSERT_EQ(cache.Lookup(top_of_client1, &response), ReplayCache::Hit::kDone);
+  EXPECT_EQ(*response, Bytes({1}));
+  ASSERT_EQ(cache.Lookup(bottom_of_client2, &response),
+            ReplayCache::Hit::kDone);
+  EXPECT_EQ(*response, Bytes({2}));
+}
+
+TEST(ReplayCacheTest, FullWidthSequencesSurviveTheCache) {
+  // High client ids push bases past bit 62 (id << 40): sequences are full
+  // 64-bit values and no edge of the per-client split may truncate or alias.
+  Simulator sim;
+  ReplayCache cache(sim, ReplayCache::Config{});
+  const std::vector<uint64_t> edges = {
+      (1ull << 40) - 1,                  // below the first client base
+      1ull << 40,                        // client 1's first frame
+      (1ull << 63) | ((1ull << 40) - 1), // top of a block with bit 63 set
+      1ull << 63,                        // base of client 1<<23
+      UINT64_MAX};                       // the very last representable frame
+  for (size_t i = 0; i < edges.size(); i++) {
+    cache.Admit(edges[i]);
+    cache.Complete(edges[i], Bytes({static_cast<uint8_t>(i)}));
+  }
+  for (size_t i = 0; i < edges.size(); i++) {
+    const std::vector<uint8_t>* response = nullptr;
+    ASSERT_EQ(cache.Lookup(edges[i], &response), ReplayCache::Hit::kDone)
+        << "edge " << i;
+    EXPECT_EQ(*response, Bytes({static_cast<uint8_t>(i)})) << "edge " << i;
+  }
+}
+
 TEST(ReplayCacheTest, RetainTimePinsFreshCompletions) {
   Simulator sim;
   ReplayCache::Config config;
